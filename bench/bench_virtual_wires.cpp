@@ -1,0 +1,157 @@
+// Related-work baseline (Sec. 1.2): Virtual Wires.  "Virtual wires offer a
+// way of overcoming pin limitations in FPGAs by statically scheduling data
+// transfers so that multiple transfers re-use the same set of pins.  This
+// comes at the price of statically scheduling accesses."  This bench puts
+// that price next to the paper's arbitration: three producers share one
+// physical channel, once with round-robin arbitration and once with static
+// TDM slots, under regular and then bursty (data-dependent) traffic.
+#include <benchmark/benchmark.h>
+
+#include <array>
+#include <cstdio>
+
+#include "core/insertion.hpp"
+#include "rcsim/system_sim.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+using namespace rcarb;
+
+constexpr int kProducers = 3;
+constexpr int kMessages = 8;
+
+struct Scenario {
+  tg::TaskGraph graph{"vwires"};
+  core::Binding binding;
+  std::vector<tg::TaskId> tasks;
+};
+
+/// gaps[i] = compute cycles producer i inserts between sends; counts[i] =
+/// how many messages producer i sends.
+Scenario build(const std::array<int, kProducers>& gaps,
+               const std::array<int, kProducers>& counts) {
+  Scenario s;
+  for (int i = 0; i < kProducers; ++i) {
+    tg::Program producer;
+    producer.load_imm(0, 100 * i);
+    for (int m = 0; m < counts[static_cast<std::size_t>(i)]; ++m) {
+      if (gaps[static_cast<std::size_t>(i)] > 0)
+        producer.compute(gaps[static_cast<std::size_t>(i)]);
+      producer.add_imm(0, 0, 1).send(i, 0);
+    }
+    producer.halt();
+    tg::Program consumer;
+    for (int m = 0; m < counts[static_cast<std::size_t>(i)]; ++m)
+      consumer.recv(1, i);
+    consumer.halt();
+    const auto p =
+        s.graph.add_task("prod" + std::to_string(i), producer, 10);
+    const auto c =
+        s.graph.add_task("cons" + std::to_string(i), consumer, 10);
+    s.graph.add_channel("c" + std::to_string(i), 8, p, c);
+    s.tasks.push_back(p);
+    s.tasks.push_back(c);
+  }
+  s.binding.task_to_pe.assign(s.graph.num_tasks(), 0);
+  for (std::size_t t = 0; t < s.graph.num_tasks(); ++t)
+    s.binding.task_to_pe[t] = t % 2 == 0 ? 0 : 1;
+  s.binding.segment_to_bank = {};
+  s.binding.channel_to_phys.assign(kProducers, 0);  // all merged
+  s.binding.num_banks = 0;
+  s.binding.num_phys_channels = 1;
+  s.binding.phys_channel_names = {"shared"};
+  return s;
+}
+
+struct Outcome {
+  std::uint64_t cycles = 0;
+  std::uint64_t wait = 0;
+};
+
+Outcome run_arbitrated(const std::array<int, kProducers>& gaps,
+                       const std::array<int, kProducers>& counts) {
+  Scenario s = build(gaps, counts);
+  core::InsertionOptions io;
+  io.batch_m = 4;
+  const auto ins = core::insert_arbitration(s.graph, s.binding, io);
+  rcsim::SystemSimulator sim(ins.graph, s.binding, ins.plan);
+  const auto r = sim.run(s.tasks);
+  Outcome out{r.cycles, 0};
+  for (const auto& t : r.tasks) out.wait += t.grant_wait_cycles;
+  return out;
+}
+
+Outcome run_tdm(const std::array<int, kProducers>& gaps,
+                const std::array<int, kProducers>& counts, int period) {
+  Scenario s = build(gaps, counts);
+  core::ArbitrationPlan empty;
+  empty.arbiters_of_resource.assign(s.binding.num_resources(), {});
+  rcsim::SimOptions options;
+  options.tdm_slots.assign(kProducers, {0, 0});
+  for (int i = 0; i < kProducers; ++i)
+    options.tdm_slots[static_cast<std::size_t>(i)] = {i, period};
+  rcsim::SystemSimulator sim(s.graph, s.binding, empty, options);
+  const auto r = sim.run(s.tasks);
+  Outcome out{r.cycles, 0};
+  for (const auto& t : r.tasks) out.wait += t.grant_wait_cycles;
+  return out;
+}
+
+void print_comparison() {
+  Table table(
+      "virtual-wires baseline — one shared channel, 3 producers x 8 "
+      "transfers [paper Sec. 1.2: static scheduling vs arbitration]");
+  table.set_header({"traffic pattern", "scheme", "cycles", "wait cycles"});
+
+  struct Case {
+    const char* name;
+    std::array<int, kProducers> gaps;
+    std::array<int, kProducers> counts;
+  };
+  const Case cases[] = {
+      {"uniform, regular (8 msgs each, gap 2)", {2, 2, 2}, {8, 8, 8}},
+      {"uniform, skewed gaps (8 each, gap 0/3/9)", {0, 3, 9}, {8, 8, 8}},
+      {"one hot sender (16/1/1 msgs, no gaps)", {0, 0, 0}, {16, 1, 1}},
+      {"two quiet peers (12/2/2, gap 0/9/9)", {0, 9, 9}, {12, 2, 2}},
+  };
+  for (const Case& c : cases) {
+    const Outcome arb = run_arbitrated(c.gaps, c.counts);
+    const Outcome tdm = run_tdm(c.gaps, c.counts, kProducers + 1);
+    table.add_row({c.name, "round-robin arbiter",
+                   std::to_string(arb.cycles), std::to_string(arb.wait)});
+    table.add_row({c.name, "static TDM slots", std::to_string(tdm.cycles),
+                   std::to_string(tdm.wait)});
+  }
+  table.print();
+  std::puts(
+      "the trade runs both ways, which is the honest version of Sec. 1.2:\n"
+      "when every sender is equally loaded and regular, the static slots\n"
+      "are free of protocol overhead and win; the moment the load is\n"
+      "asymmetric or data-dependent, the fixed slots idle the wires while\n"
+      "the hot sender waits, and the arbiter's dynamic grants win despite\n"
+      "the +2-cycle protocol.  Virtual wires also require the global\n"
+      "schedule the paper set out to avoid.\n");
+}
+
+void BM_Arbitrated(benchmark::State& state) {
+  for (auto _ : state)
+    benchmark::DoNotOptimize(run_arbitrated({0, 3, 9}, {8, 8, 8}).cycles);
+}
+BENCHMARK(BM_Arbitrated);
+
+void BM_Tdm(benchmark::State& state) {
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        run_tdm({0, 3, 9}, {8, 8, 8}, kProducers + 1).cycles);
+}
+BENCHMARK(BM_Tdm);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_comparison();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

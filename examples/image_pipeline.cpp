@@ -1,0 +1,149 @@
+// A second data-dominated application (the class of workloads the paper
+// targets): a small image pipeline.  A capture task fans an 8-pixel scan
+// line out to two parallel filters (box blur and edge detect) that share
+// the same physical memory bank holding both their working segments, and a
+// combiner fuses the results.  Everything below the taskgraph — partitions,
+// memory mapping, arbitration — is derived automatically, exactly as for
+// the FFT.
+//
+//   $ ./image_pipeline
+#include <cstdio>
+#include <vector>
+
+#include "board/board.hpp"
+#include "flow/sparcs_flow.hpp"
+#include "taskgraph/taskgraph.hpp"
+
+namespace {
+
+constexpr int kLine = 8;
+
+/// The reference pipeline in plain C++ (the oracle).
+std::vector<std::int64_t> reference(const std::vector<std::int64_t>& in) {
+  std::vector<std::int64_t> blur(kLine), edge(kLine), out(kLine);
+  for (int i = 0; i < kLine; ++i) {
+    const std::int64_t left = in[static_cast<std::size_t>(i == 0 ? 0 : i - 1)];
+    const std::int64_t right =
+        in[static_cast<std::size_t>(i == kLine - 1 ? kLine - 1 : i + 1)];
+    // Arithmetic >> 1, matching the datapath's shifter (floor division).
+    blur[static_cast<std::size_t>(i)] =
+        (left + in[static_cast<std::size_t>(i)] + right) >> 1;
+    edge[static_cast<std::size_t>(i)] = right - left;
+    out[static_cast<std::size_t>(i)] = blur[static_cast<std::size_t>(i)] +
+                                       2 * edge[static_cast<std::size_t>(i)];
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  using namespace rcarb;
+
+  tg::TaskGraph graph("image_pipeline");
+  const auto line = graph.add_segment("LINE", 64, kLine);
+  const auto blur = graph.add_segment("BLUR", 64, kLine);
+  const auto edge = graph.add_segment("EDGE", 64, kLine);
+  const auto fused = graph.add_segment("OUT", 64, kLine);
+
+  // capture: normalizes the raw line in place (the producer stage).
+  tg::Program capture;
+  capture.load_imm(0, 0);
+  for (int i = 0; i < kLine; ++i)
+    capture.load(1, static_cast<int>(line), 0, i)
+        .add_imm(1, 1, 0)
+        .store(static_cast<int>(line), 0, 1, i);
+  capture.halt();
+
+  // blur_task: out[i] = (in[i-1] + in[i] + in[i+1]) / 2 with edge clamping.
+  tg::Program blur_task;
+  blur_task.load_imm(0, 0);
+  for (int i = 0; i < kLine; ++i) {
+    const int l = i == 0 ? 0 : i - 1;
+    const int r = i == kLine - 1 ? kLine - 1 : i + 1;
+    blur_task.load(1, static_cast<int>(line), 0, l)
+        .load(2, static_cast<int>(line), 0, i)
+        .load(3, static_cast<int>(line), 0, r)
+        .add(4, 1, 2)
+        .add(4, 4, 3)
+        .shr(4, 4, 1)
+        .store(static_cast<int>(blur), 0, 4, i);
+  }
+  blur_task.halt();
+
+  // edge_task: out[i] = in[i+1] - in[i-1].
+  tg::Program edge_task;
+  edge_task.load_imm(0, 0);
+  for (int i = 0; i < kLine; ++i) {
+    const int l = i == 0 ? 0 : i - 1;
+    const int r = i == kLine - 1 ? kLine - 1 : i + 1;
+    edge_task.load(1, static_cast<int>(line), 0, r)
+        .load(2, static_cast<int>(line), 0, l)
+        .sub(3, 1, 2)
+        .store(static_cast<int>(edge), 0, 3, i);
+  }
+  edge_task.halt();
+
+  // combine: out[i] = blur[i] + 2*edge[i].
+  tg::Program combine;
+  combine.load_imm(0, 0);
+  for (int i = 0; i < kLine; ++i)
+    combine.load(1, static_cast<int>(blur), 0, i)
+        .load(2, static_cast<int>(edge), 0, i)
+        .shl(2, 2, 1)
+        .add(3, 1, 2)
+        .store(static_cast<int>(fused), 0, 3, i);
+  combine.halt();
+
+  const auto t_cap = graph.add_task("capture", capture, 80);
+  const auto t_blur = graph.add_task("blur", blur_task, 200);
+  const auto t_edge = graph.add_task("edge", edge_task, 180);
+  const auto t_comb = graph.add_task("combine", combine, 100);
+  graph.add_control_dep(t_cap, t_blur);
+  graph.add_control_dep(t_cap, t_edge);  // blur & edge run IN PARALLEL
+  graph.add_control_dep(t_blur, t_comb);
+  graph.add_control_dep(t_edge, t_comb);
+
+  // Input scan line.
+  std::vector<std::int64_t> input;
+  for (int i = 0; i < kLine; ++i) input.push_back((i * 37) % 29 - 14);
+
+  flow::FlowOptions options;
+  options.preload.emplace_back(line, input);
+  // Dependency-aware elision: only the genuinely parallel blur/edge pair
+  // needs an arbiter; the serialized capture/combine stages do not.
+  options.insertion.elide_serialized = true;
+  const flow::FlowReport report =
+      run_flow(graph, board::mini2(), options);
+  std::printf("%s\n", report.summary().c_str());
+
+  std::printf("arbitration detail:\n");
+  for (const auto& pr : report.partitions)
+    for (const auto& a : pr.plan.arbiters) {
+      std::printf("  %zu-input arbiter on %s over:", a.ports.size(),
+                  a.resource_name.c_str());
+      for (const auto t : a.ports)
+        std::printf(" %s", graph.task(t).name.c_str());
+      std::printf("\n");
+    }
+
+  const std::vector<std::int64_t> want = reference(input);
+  bool exact = true;
+  for (int i = 0; i < kLine; ++i)
+    exact = exact &&
+            report.final_memory[fused][static_cast<std::size_t>(i)] ==
+                want[static_cast<std::size_t>(i)];
+  std::printf("\npipeline output: ");
+  for (int i = 0; i < kLine; ++i)
+    std::printf("%lld ", static_cast<long long>(
+                             report.final_memory[fused][static_cast<std::size_t>(i)]));
+  std::printf("\nreference:       ");
+  for (int i = 0; i < kLine; ++i)
+    std::printf("%lld ", static_cast<long long>(want[static_cast<std::size_t>(i)]));
+  std::printf("\n=> %s\n", exact ? "bit-exact" : "MISMATCH");
+  std::printf(
+      "\nthe two parallel filters read the LINE segment through one bank:\n"
+      "the flow noticed and arbitrated them automatically; the serialized\n"
+      "capture/combine stages needed none.\n");
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Quickstart: generate an arbiter, inspect its characteristics, emit the
+// VHDL the paper's generator produced, and watch the Fig. 5 protocol work
+// cycle by cycle on the synthesized netlist.
+//
+//   $ ./quickstart
+#include <cstdio>
+
+#include "core/generator.hpp"
+#include "core/policy.hpp"
+#include "core/vhdl.hpp"
+#include "netlist/simulator.hpp"
+
+int main() {
+  using namespace rcarb;
+
+  // 1. Generate a 4-input round-robin arbiter, characterized for the
+  //    XC4000e like the paper's pre-characterization step.
+  const core::GeneratedArbiter arb = core::generate_round_robin(
+      4, synth::FlowKind::kExpressLike, synth::Encoding::kOneHot);
+  std::printf("4-input round-robin arbiter:\n");
+  std::printf("  area    : %zu CLBs (%zu LUTs, %zu FFs)\n", arb.chars.clbs,
+              arb.chars.luts, arb.chars.ffs);
+  std::printf("  clock   : %.1f MHz max (XC4000e-3 model)\n",
+              arb.chars.fmax_mhz);
+  std::printf("  protocol: +%d cycles per arbitered burst\n\n",
+              arb.chars.overhead_cycles);
+
+  // 2. The VHDL artifact (first lines).
+  const std::string vhdl =
+      core::emit_round_robin_vhdl(4, synth::Encoding::kOneHot);
+  std::printf("generated VHDL (%zu bytes), first lines:\n", vhdl.size());
+  std::size_t shown = 0, lines = 0;
+  while (lines < 12 && shown < vhdl.size()) {
+    const std::size_t eol = vhdl.find('\n', shown);
+    std::printf("  | %s\n", vhdl.substr(shown, eol - shown).c_str());
+    shown = eol + 1;
+    ++lines;
+  }
+  std::printf("  | ...\n\n");
+
+  // 3. Drive the synthesized netlist: three tasks fight for one resource.
+  netlist::Simulator sim(arb.synth.netlist);
+  core::RoundRobinArbiter reference(4);
+  std::printf("cycle-by-cycle protocol (requests -> grant):\n");
+  const std::uint64_t traffic[] = {0b0000, 0b0110, 0b0110, 0b1111,
+                                   0b1011, 0b1001, 0b0000, 0b0001};
+  for (std::uint64_t req : traffic) {
+    for (int i = 0; i < 4; ++i)
+      sim.set_input("req" + std::to_string(i), (req >> i) & 1);
+    sim.settle();
+    int granted = -1;
+    for (int i = 0; i < 4; ++i)
+      if (sim.get("grant" + std::to_string(i))) granted = i;
+    const int want = reference.step(req);
+    std::printf("  req=%d%d%d%d  ->  grant=%s   (reference model: %s)\n",
+                static_cast<int>((req >> 3) & 1),
+                static_cast<int>((req >> 2) & 1),
+                static_cast<int>((req >> 1) & 1),
+                static_cast<int>(req & 1),
+                granted < 0 ? "-" : std::to_string(granted).c_str(),
+                want < 0 ? "-" : std::to_string(want).c_str());
+    sim.clock();
+  }
+  std::printf("\nnetlist and Fig. 5 behavioral model agree; see the test\n"
+              "suite for exhaustive and randomized equivalence checks.\n");
+  return 0;
+}

@@ -1,0 +1,156 @@
+#include "aig/aig.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace rcarb::aig {
+
+Aig::Aig() {
+  nodes_.push_back({});  // node 0: constant false
+}
+
+Lit Aig::add_input(std::string name) {
+  RCARB_CHECK(num_ands() == 0,
+              "all inputs must be added before any AND node");
+  nodes_.push_back({});
+  input_names_.push_back(std::move(name));
+  return make_lit(static_cast<std::uint32_t>(nodes_.size() - 1), false);
+}
+
+void Aig::add_output(std::string name, Lit driver) {
+  RCARB_CHECK(lit_node(driver) < nodes_.size(), "output driver out of range");
+  outputs_.push_back({std::move(name), driver});
+}
+
+Lit Aig::land(Lit a, Lit b) {
+  RCARB_CHECK(lit_node(a) < nodes_.size() && lit_node(b) < nodes_.size(),
+              "AND fanin out of range");
+  // Constant folding and trivial cases.
+  if (a == kConstFalse || b == kConstFalse) return kConstFalse;
+  if (a == kConstTrue) return b;
+  if (b == kConstTrue) return a;
+  if (a == b) return a;
+  if (a == lit_not(b)) return kConstFalse;
+  // Canonical order for hashing.
+  if (a > b) std::swap(a, b);
+  const AndKey key{a, b};
+  if (auto it = strash_.find(key); it != strash_.end())
+    return make_lit(it->second, false);
+  nodes_.push_back({a, b});
+  const auto node = static_cast<std::uint32_t>(nodes_.size() - 1);
+  strash_.emplace(key, node);
+  return make_lit(node, false);
+}
+
+Lit Aig::lxor(Lit a, Lit b) {
+  // a^b = (a & ~b) | (~a & b)
+  return lor(land(a, lit_not(b)), land(lit_not(a), b));
+}
+
+Lit Aig::mux(Lit s, Lit t, Lit e) {
+  return lor(land(s, t), land(lit_not(s), e));
+}
+
+Lit Aig::land_many(std::vector<Lit> lits) {
+  if (lits.empty()) return kConstTrue;
+  while (lits.size() > 1) {
+    std::vector<Lit> next;
+    next.reserve((lits.size() + 1) / 2);
+    for (std::size_t i = 0; i + 1 < lits.size(); i += 2)
+      next.push_back(land(lits[i], lits[i + 1]));
+    if (lits.size() % 2 != 0) next.push_back(lits.back());
+    lits = std::move(next);
+  }
+  return lits.front();
+}
+
+Lit Aig::lor_many(std::vector<Lit> lits) {
+  for (Lit& l : lits) l = lit_not(l);
+  return lit_not(land_many(std::move(lits)));
+}
+
+Lit Aig::from_cover(const logic::Cover& cover,
+                    const std::vector<Lit>& inputs) {
+  RCARB_CHECK(static_cast<int>(inputs.size()) >= cover.num_vars(),
+              "not enough input literals for the cover");
+  std::vector<Lit> terms;
+  terms.reserve(cover.size());
+  for (const logic::Cube& cube : cover.cubes()) {
+    // Fold literals as a left-leaning chain in ascending variable order:
+    // cubes sharing a literal prefix then share AIG structure through the
+    // strash table (priority-scan guards share long ~R prefixes).
+    Lit term = kConstTrue;
+    for (int v = 0; v < cover.num_vars(); ++v) {
+      if (!cube.has_var(v)) continue;
+      const Lit in = inputs[static_cast<std::size_t>(v)];
+      term = land(term, cube.polarity(v) ? in : lit_not(in));
+    }
+    terms.push_back(term);
+  }
+  return lor_many(std::move(terms));
+}
+
+std::size_t Aig::input_ordinal(std::uint32_t node) const {
+  RCARB_CHECK(is_input(node), "input_ordinal of a non-input node");
+  return node - 1;
+}
+
+Lit Aig::fanin0(std::uint32_t node) const {
+  RCARB_CHECK(is_and(node), "fanin of a non-AND node");
+  return nodes_[node].fanin0;
+}
+
+Lit Aig::fanin1(std::uint32_t node) const {
+  RCARB_CHECK(is_and(node), "fanin of a non-AND node");
+  return nodes_[node].fanin1;
+}
+
+std::vector<int> Aig::levels() const {
+  std::vector<int> level(nodes_.size(), 0);
+  for (std::uint32_t n = 0; n < nodes_.size(); ++n) {
+    if (!is_and(n)) continue;
+    level[n] = 1 + std::max(level[lit_node(nodes_[n].fanin0)],
+                            level[lit_node(nodes_[n].fanin1)]);
+  }
+  return level;
+}
+
+int Aig::depth() const {
+  const auto level = levels();
+  int d = 0;
+  for (const Output& o : outputs_) d = std::max(d, level[lit_node(o.driver)]);
+  return d;
+}
+
+std::vector<std::uint64_t> Aig::simulate(
+    const std::vector<std::uint64_t>& input_patterns) const {
+  RCARB_CHECK(input_patterns.size() == input_names_.size(),
+              "pattern count must equal input count");
+  std::vector<std::uint64_t> value(nodes_.size(), 0);
+  for (std::size_t i = 0; i < input_patterns.size(); ++i)
+    value[i + 1] = input_patterns[i];
+  auto lit_value = [&](Lit l) {
+    const std::uint64_t v = value[lit_node(l)];
+    return lit_compl(l) ? ~v : v;
+  };
+  for (std::uint32_t n = 0; n < nodes_.size(); ++n) {
+    if (!is_and(n)) continue;
+    value[n] = lit_value(nodes_[n].fanin0) & lit_value(nodes_[n].fanin1);
+  }
+  return value;
+}
+
+bool Aig::eval_output(std::size_t output_index,
+                      std::uint64_t assignment) const {
+  RCARB_CHECK(output_index < outputs_.size(), "output index out of range");
+  std::vector<std::uint64_t> patterns(input_names_.size(), 0);
+  for (std::size_t i = 0; i < patterns.size(); ++i)
+    patterns[i] = ((assignment >> i) & 1u) ? ~0ull : 0ull;
+  const auto value = simulate(patterns);
+  const Lit d = outputs_[output_index].driver;
+  const std::uint64_t v = value[lit_node(d)];
+  return ((lit_compl(d) ? ~v : v) & 1u) != 0;
+}
+
+}  // namespace rcarb::aig

@@ -1,0 +1,132 @@
+// And-inverter graphs with structural hashing.
+//
+// The combinational core of every synthesized circuit is represented as an
+// AIG: two-input AND nodes plus complemented edges.  Construction folds
+// constants and hashes structurally, so logically identical subtrees are
+// shared.  The LUT mapper (src/synth) consumes this graph.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "logic/cover.hpp"
+
+namespace rcarb::aig {
+
+/// A literal is (node_index << 1) | complemented.
+using Lit = std::uint32_t;
+
+inline constexpr Lit kConstFalse = 0;  // node 0 plain
+inline constexpr Lit kConstTrue = 1;   // node 0 complemented
+
+[[nodiscard]] inline std::uint32_t lit_node(Lit l) { return l >> 1; }
+[[nodiscard]] inline bool lit_compl(Lit l) { return l & 1u; }
+[[nodiscard]] inline Lit make_lit(std::uint32_t node, bool compl_) {
+  return (node << 1) | (compl_ ? 1u : 0u);
+}
+[[nodiscard]] inline Lit lit_not(Lit l) { return l ^ 1u; }
+
+/// An and-inverter graph.  Node 0 is the constant-false node; nodes
+/// [1, 1+num_inputs) are primary inputs; the rest are AND nodes.
+class Aig {
+ public:
+  Aig();
+
+  /// Adds a primary input and returns its (plain) literal.
+  Lit add_input(std::string name);
+
+  /// Registers a named primary output.
+  void add_output(std::string name, Lit driver);
+
+  /// Constant-folding, structurally hashed AND.
+  [[nodiscard]] Lit land(Lit a, Lit b);
+  [[nodiscard]] Lit lor(Lit a, Lit b) {
+    return lit_not(land(lit_not(a), lit_not(b)));
+  }
+  [[nodiscard]] Lit lxor(Lit a, Lit b);
+  /// if s then t else e.
+  [[nodiscard]] Lit mux(Lit s, Lit t, Lit e);
+
+  /// AND / OR over a list (balanced tree for shallow depth).
+  [[nodiscard]] Lit land_many(std::vector<Lit> lits);
+  [[nodiscard]] Lit lor_many(std::vector<Lit> lits);
+
+  /// Builds a cover (SOP): inputs[i] is the literal for cover variable i.
+  [[nodiscard]] Lit from_cover(const logic::Cover& cover,
+                               const std::vector<Lit>& inputs);
+
+  [[nodiscard]] std::size_t num_nodes() const { return nodes_.size(); }
+  [[nodiscard]] std::size_t num_inputs() const { return input_names_.size(); }
+  [[nodiscard]] std::size_t num_ands() const {
+    return nodes_.size() - 1 - input_names_.size();
+  }
+  [[nodiscard]] std::size_t num_outputs() const { return outputs_.size(); }
+
+  [[nodiscard]] bool is_input(std::uint32_t node) const {
+    return node >= 1 && node < 1 + input_names_.size();
+  }
+  [[nodiscard]] bool is_and(std::uint32_t node) const {
+    return node >= 1 + input_names_.size() && node < nodes_.size();
+  }
+  /// Input ordinal of an input node.
+  [[nodiscard]] std::size_t input_ordinal(std::uint32_t node) const;
+
+  /// Fanins of an AND node.
+  [[nodiscard]] Lit fanin0(std::uint32_t node) const;
+  [[nodiscard]] Lit fanin1(std::uint32_t node) const;
+
+  [[nodiscard]] const std::string& input_name(std::size_t ordinal) const {
+    return input_names_[ordinal];
+  }
+  [[nodiscard]] const std::string& output_name(std::size_t i) const {
+    return outputs_[i].name;
+  }
+  [[nodiscard]] Lit output_driver(std::size_t i) const {
+    return outputs_[i].driver;
+  }
+
+  /// Logic level (AND depth) of every node; inputs/constant are level 0.
+  [[nodiscard]] std::vector<int> levels() const;
+
+  /// Maximum output level.
+  [[nodiscard]] int depth() const;
+
+  /// 64-way parallel simulation: pattern word per input, returns the pattern
+  /// word of every node (indexed by node id).
+  [[nodiscard]] std::vector<std::uint64_t> simulate(
+      const std::vector<std::uint64_t>& input_patterns) const;
+
+  /// Evaluates one output on a single assignment (bit i = input i).
+  [[nodiscard]] bool eval_output(std::size_t output_index,
+                                 std::uint64_t assignment) const;
+
+ private:
+  struct Node {
+    Lit fanin0 = 0;
+    Lit fanin1 = 0;
+  };
+  struct Output {
+    std::string name;
+    Lit driver;
+  };
+  struct AndKey {
+    Lit a, b;
+    bool operator==(const AndKey&) const = default;
+  };
+  struct AndKeyHash {
+    std::size_t operator()(const AndKey& k) const {
+      return static_cast<std::size_t>(
+          (static_cast<std::uint64_t>(k.a) << 32 | k.b) *
+          0x9e3779b97f4a7c15ull >> 17);
+    }
+  };
+
+  std::vector<Node> nodes_;
+  std::vector<std::string> input_names_;
+  std::vector<Output> outputs_;
+  std::unordered_map<AndKey, std::uint32_t, AndKeyHash> strash_;
+};
+
+}  // namespace rcarb::aig

@@ -1,0 +1,152 @@
+#include "bdd/bdd.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/check.hpp"
+
+namespace rcarb::bdd {
+
+Manager::Manager(int num_vars) : num_vars_(num_vars) {
+  RCARB_CHECK(num_vars >= 0 && num_vars <= logic::kMaxVars,
+              "BDD variable count out of range");
+  // Terminals branch on the sentinel level num_vars_.
+  nodes_.push_back({num_vars_, kFalse, kFalse});  // 0 = FALSE
+  nodes_.push_back({num_vars_, kTrue, kTrue});    // 1 = TRUE
+}
+
+Ref Manager::var(int v) {
+  RCARB_CHECK(v >= 0 && v < num_vars_, "BDD variable out of range");
+  return make_node(v, kFalse, kTrue);
+}
+
+Ref Manager::make_node(int var, Ref lo, Ref hi) {
+  if (lo == hi) return lo;  // reduction rule
+  const NodeKey key{var, lo, hi};
+  auto [it, inserted] = unique_.try_emplace(key, 0);
+  if (!inserted) return it->second;
+  nodes_.push_back({var, lo, hi});
+  const Ref ref = static_cast<Ref>(nodes_.size() - 1);
+  it->second = ref;
+  return ref;
+}
+
+Ref Manager::ite(Ref f, Ref g, Ref h) {
+  // Terminal cases.
+  if (f == kTrue) return g;
+  if (f == kFalse) return h;
+  if (g == h) return g;
+  if (g == kTrue && h == kFalse) return f;
+
+  const IteKey key{f, g, h};
+  if (auto it = ite_cache_.find(key); it != ite_cache_.end())
+    return it->second;
+
+  const int v =
+      std::min({top_var(f), top_var(g), top_var(h)});
+  auto cof = [&](Ref r, bool hi) {
+    if (top_var(r) != v) return r;
+    return hi ? nodes_[r].hi : nodes_[r].lo;
+  };
+  const Ref lo = ite(cof(f, false), cof(g, false), cof(h, false));
+  const Ref hi = ite(cof(f, true), cof(g, true), cof(h, true));
+  const Ref result = make_node(v, lo, hi);
+  ite_cache_.emplace(key, result);
+  return result;
+}
+
+Ref Manager::restrict_var(Ref f, int v, bool value) {
+  RCARB_CHECK(v >= 0 && v < num_vars_, "BDD variable out of range");
+  if (f <= kTrue) return f;
+  const Node n = nodes_[f];
+  if (n.var > v) return f;
+  if (n.var == v) return value ? n.hi : n.lo;
+  const Ref lo = restrict_var(n.lo, v, value);
+  const Ref hi = restrict_var(n.hi, v, value);
+  return make_node(n.var, lo, hi);
+}
+
+Ref Manager::from_cube(const logic::Cube& cube) {
+  Ref acc = kTrue;
+  // Build bottom-up (highest variable first) for linear node count.
+  for (int v = num_vars_; v-- > 0;) {
+    if (!cube.has_var(v)) continue;
+    acc = cube.polarity(v) ? make_node(v, kFalse, acc)
+                           : make_node(v, acc, kFalse);
+  }
+  return acc;
+}
+
+Ref Manager::from_cover(const logic::Cover& cover) {
+  RCARB_CHECK(cover.num_vars() <= num_vars_,
+              "cover wider than the BDD manager");
+  Ref acc = kFalse;
+  for (const logic::Cube& c : cover.cubes()) acc = lor(acc, from_cube(c));
+  return acc;
+}
+
+double Manager::sat_count(Ref f) {
+  std::unordered_map<Ref, double> memo;
+  // counts assignments over variables >= node's var; scale at the end.
+  auto rec = [&](auto&& self, Ref r) -> double {
+    if (r == kFalse) return 0.0;
+    if (r == kTrue) return 1.0;
+    if (auto it = memo.find(r); it != memo.end()) return it->second;
+    const Node& n = nodes_[r];
+    const double lo = self(self, n.lo) *
+                      std::exp2(nodes_[n.lo].var - n.var - 1);
+    const double hi = self(self, n.hi) *
+                      std::exp2(nodes_[n.hi].var - n.var - 1);
+    const double total = lo + hi;
+    memo.emplace(r, total);
+    return total;
+  };
+  return rec(rec, f) * std::exp2(top_var(f));
+}
+
+bool Manager::eval(Ref f, std::uint64_t assignment) const {
+  Ref r = f;
+  while (r > kTrue) {
+    const Node& n = nodes_[r];
+    r = ((assignment >> n.var) & 1u) ? n.hi : n.lo;
+  }
+  return r == kTrue;
+}
+
+std::uint64_t Manager::any_sat(Ref f) const {
+  RCARB_CHECK(f != kFalse, "any_sat of the empty function");
+  std::uint64_t assignment = 0;
+  Ref r = f;
+  while (r > kTrue) {
+    const Node& n = nodes_[r];
+    if (n.hi != kFalse) {
+      assignment |= 1ull << n.var;
+      r = n.hi;
+    } else {
+      r = n.lo;
+    }
+  }
+  return assignment;
+}
+
+std::vector<int> Manager::support(Ref f) const {
+  std::vector<bool> seen_node(nodes_.size(), false);
+  std::vector<bool> in_support(static_cast<std::size_t>(num_vars_), false);
+  std::vector<Ref> stack{f};
+  while (!stack.empty()) {
+    const Ref r = stack.back();
+    stack.pop_back();
+    if (r <= kTrue || seen_node[r]) continue;
+    seen_node[r] = true;
+    const Node& n = nodes_[r];
+    in_support[static_cast<std::size_t>(n.var)] = true;
+    stack.push_back(n.lo);
+    stack.push_back(n.hi);
+  }
+  std::vector<int> vars;
+  for (int v = 0; v < num_vars_; ++v)
+    if (in_support[static_cast<std::size_t>(v)]) vars.push_back(v);
+  return vars;
+}
+
+}  // namespace rcarb::bdd

@@ -1,0 +1,109 @@
+// Reduced ordered binary decision diagrams.
+//
+// A deliberately small ROBDD package (unique table + memoized ITE) used to
+// formally check that synthesized arbiter netlists implement the behavioral
+// FSM, and to verify the two-level minimizer.  Variable order is the natural
+// index order; the functions we check (priority chains) are BDD-friendly, so
+// no reordering is implemented.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "logic/cover.hpp"
+
+namespace rcarb::bdd {
+
+/// Handle to a BDD node owned by a Manager.  Value 0 is the FALSE terminal
+/// and 1 the TRUE terminal.
+using Ref = std::uint32_t;
+
+inline constexpr Ref kFalse = 0;
+inline constexpr Ref kTrue = 1;
+
+/// Owns all nodes; all Refs are relative to one Manager.
+class Manager {
+ public:
+  /// num_vars fixes the variable universe (order = index order).
+  explicit Manager(int num_vars);
+
+  [[nodiscard]] int num_vars() const { return num_vars_; }
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+
+  /// The projection function of variable v.
+  [[nodiscard]] Ref var(int v);
+
+  [[nodiscard]] Ref ite(Ref f, Ref g, Ref h);
+  [[nodiscard]] Ref land(Ref a, Ref b) { return ite(a, b, kFalse); }
+  [[nodiscard]] Ref lor(Ref a, Ref b) { return ite(a, kTrue, b); }
+  [[nodiscard]] Ref lxor(Ref a, Ref b) { return ite(a, lnot(b), b); }
+  [[nodiscard]] Ref lnot(Ref a) { return ite(a, kFalse, kTrue); }
+
+  /// f with variable v fixed to `value`.
+  [[nodiscard]] Ref restrict_var(Ref f, int v, bool value);
+
+  /// Builds the BDD of a sum-of-products cover.
+  [[nodiscard]] Ref from_cover(const logic::Cover& cover);
+
+  /// Builds the BDD of a single cube.
+  [[nodiscard]] Ref from_cube(const logic::Cube& cube);
+
+  /// Number of satisfying assignments over the full variable universe.
+  [[nodiscard]] double sat_count(Ref f);
+
+  /// Evaluates f on a full assignment (bit v of `assignment` is variable v).
+  [[nodiscard]] bool eval(Ref f, std::uint64_t assignment) const;
+
+  /// One satisfying assignment; requires f != kFalse.
+  [[nodiscard]] std::uint64_t any_sat(Ref f) const;
+
+  /// Variables in the true support of f.
+  [[nodiscard]] std::vector<int> support(Ref f) const;
+
+ private:
+  struct Node {
+    int var;  // branching variable; terminals use num_vars_
+    Ref lo;   // cofactor var=0
+    Ref hi;   // cofactor var=1
+  };
+
+  struct NodeKey {
+    int var;
+    Ref lo;
+    Ref hi;
+    bool operator==(const NodeKey&) const = default;
+  };
+  struct NodeKeyHash {
+    std::size_t operator()(const NodeKey& k) const {
+      std::uint64_t h =
+          static_cast<std::uint64_t>(static_cast<unsigned>(k.var)) *
+          UINT64_C(0x9e3779b97f4a7c15);
+      h ^= (static_cast<std::uint64_t>(k.lo) << 32) | k.hi;
+      h *= 0xbf58476d1ce4e5b9ull;
+      return static_cast<std::size_t>(h ^ (h >> 29));
+    }
+  };
+  struct IteKey {
+    Ref f, g, h;
+    bool operator==(const IteKey&) const = default;
+  };
+  struct IteKeyHash {
+    std::size_t operator()(const IteKey& k) const {
+      std::uint64_t h = k.f;
+      h = h * 0x100000001b3ull ^ k.g;
+      h = h * 0x100000001b3ull ^ k.h;
+      return static_cast<std::size_t>(h);
+    }
+  };
+
+  Ref make_node(int var, Ref lo, Ref hi);
+  [[nodiscard]] int top_var(Ref f) const { return nodes_[f].var; }
+
+  int num_vars_;
+  std::vector<Node> nodes_;
+  std::unordered_map<NodeKey, Ref, NodeKeyHash> unique_;
+  std::unordered_map<IteKey, Ref, IteKeyHash> ite_cache_;
+};
+
+}  // namespace rcarb::bdd

@@ -1,0 +1,94 @@
+// Reconfigurable-computer board models.
+//
+// SPARCS's view of an RC (paper Sec. 5): multiple FPGAs and memory modules
+// connected through static links and/or a programmable crossbar.  A Board is
+// pure data — processing elements with CLB capacity and pin budgets,
+// physical memory banks attached to PEs, and physical channels (fixed
+// neighbor links plus crossbar ports).  The partitioners consume this model;
+// retargeting a design is just passing a different Board (the paper's
+// portability claim).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rcarb::board {
+
+using PeId = std::size_t;
+using BankId = std::size_t;
+using LinkId = std::size_t;
+
+/// A processing element (one FPGA).
+struct Pe {
+  std::string name;
+  std::size_t clb_capacity = 0;  // logic capacity in CLBs
+  int crossbar_pins = 0;         // width of this PE's crossbar port (0: none)
+};
+
+/// A physical memory bank.
+struct Bank {
+  std::string name;
+  std::size_t bytes = 0;
+  PeId attached_pe = 0;  // the PE whose pins reach this bank directly
+};
+
+/// A fixed inter-PE link (set of dedicated pins between two PEs).
+struct Link {
+  std::string name;
+  PeId pe_a = 0;
+  PeId pe_b = 0;
+  int width_bits = 0;
+};
+
+/// An RC board.
+class Board {
+ public:
+  explicit Board(std::string name) : name_(std::move(name)) {}
+
+  PeId add_pe(std::string name, std::size_t clb_capacity, int crossbar_pins);
+  BankId add_bank(std::string name, std::size_t bytes, PeId attached_pe);
+  LinkId add_link(std::string name, PeId a, PeId b, int width_bits);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] std::size_t num_pes() const { return pes_.size(); }
+  [[nodiscard]] std::size_t num_banks() const { return banks_.size(); }
+  [[nodiscard]] std::size_t num_links() const { return links_.size(); }
+
+  [[nodiscard]] const Pe& pe(PeId p) const;
+  [[nodiscard]] const Bank& bank(BankId b) const;
+  [[nodiscard]] const Link& link(LinkId l) const;
+  [[nodiscard]] const std::vector<Bank>& banks() const { return banks_; }
+  [[nodiscard]] const std::vector<Link>& links() const { return links_; }
+
+  /// Banks attached to a PE.
+  [[nodiscard]] std::vector<BankId> banks_of(PeId p) const;
+  /// Links touching a PE.
+  [[nodiscard]] std::vector<LinkId> links_of(PeId p) const;
+  /// Direct links between two PEs.
+  [[nodiscard]] std::vector<LinkId> links_between(PeId a, PeId b) const;
+
+  [[nodiscard]] std::size_t total_clb_capacity() const;
+  [[nodiscard]] std::size_t total_memory_bytes() const;
+  /// True if any crossbar port pair can connect the two PEs.
+  [[nodiscard]] bool crossbar_reachable(PeId a, PeId b) const;
+
+ private:
+  std::string name_;
+  std::vector<Pe> pes_;
+  std::vector<Bank> banks_;
+  std::vector<Link> links_;
+};
+
+/// The Annapolis Wildforce-like board of the paper's Sec. 5: four XC4013e-3
+/// PEs (576 CLBs each), one 32-KByte local SRAM per PE, 36-pin neighbor
+/// links in a chain, and a 36-bit programmable-crossbar port per PE.
+[[nodiscard]] Board wildforce();
+
+/// A 2-PE starter board with a single shared link (used by examples/tests).
+[[nodiscard]] Board mini2();
+
+/// An 8-PE mesh-ish board with larger FPGAs (retargeting demonstrations).
+[[nodiscard]] Board mesh8();
+
+}  // namespace rcarb::board

@@ -1,0 +1,92 @@
+#include "core/generator.hpp"
+
+#include "core/policy.hpp"
+#include "core/rr_fsm.hpp"
+#include "core/structural.hpp"
+#include "support/check.hpp"
+
+namespace rcarb::core {
+
+const char* to_string(GeneratorMode m) {
+  switch (m) {
+    case GeneratorMode::kStructural:
+      return "structural";
+    case GeneratorMode::kBehavioral:
+      return "behavioral";
+  }
+  return "?";
+}
+
+GeneratedArbiter generate_round_robin(int n, synth::FlowKind flow,
+                                      synth::Encoding encoding,
+                                      const timing::DelayModel& model,
+                                      GeneratorMode mode) {
+  GeneratedArbiter out;
+  // The paper notes Synplify applied one-hot no matter what the VHDL asked.
+  const synth::Encoding used = flow == synth::FlowKind::kSynplifyLike
+                                   ? synth::Encoding::kOneHot
+                                   : encoding;
+  if (mode == GeneratorMode::kStructural) {
+    const synth::Fsm fsm = build_round_robin_fsm(n);
+    const synth::StateCodes codes = synth::encode_states(fsm, used);
+    const aig::Aig comb = build_round_robin_aig(n, codes);
+    synth::MapOptions map_options;
+    map_options.objective = flow == synth::FlowKind::kSynplifyLike
+                                ? synth::MapObjective::kArea
+                                : synth::MapObjective::kDepth;
+    out.synth = synth::finish_machine_synthesis(
+        comb, /*num_inputs=*/n, codes.num_bits,
+        codes.code[fsm.reset_state()], map_options);
+    out.synth.used_encoding = used;
+  } else {
+    synth::FlowOptions options;
+    options.kind = flow;
+    options.encoding = encoding;
+    out.synth = synth::synthesize_fsm(build_round_robin_fsm(n), options);
+  }
+  out.timing = timing::analyze(out.synth.netlist, model);
+
+  out.chars.n = n;
+  out.chars.encoding = out.synth.used_encoding;
+  out.chars.flow = flow;
+  out.chars.clbs = out.synth.clb.clbs;
+  out.chars.luts = out.synth.clb.luts;
+  out.chars.ffs = out.synth.clb.ffs;
+  out.chars.lut_depth = out.synth.map.depth;
+  out.chars.fmax_mhz = out.timing.fmax_mhz;
+  out.chars.aig_ands = out.synth.aig_ands;
+  out.chars.overhead_cycles = kProtocolOverheadCycles;
+  return out;
+}
+
+GeneratedArbiter characterize_fsm(const synth::Fsm& fsm, int n,
+                                  synth::FlowKind flow,
+                                  synth::Encoding encoding,
+                                  const timing::DelayModel& model) {
+  GeneratedArbiter out;
+  synth::FlowOptions options;
+  options.kind = flow;
+  options.encoding = encoding;
+  out.synth = synth::synthesize_fsm(fsm, options);
+  out.timing = timing::analyze(out.synth.netlist, model);
+  out.chars.n = n;
+  out.chars.encoding = out.synth.used_encoding;
+  out.chars.flow = flow;
+  out.chars.clbs = out.synth.clb.clbs;
+  out.chars.luts = out.synth.clb.luts;
+  out.chars.ffs = out.synth.clb.ffs;
+  out.chars.lut_depth = out.synth.map.depth;
+  out.chars.fmax_mhz = out.timing.fmax_mhz;
+  out.chars.aig_ands = out.synth.aig_ands;
+  out.chars.overhead_cycles = kProtocolOverheadCycles;
+  return out;
+}
+
+const ArbiterCharacteristics& PrecharCache::get(int n) {
+  if (auto it = cache_.find(n); it != cache_.end()) return it->second;
+  GeneratedArbiter g = generate_round_robin(n, flow_, encoding_, model_);
+  auto [it, inserted] = cache_.emplace(n, g.chars);
+  return it->second;
+}
+
+}  // namespace rcarb::core

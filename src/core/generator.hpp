@@ -1,0 +1,86 @@
+// Arbiter generation and pre-characterization.
+//
+// Reproduces the paper's Sec. 4.2/4.3 methodology: for each N the round-
+// robin FSM is generated, synthesized under a chosen flow and encoding, and
+// characterized for area (CLBs) and maximum clock speed (MHz).  The
+// partitioners rely on the PrecharCache — "arbiters are pre-characterized
+// for area and speed thus making the partitioners' estimation accurate."
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <tuple>
+
+#include "synth/flow.hpp"
+#include "timing/delay_model.hpp"
+#include "timing/sta.hpp"
+
+namespace rcarb::core {
+
+/// Pre-characterized metrics of one generated arbiter.
+struct ArbiterCharacteristics {
+  int n = 0;
+  synth::Encoding encoding = synth::Encoding::kOneHot;
+  synth::FlowKind flow = synth::FlowKind::kExpressLike;
+  std::size_t clbs = 0;
+  std::size_t luts = 0;
+  std::size_t ffs = 0;
+  int lut_depth = 0;
+  double fmax_mhz = 0.0;
+  std::size_t aig_ands = 0;
+  /// Fixed per-burst protocol cost (Fig. 8): known before synthesis.
+  int overhead_cycles = 0;
+};
+
+/// A fully generated arbiter: netlist plus its characterization.
+struct GeneratedArbiter {
+  synth::SynthResult synth;
+  timing::TimingReport timing;
+  ArbiterCharacteristics chars;
+};
+
+/// How the arbiter RTL is produced before mapping.
+enum class GeneratorMode : std::uint8_t {
+  /// Factored rotating-priority-chain structure (the generator's default;
+  /// what a multi-level-optimizing tool derives from the Fig. 5 FSM).
+  kStructural,
+  /// Generic two-level FSM synthesis of the Fig. 5 case statement
+  /// (exercises the full espresso/AIG/mapping substrate; larger results).
+  kBehavioral,
+};
+
+[[nodiscard]] const char* to_string(GeneratorMode m);
+
+/// Generates and characterizes an N-input round-robin arbiter.
+[[nodiscard]] GeneratedArbiter generate_round_robin(
+    int n, synth::FlowKind flow, synth::Encoding encoding,
+    const timing::DelayModel& model = timing::xc4000e_speed3(),
+    GeneratorMode mode = GeneratorMode::kStructural);
+
+/// Synthesizes and characterizes an arbitrary arbiter FSM (used for the
+/// Sec. 4 policy comparison; the FSM's inputs are its request lines).
+[[nodiscard]] GeneratedArbiter characterize_fsm(
+    const synth::Fsm& fsm, int n, synth::FlowKind flow,
+    synth::Encoding encoding,
+    const timing::DelayModel& model = timing::xc4000e_speed3());
+
+/// Memoizing cache over (n, flow, encoding) used by partitioning/estimation.
+class PrecharCache {
+ public:
+  explicit PrecharCache(
+      synth::FlowKind flow = synth::FlowKind::kExpressLike,
+      synth::Encoding encoding = synth::Encoding::kOneHot,
+      timing::DelayModel model = timing::xc4000e_speed3())
+      : flow_(flow), encoding_(encoding), model_(model) {}
+
+  /// Characteristics of the N-input arbiter (synthesizes on first use).
+  const ArbiterCharacteristics& get(int n);
+
+ private:
+  synth::FlowKind flow_;
+  synth::Encoding encoding_;
+  timing::DelayModel model_;
+  std::map<int, ArbiterCharacteristics> cache_;
+};
+
+}  // namespace rcarb::core

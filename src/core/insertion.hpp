@@ -1,0 +1,115 @@
+// Automatic arbiter insertion (paper Secs. 2, 4.3, 5).
+//
+// Input: a taskgraph plus a resource Binding (tasks->PEs, logical segments->
+// physical banks, logical channels->physical channels) produced by the
+// partitioners.  Output: a rewritten taskgraph whose programs follow the
+// Fig. 8 protocol (acquire / accesses / release, re-requesting every M
+// accesses) and an ArbitrationPlan listing the arbiter instances and the
+// shared-line merges.
+//
+// The Sec. 5 optimization is implemented as elision: tasks that are
+// serialized by control dependencies against every other accessor of a
+// resource are excluded from that resource's arbiter — they only need safe
+// line defaults.  If serialization covers all accessors, no arbiter is
+// inserted at all.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/line_merge.hpp"
+#include "core/policy.hpp"
+#include "taskgraph/taskgraph.hpp"
+
+namespace rcarb::core {
+
+/// Where everything lives physically.  Produced by src/partition.
+struct Binding {
+  std::vector<int> task_to_pe;       // per TaskId
+  std::vector<int> segment_to_bank;  // per SegmentId; -1 = unmapped
+  std::vector<int> channel_to_phys;  // per ChannelId; -1 = direct/intra-PE
+  std::size_t num_banks = 0;
+  std::size_t num_phys_channels = 0;
+  std::vector<std::string> bank_names;          // size num_banks
+  std::vector<std::string> phys_channel_names;  // size num_phys_channels
+
+  /// Unified shared-resource ids: banks first, then physical channels.
+  [[nodiscard]] int bank_resource(int bank) const { return bank; }
+  [[nodiscard]] int channel_resource(int phys) const {
+    return static_cast<int>(num_banks) + phys;
+  }
+  [[nodiscard]] std::size_t num_resources() const {
+    return num_banks + num_phys_channels;
+  }
+  [[nodiscard]] bool resource_is_bank(int resource) const {
+    return resource >= 0 && resource < static_cast<int>(num_banks);
+  }
+  [[nodiscard]] const std::string& resource_name(int resource) const;
+};
+
+/// One arbiter instance guarding one physical resource.
+struct ArbiterInstance {
+  int resource = -1;
+  std::string resource_name;
+  std::vector<tg::TaskId> ports;  // request-line order
+  Policy policy = Policy::kRoundRobin;
+
+  /// Request index of a task, or -1 if the task has no port.
+  [[nodiscard]] int port_of(tg::TaskId t) const;
+};
+
+struct InsertionOptions {
+  /// Fig. 8's M: a task re-requests after this many consecutive accesses so
+  /// no peer waits unboundedly.
+  int batch_m = 2;
+  /// Sec. 5 optimization: tasks serialized by control dependences never
+  /// contend, so a resource's accessors split into concurrency components
+  /// — one (smaller) arbiter per component, none for singletons.  Off by
+  /// default: the paper's main flow "assumed all tasks execute in
+  /// parallel" and inserted one arbiter over all accessors.
+  bool elide_serialized = false;
+  Policy policy = Policy::kRoundRobin;
+  /// A compute op longer than this many cycles ends a held burst (holding a
+  /// grant across long computation starves peers).
+  std::int64_t hold_compute_limit = 8;
+};
+
+struct InsertionStats {
+  std::size_t arbiters = 0;
+  std::size_t arbiter_ports = 0;
+  std::size_t elided_resources = 0;  // shared but fully serialized
+  std::size_t elided_ports = 0;      // accessors excluded by serialization
+  std::size_t wrapped_bursts = 0;    // acquire/release pairs inserted
+  std::size_t modified_tasks = 0;
+};
+
+/// The complete arbitration plan for one binding.  A resource may carry
+/// several arbiters after elision (one per concurrency component).
+struct ArbitrationPlan {
+  std::vector<ArbiterInstance> arbiters;
+  std::vector<LineMergePlan> line_merges;
+  std::vector<std::vector<int>> arbiters_of_resource;  // per resource id
+  InsertionStats stats;
+
+  /// The arbiter index and request-port of task `t` on `resource`, or
+  /// {-1, -1} when the task's accesses are unarbitrated there.
+  [[nodiscard]] std::pair<int, int> port_lookup(int resource,
+                                                tg::TaskId t) const;
+};
+
+struct InsertionResult {
+  tg::TaskGraph graph;  // rewritten copy (acquire/release inserted)
+  ArbitrationPlan plan;
+};
+
+/// Runs the full pass.  The input graph must validate; the binding must
+/// cover every task/segment/channel the programs touch.  `active_tasks`
+/// restricts contention analysis and rewriting to one temporal partition's
+/// tasks; nullptr means the whole graph executes together.
+[[nodiscard]] InsertionResult insert_arbitration(
+    const tg::TaskGraph& graph, const Binding& binding,
+    const InsertionOptions& options,
+    const std::vector<tg::TaskId>* active_tasks = nullptr);
+
+}  // namespace rcarb::core

@@ -1,0 +1,97 @@
+#include "core/line_merge.hpp"
+
+#include "support/check.hpp"
+
+namespace rcarb::core {
+
+const char* to_string(LineClass c) {
+  switch (c) {
+    case LineClass::kAddress: return "address";
+    case LineClass::kData: return "data";
+    case LineClass::kActiveHighControl: return "active-high-control";
+    case LineClass::kActiveLowControl: return "active-low-control";
+  }
+  return "?";
+}
+
+const char* to_string(MergeStrategy s) {
+  switch (s) {
+    case MergeStrategy::kTristate: return "tristate";
+    case MergeStrategy::kOrMerge: return "or-merge";
+    case MergeStrategy::kAndMerge: return "and-merge";
+  }
+  return "?";
+}
+
+MergeStrategy strategy_for(LineClass c) {
+  switch (c) {
+    case LineClass::kAddress:
+    case LineClass::kData:
+      return MergeStrategy::kTristate;
+    case LineClass::kActiveHighControl:
+      return MergeStrategy::kOrMerge;
+    case LineClass::kActiveLowControl:
+      return MergeStrategy::kAndMerge;
+  }
+  return MergeStrategy::kTristate;
+}
+
+Resolved resolve_line(MergeStrategy strategy,
+                      const std::vector<std::optional<bool>>& drivers) {
+  Resolved r;
+  switch (strategy) {
+    case MergeStrategy::kTristate: {
+      std::size_t driving = 0;
+      for (const auto& d : drivers) {
+        if (!d.has_value()) continue;
+        ++driving;
+        r.value = *d;
+      }
+      r.is_z = driving == 0;
+      r.conflict = driving > 1;
+      return r;
+    }
+    case MergeStrategy::kOrMerge: {
+      // Idle drivers contribute 0; the line is never floating.
+      r.value = false;
+      for (const auto& d : drivers)
+        if (d.has_value() && *d) r.value = true;
+      return r;
+    }
+    case MergeStrategy::kAndMerge: {
+      // Idle drivers contribute 1.
+      r.value = true;
+      for (const auto& d : drivers)
+        if (d.has_value() && !*d) r.value = false;
+      return r;
+    }
+  }
+  RCARB_CHECK(false, "unknown merge strategy");
+  return r;
+}
+
+std::vector<LineMergePlan> plan_memory_lines(const std::string& bank_name,
+                                             std::size_t num_tasks) {
+  RCARB_CHECK(num_tasks >= 2, "line merging needs at least two drivers");
+  return {
+      {bank_name, LineClass::kAddress, strategy_for(LineClass::kAddress),
+       num_tasks},
+      {bank_name, LineClass::kData, strategy_for(LineClass::kData), num_tasks},
+      {bank_name, LineClass::kActiveHighControl,
+       strategy_for(LineClass::kActiveHighControl), num_tasks},
+  };
+}
+
+std::vector<LineMergePlan> plan_channel_lines(const std::string& channel_name,
+                                              std::size_t num_sources) {
+  RCARB_CHECK(num_sources >= 1, "channel needs at least one source");
+  return {
+      {channel_name, LineClass::kData, strategy_for(LineClass::kData),
+       num_sources},
+      // Receiver register enables: active-high, one per receiving end.
+      {channel_name, LineClass::kActiveHighControl,
+       strategy_for(LineClass::kActiveHighControl), num_sources},
+  };
+}
+
+}  // namespace rcarb::core

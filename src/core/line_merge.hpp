@@ -1,0 +1,70 @@
+// Shared-line merge planning and resolution (paper Fig. 4).
+//
+// When several tasks drive the lines of one physical resource, each line is
+// shared by one of three schemes: tristate buffers (address/data lines,
+// where a floating value is harmless), OR-merging for active-high control
+// inputs (a memory's write select must read 0 when idle — a floating line
+// could commit phantom writes), and AND-merging for active-low inputs.
+// This module plans the scheme per line class and provides the behavioral
+// resolution function used by the system simulator and the tests.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace rcarb::core {
+
+/// What a shared line is, electrically.
+enum class LineClass : std::uint8_t {
+  kAddress,          // bus; high-impedance when idle is fine
+  kData,             // bus; high-impedance when idle is fine
+  kActiveHighControl,  // e.g. write select (write on 1)
+  kActiveLowControl,   // e.g. chip enable (active on 0)
+};
+
+/// How the line is merged across drivers.
+enum class MergeStrategy : std::uint8_t {
+  kTristate,  // Fig. 4a: grant enables the driver, idle = Z
+  kOrMerge,   // Fig. 4b: idle drivers emit 0, lines OR-ed
+  kAndMerge,  // Fig. 4c: idle drivers emit 1, lines AND-ed
+};
+
+[[nodiscard]] const char* to_string(LineClass c);
+[[nodiscard]] const char* to_string(MergeStrategy s);
+
+/// The paper's rule: buses tristate, active-high controls OR, active-low
+/// controls AND.
+[[nodiscard]] MergeStrategy strategy_for(LineClass c);
+
+/// Resolution result of one shared line in one cycle.
+struct Resolved {
+  bool is_z = false;        // nobody drives a tristated line
+  bool conflict = false;    // >1 simultaneous tristate drivers (design bug)
+  bool value = false;       // resolved value when !is_z && !conflict
+};
+
+/// Resolves one cycle of a shared line.  drivers[i] is task i's contribution:
+/// nullopt = not driving (tristated / emitting the idle value), a bool =
+/// actively driving that value.
+[[nodiscard]] Resolved resolve_line(MergeStrategy strategy,
+                                    const std::vector<std::optional<bool>>& drivers);
+
+/// A planned merge for one line of one shared resource.
+struct LineMergePlan {
+  std::string resource_name;
+  LineClass line_class = LineClass::kAddress;
+  MergeStrategy strategy = MergeStrategy::kTristate;
+  std::size_t num_drivers = 0;
+};
+
+/// Plans the merges for one shared memory bank accessed by `num_tasks`.
+[[nodiscard]] std::vector<LineMergePlan> plan_memory_lines(
+    const std::string& bank_name, std::size_t num_tasks);
+
+/// Plans the merges for one shared channel driven by `num_sources` tasks.
+[[nodiscard]] std::vector<LineMergePlan> plan_channel_lines(
+    const std::string& channel_name, std::size_t num_sources);
+
+}  // namespace rcarb::core

@@ -1,0 +1,201 @@
+#include "core/policy.hpp"
+
+#include <bit>
+
+#include "support/check.hpp"
+
+namespace rcarb::core {
+
+const char* to_string(Policy p) {
+  switch (p) {
+    case Policy::kRoundRobin: return "round-robin";
+    case Policy::kFifo: return "fifo";
+    case Policy::kPriority: return "priority";
+    case Policy::kRandom: return "random";
+  }
+  return "?";
+}
+
+Arbiter::Arbiter(int n) : n_(n) {
+  RCARB_CHECK(n >= 2 && n <= 64, "arbiter size must be in [2, 64]");
+}
+
+// ---------------------------------------------------------------- RoundRobin
+
+RoundRobinArbiter::RoundRobinArbiter(int n, RoundRobinOptions options)
+    : Arbiter(n), options_(options) {
+  RCARB_CHECK(options.max_hold_cycles >= 0, "negative max_hold_cycles");
+}
+
+int RoundRobinArbiter::step(std::uint64_t requests) {
+  requests &= (n_ == 64) ? ~0ull : ((1ull << n_) - 1);
+
+  // Fig. 5: no requests — Fi stays, Ci retires to F(i+1).
+  if (requests == 0) {
+    if (in_c_) {
+      index_ = (index_ + 1) % n_;
+      in_c_ = false;
+    }
+    held_cycles_ = 0;
+    return -1;
+  }
+
+  // Future-work preemption: a saturated holder loses its turn when someone
+  // else is waiting; the scan then starts past it.
+  if (in_c_ && options_.max_hold_cycles > 0 &&
+      held_cycles_ >= options_.max_hold_cycles &&
+      (requests & ~(1ull << index_)) != 0) {
+    const int start = (index_ + 1) % n_;
+    for (int k = 0; k < n_; ++k) {
+      const int j = (start + k) % n_;
+      if (j != index_ && ((requests >> j) & 1u)) {
+        index_ = j;
+        in_c_ = true;
+        held_cycles_ = 1;
+        return j;
+      }
+    }
+  }
+
+  // Cyclic scan from the priority index i (identical for Ci and Fi).
+  for (int k = 0; k < n_; ++k) {
+    const int j = (index_ + k) % n_;
+    if ((requests >> j) & 1u) {
+      held_cycles_ = (in_c_ && j == index_) ? held_cycles_ + 1 : 1;
+      index_ = j;
+      in_c_ = true;
+      return j;
+    }
+  }
+  RCARB_ASSERT(false, "unreachable: requests were nonzero");
+  return -1;
+}
+
+void RoundRobinArbiter::reset() {
+  index_ = 0;
+  in_c_ = false;
+  held_cycles_ = 0;
+}
+
+std::string RoundRobinArbiter::describe() const {
+  return "round-robin(" + std::to_string(n_) + ")";
+}
+
+std::string RoundRobinArbiter::state_name() const {
+  return (in_c_ ? "C" : "F") + std::to_string(index_);
+}
+
+// ---------------------------------------------------------------------- FIFO
+
+FifoArbiter::FifoArbiter(int n) : Arbiter(n) {}
+
+int FifoArbiter::step(std::uint64_t requests) {
+  requests &= (n_ == 64) ? ~0ull : ((1ull << n_) - 1);
+
+  // Newly asserted requests join the queue in index order (simultaneous
+  // arrivals tie-break by index, as a hardware FIFO arbiter would).
+  for (int t = 0; t < n_; ++t) {
+    const std::uint64_t bit = 1ull << t;
+    if ((requests & bit) && !(enqueued_ & bit) && holder_ != t) {
+      queue_.push_back(t);
+      enqueued_ |= bit;
+    }
+  }
+
+  // Holder keeps the grant while it requests.
+  if (holder_ >= 0 && ((requests >> holder_) & 1u)) return holder_;
+  holder_ = -1;
+
+  // Otherwise serve the oldest still-live request.
+  while (!queue_.empty()) {
+    const int t = queue_.front();
+    queue_.pop_front();
+    enqueued_ &= ~(1ull << t);
+    if ((requests >> t) & 1u) {
+      holder_ = t;
+      return t;
+    }
+  }
+  return -1;
+}
+
+void FifoArbiter::reset() {
+  queue_.clear();
+  enqueued_ = 0;
+  holder_ = -1;
+}
+
+std::string FifoArbiter::describe() const {
+  return "fifo(" + std::to_string(n_) + ")";
+}
+
+// ------------------------------------------------------------------ Priority
+
+PriorityArbiter::PriorityArbiter(int n) : Arbiter(n) {}
+
+int PriorityArbiter::step(std::uint64_t requests) {
+  requests &= (n_ == 64) ? ~0ull : ((1ull << n_) - 1);
+  if (holder_ >= 0 && ((requests >> holder_) & 1u)) return holder_;
+  holder_ = -1;
+  if (requests == 0) return -1;
+  holder_ = std::countr_zero(requests);  // lowest index = highest priority
+  return holder_;
+}
+
+void PriorityArbiter::reset() { holder_ = -1; }
+
+std::string PriorityArbiter::describe() const {
+  return "priority(" + std::to_string(n_) + ")";
+}
+
+// -------------------------------------------------------------------- Random
+
+RandomArbiter::RandomArbiter(int n, std::uint64_t seed)
+    : Arbiter(n), seed_(seed), rng_(seed) {}
+
+int RandomArbiter::step(std::uint64_t requests) {
+  requests &= (n_ == 64) ? ~0ull : ((1ull << n_) - 1);
+  if (holder_ >= 0 && ((requests >> holder_) & 1u)) return holder_;
+  holder_ = -1;
+  const int waiting = std::popcount(requests);
+  if (waiting == 0) return -1;
+  auto pick = static_cast<int>(rng_.next_below(static_cast<std::uint64_t>(waiting)));
+  for (int t = 0; t < n_; ++t) {
+    if (!((requests >> t) & 1u)) continue;
+    if (pick-- == 0) {
+      holder_ = t;
+      return t;
+    }
+  }
+  RCARB_ASSERT(false, "unreachable: requests were nonzero");
+  return -1;
+}
+
+void RandomArbiter::reset() {
+  rng_ = Rng(seed_);
+  holder_ = -1;
+}
+
+std::string RandomArbiter::describe() const {
+  return "random(" + std::to_string(n_) + ")";
+}
+
+// ------------------------------------------------------------------- Factory
+
+std::unique_ptr<Arbiter> make_arbiter(Policy policy, int n,
+                                      std::uint64_t seed) {
+  switch (policy) {
+    case Policy::kRoundRobin:
+      return std::make_unique<RoundRobinArbiter>(n);
+    case Policy::kFifo:
+      return std::make_unique<FifoArbiter>(n);
+    case Policy::kPriority:
+      return std::make_unique<PriorityArbiter>(n);
+    case Policy::kRandom:
+      return std::make_unique<RandomArbiter>(n, seed);
+  }
+  RCARB_CHECK(false, "unknown policy");
+  return nullptr;
+}
+
+}  // namespace rcarb::core

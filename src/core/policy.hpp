@@ -1,0 +1,131 @@
+// Behavioral arbitration policies.
+//
+// The paper examines random, FIFO, round-robin and priority-based
+// contention resolution (Sec. 4) and selects round-robin.  Every policy is
+// available here as a cycle-level behavioral model with a common interface:
+// present the request vector, receive at most one grant.  A grant persists
+// while its task keeps requesting (the Fig. 8 protocol releases by
+// deasserting Req); the policies differ in whom they pick next.
+//
+// The round-robin model implements Fig. 5 *exactly* (states Ci/Fi, cyclic
+// scan from the priority index), and is proven equivalent to the
+// synthesized FSM netlist in the test suite.  The paper's future-work
+// preemption appears as RoundRobinOptions::max_hold_cycles.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+
+#include "support/rng.hpp"
+
+namespace rcarb::core {
+
+/// Contention-resolution technique (paper Sec. 4).
+enum class Policy : std::uint8_t {
+  kRoundRobin,  // cyclic order (the paper's choice)
+  kFifo,        // order of request arrival
+  kPriority,    // statically-determined weighed order (index = priority)
+  kRandom,      // uniformly random among requesters
+};
+
+[[nodiscard]] const char* to_string(Policy p);
+
+/// Fixed protocol cost of one arbitered burst (Fig. 8: assert Req, ...,
+/// deassert Req) when the grant is immediate.
+inline constexpr int kProtocolOverheadCycles = 2;
+
+/// Cycle-level behavioral arbiter.
+class Arbiter {
+ public:
+  virtual ~Arbiter() = default;
+
+  /// One clock cycle: presents the request vector (bit i = task i) and
+  /// returns the granted task index, or -1 when no grant is issued.  At
+  /// most one task is ever granted (mutual exclusion).
+  virtual int step(std::uint64_t requests) = 0;
+
+  /// Returns to the reset state.
+  virtual void reset() = 0;
+
+  [[nodiscard]] int size() const { return n_; }
+  [[nodiscard]] virtual std::string describe() const = 0;
+
+ protected:
+  explicit Arbiter(int n);
+  int n_;
+};
+
+/// Options for the round-robin model.
+struct RoundRobinOptions {
+  /// 0 disables preemption (the paper's presented form).  Otherwise a
+  /// holder that keeps its request beyond this many consecutive granted
+  /// cycles is preempted while other requests are pending (the paper's
+  /// future-work extension, ensuring no task "never relinquishes").
+  int max_hold_cycles = 0;
+};
+
+/// Fig. 5 round-robin arbiter.  State: priority index i plus the C/F flag.
+class RoundRobinArbiter final : public Arbiter {
+ public:
+  explicit RoundRobinArbiter(int n, RoundRobinOptions options = {});
+  int step(std::uint64_t requests) override;
+  void reset() override;
+  [[nodiscard]] std::string describe() const override;
+
+  /// Exposed for FSM-equivalence tests: current state as "Ci"/"Fi" text.
+  [[nodiscard]] std::string state_name() const;
+
+ private:
+  RoundRobinOptions options_;
+  int index_ = 0;     // the i of Ci / Fi
+  bool in_c_ = false; // true: state Ci, false: state Fi
+  int held_cycles_ = 0;
+};
+
+/// FIFO arbiter: requests are served in arrival order.
+class FifoArbiter final : public Arbiter {
+ public:
+  explicit FifoArbiter(int n);
+  int step(std::uint64_t requests) override;
+  void reset() override;
+  [[nodiscard]] std::string describe() const override;
+
+ private:
+  std::deque<int> queue_;
+  std::uint64_t enqueued_ = 0;  // bitmask of tasks currently in the queue
+  int holder_ = -1;
+};
+
+/// Static-priority arbiter: lowest index wins among waiters.
+class PriorityArbiter final : public Arbiter {
+ public:
+  explicit PriorityArbiter(int n);
+  int step(std::uint64_t requests) override;
+  void reset() override;
+  [[nodiscard]] std::string describe() const override;
+
+ private:
+  int holder_ = -1;
+};
+
+/// Random arbiter: uniform among requesters (deterministic given the seed).
+class RandomArbiter final : public Arbiter {
+ public:
+  RandomArbiter(int n, std::uint64_t seed);
+  int step(std::uint64_t requests) override;
+  void reset() override;
+  [[nodiscard]] std::string describe() const override;
+
+ private:
+  std::uint64_t seed_;
+  Rng rng_;
+  int holder_ = -1;
+};
+
+/// Factory over the Policy enum.  `seed` is only used by kRandom.
+[[nodiscard]] std::unique_ptr<Arbiter> make_arbiter(Policy policy, int n,
+                                                    std::uint64_t seed = 1);
+
+}  // namespace rcarb::core

@@ -1,0 +1,20 @@
+#include "fft/workload.hpp"
+
+namespace rcarb::fft {
+
+double PentiumModel::cycles_per_block() const {
+  const SwOpCounts counts = sw_op_counts_per_block();
+  return cycles_per_trig * static_cast<double>(counts.trig_calls) +
+         cycles_per_fmul * static_cast<double>(counts.fmuls) +
+         cycles_per_fadd * static_cast<double>(counts.fadds) +
+         cycles_per_load * static_cast<double>(counts.loads) +
+         cycles_per_store * static_cast<double>(counts.stores) +
+         cycles_per_iter * static_cast<double>(counts.loop_iters);
+}
+
+double PentiumModel::seconds(const ImageWorkload& workload) const {
+  return static_cast<double>(workload.blocks()) * cycles_per_block() /
+         (clock_mhz * 1e6);
+}
+
+}  // namespace rcarb::fft

@@ -1,0 +1,107 @@
+#include "flow/pin_report.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <set>
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace rcarb::flow {
+
+int bank_bus_width(const tg::TaskGraph& graph, const core::Binding& binding,
+                   int bank) {
+  std::size_t max_words = 1;
+  for (tg::SegmentId s = 0; s < graph.num_segments(); ++s)
+    if (binding.segment_to_bank[s] == bank)
+      max_words = std::max(max_words, graph.segment(s).words);
+  const int addr_bits =
+      std::max(1, static_cast<int>(std::bit_width(max_words - 1)));
+  return 16 + addr_bits + 1;  // data + address + write select
+}
+
+PinReport compute_pin_report(const tg::TaskGraph& graph,
+                             const board::Board& board,
+                             const core::Binding& binding,
+                             const core::ArbitrationPlan& plan,
+                             const std::vector<tg::TaskId>& tasks) {
+  PinReport report;
+  report.per_pe.resize(board.num_pes());
+
+  std::vector<bool> active(graph.num_tasks(), false);
+  for (tg::TaskId t : tasks) active[t] = true;
+
+  // ---- Remote memory buses: one bus per (PE, remote bank) relation. ----
+  std::set<std::pair<int, int>> pe_bank;  // (pe, bank) pairs seen
+  for (tg::TaskId t = 0; t < graph.num_tasks(); ++t) {
+    if (!active[t]) continue;
+    const int pe = binding.task_to_pe[t];
+    if (pe < 0) continue;
+    for (int seg : graph.task(t).program.accessed_segments()) {
+      const int bank = binding.segment_to_bank[static_cast<std::size_t>(seg)];
+      if (bank < 0) continue;
+      const int bank_pe = static_cast<int>(
+          board.bank(static_cast<board::BankId>(bank)).attached_pe);
+      if (bank_pe == pe) continue;  // local access, no boundary pins
+      if (!pe_bank.insert({pe, bank}).second) continue;
+      const int width = bank_bus_width(graph, binding, bank);
+      report.per_pe[static_cast<std::size_t>(pe)].memory_bus += width;
+      report.per_pe[static_cast<std::size_t>(bank_pe)].memory_bus += width;
+    }
+  }
+
+  // ---- Inter-PE channel buses: each physical channel once per endpoint. --
+  for (std::size_t phys = 0; phys < binding.num_phys_channels; ++phys) {
+    std::set<int> endpoint_pes;
+    int width = 0;
+    for (tg::ChannelId c = 0; c < graph.num_channels(); ++c) {
+      if (binding.channel_to_phys[c] != static_cast<int>(phys)) continue;
+      const tg::Channel& ch = graph.channel(c);
+      if (!active[ch.source] && !active[ch.target]) continue;
+      width = std::max(width, ch.width_bits);
+      if (binding.task_to_pe[ch.source] >= 0)
+        endpoint_pes.insert(binding.task_to_pe[ch.source]);
+      if (binding.task_to_pe[ch.target] >= 0)
+        endpoint_pes.insert(binding.task_to_pe[ch.target]);
+    }
+    if (endpoint_pes.size() < 2) continue;  // intra-PE or unused
+    for (int pe : endpoint_pes)
+      report.per_pe[static_cast<std::size_t>(pe)].channel_bus += width;
+  }
+
+  // ---- Request/Grant pairs: Fig. 11's "+2" per remotely arbitrated task.
+  for (const core::ArbiterInstance& inst : plan.arbiters) {
+    // Home PE: the guarded bank's PE, or the first port task's PE.
+    int home;
+    if (binding.resource_is_bank(inst.resource)) {
+      home = static_cast<int>(
+          board.bank(static_cast<board::BankId>(inst.resource)).attached_pe);
+    } else {
+      home = binding.task_to_pe[inst.ports.front()];
+    }
+    for (tg::TaskId t : inst.ports) {
+      const int pe = binding.task_to_pe[t];
+      if (pe < 0 || pe == home) continue;
+      report.per_pe[static_cast<std::size_t>(pe)].handshake += 2;
+      report.per_pe[static_cast<std::size_t>(home)].handshake += 2;
+      report.total_handshake += 2;
+    }
+  }
+  return report;
+}
+
+std::string PinReport::to_string(const board::Board& board) const {
+  std::ostringstream os;
+  for (board::PeId p = 0; p < board.num_pes(); ++p) {
+    const PePins& pins = per_pe[p];
+    if (pins.total() == 0) continue;
+    os << "  " << board.pe(p).name << ": " << pins.total() << " pins ("
+       << pins.memory_bus << " memory bus";
+    if (pins.channel_bus > 0) os << " + " << pins.channel_bus << " channel";
+    os << " + " << pins.handshake << " req/grant)\n";
+  }
+  os << "  total req/grant overhead: " << total_handshake << " wires\n";
+  return os.str();
+}
+
+}  // namespace rcarb::flow

@@ -1,0 +1,49 @@
+// Inter-FPGA pin accounting (paper Fig. 11's edge annotations).
+//
+// Fig. 11 labels every PE boundary with "data wires + 2 + 2 ..." — the bus
+// wires of remote memory/channel access plus one Request/Grant pair per
+// remotely arbitrated task.  This report recomputes those numbers for any
+// binding + arbitration plan so the flow can show where the pin budget
+// goes and how little the handshake adds.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "board/board.hpp"
+#include "core/insertion.hpp"
+#include "taskgraph/taskgraph.hpp"
+
+namespace rcarb::flow {
+
+/// Pin usage of one PE.
+struct PePins {
+  int memory_bus = 0;     // wires to remote banks (addr + data + select)
+  int channel_bus = 0;    // wires of inter-PE physical channels
+  int handshake = 0;      // Request/Grant pairs crossing this PE's boundary
+  [[nodiscard]] int total() const {
+    return memory_bus + channel_bus + handshake;
+  }
+};
+
+struct PinReport {
+  std::vector<PePins> per_pe;  // indexed by PeId
+  int total_handshake = 0;     // sum of req/grant wires (the Fig. 11 "+2"s)
+
+  [[nodiscard]] std::string to_string(const board::Board& board) const;
+};
+
+/// Bus width model for one bank: 16 data wires, enough address wires for
+/// the largest segment on it, one write-select.
+[[nodiscard]] int bank_bus_width(const tg::TaskGraph& graph,
+                                 const core::Binding& binding, int bank);
+
+/// Computes the pin usage of one temporal partition.  Arbiters are homed on
+/// the PE owning the guarded bank (or the first port task's PE for channel
+/// arbiters), matching Fig. 11's placement.
+[[nodiscard]] PinReport compute_pin_report(
+    const tg::TaskGraph& graph, const board::Board& board,
+    const core::Binding& binding, const core::ArbitrationPlan& plan,
+    const std::vector<tg::TaskId>& tasks);
+
+}  // namespace rcarb::flow

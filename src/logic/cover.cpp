@@ -1,0 +1,234 @@
+#include "logic/cover.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "support/check.hpp"
+
+namespace rcarb::logic {
+
+Cover::Cover(int num_vars) : num_vars_(num_vars) {
+  RCARB_CHECK(num_vars >= 0 && num_vars <= kMaxVars,
+              "cover variable count out of range");
+}
+
+void Cover::add(const Cube& cube) {
+  RCARB_CHECK((cube.mask() >> num_vars_) == 0 || num_vars_ == kMaxVars,
+              "cube uses variables beyond the cover's range");
+  cubes_.push_back(cube);
+}
+
+bool Cover::eval(std::uint64_t assignment) const {
+  return std::any_of(cubes_.begin(), cubes_.end(),
+                     [&](const Cube& c) { return c.eval(assignment); });
+}
+
+Cover Cover::cofactor(int var, bool value) const {
+  Cover out(num_vars_);
+  for (const Cube& c : cubes_) {
+    if (c.has_var(var)) {
+      if (c.polarity(var) != value) continue;  // conflicting literal: drop
+      out.add(c.without_var(var));
+    } else {
+      out.add(c);
+    }
+  }
+  return out;
+}
+
+Cover Cover::cofactor(const Cube& cc) const {
+  Cover out(num_vars_);
+  for (const Cube& c : cubes_) {
+    if (!c.intersects(cc)) continue;
+    // Remove from c every variable bound by cc.
+    out.add(Cube(c.mask() & ~cc.mask(), c.value() & ~cc.mask()));
+  }
+  return out;
+}
+
+namespace {
+
+// Selects the most binate variable of the cover (appears in the most cubes,
+// preferring variables seen in both polarities), or -1 if no cube has any
+// literal left.
+int most_binate_var(const Cover& f) {
+  int best = -1;
+  int best_score = -1;
+  std::uint64_t seen_pos = 0;
+  std::uint64_t seen_neg = 0;
+  for (const Cube& c : f.cubes()) {
+    seen_pos |= c.mask() & c.value();
+    seen_neg |= c.mask() & ~c.value();
+  }
+  const std::uint64_t seen = seen_pos | seen_neg;
+  if (seen == 0) return -1;
+  for (int v = 0; v < f.num_vars(); ++v) {
+    if (!((seen >> v) & 1u)) continue;
+    int count = 0;
+    for (const Cube& c : f.cubes())
+      if (c.has_var(v)) ++count;
+    const bool binate = ((seen_pos >> v) & 1u) && ((seen_neg >> v) & 1u);
+    const int score = count + (binate ? f.num_vars() * 1000 : 0);
+    if (score > best_score) {
+      best_score = score;
+      best = v;
+    }
+  }
+  return best;
+}
+
+bool tautology_rec(const Cover& f, int depth) {
+  // Quick exits.
+  for (const Cube& c : f.cubes())
+    if (c.is_universal()) return true;
+  if (f.empty()) return false;
+  RCARB_ASSERT(depth < 2 * kMaxVars + 4, "tautology recursion runaway");
+
+  const int v = most_binate_var(f);
+  if (v < 0) return false;  // no universal cube found above
+  return tautology_rec(f.cofactor(v, false), depth + 1) &&
+         tautology_rec(f.cofactor(v, true), depth + 1);
+}
+
+}  // namespace
+
+bool Cover::is_tautology() const { return tautology_rec(*this, 0); }
+
+bool Cover::covers_cube(const Cube& c) const {
+  return cofactor(c).is_tautology();
+}
+
+bool Cover::covers(const Cover& other) const {
+  return std::all_of(other.cubes().begin(), other.cubes().end(),
+                     [&](const Cube& c) { return covers_cube(c); });
+}
+
+void Cover::remove_single_cube_contained() {
+  std::vector<Cube> kept;
+  kept.reserve(cubes_.size());
+  for (std::size_t i = 0; i < cubes_.size(); ++i) {
+    bool contained = false;
+    for (std::size_t j = 0; j < cubes_.size() && !contained; ++j) {
+      if (i == j) continue;
+      // Strictly contained, or equal with the earlier copy kept.
+      if (cubes_[j].contains(cubes_[i]) &&
+          (cubes_[j] != cubes_[i] || j < i))
+        contained = true;
+    }
+    if (!contained) kept.push_back(cubes_[i]);
+  }
+  cubes_ = std::move(kept);
+}
+
+std::size_t Cover::literal_count() const {
+  std::size_t n = 0;
+  for (const Cube& c : cubes_) n += static_cast<std::size_t>(c.literal_count());
+  return n;
+}
+
+std::string Cover::to_string() const {
+  std::string s;
+  for (const Cube& c : cubes_) {
+    s += c.to_string(num_vars_);
+    s += '\n';
+  }
+  return s;
+}
+
+namespace {
+
+// Union view of F ∪ D used for expansion legality checks.
+Cover union_cover(const Cover& f, const Cover* d) {
+  Cover u = f;
+  if (d != nullptr)
+    for (const Cube& c : d->cubes()) u.add(c);
+  return u;
+}
+
+}  // namespace
+
+MinimizeStats minimize(Cover& on_set, const Cover* dc_set) {
+  MinimizeStats stats;
+  stats.cubes_before = on_set.size();
+  stats.literals_before = on_set.literal_count();
+
+  bool changed = true;
+  while (changed && stats.iterations < 16) {
+    changed = false;
+    ++stats.iterations;
+
+    on_set.remove_single_cube_contained();
+
+    // MERGE: distance-1 cube pairs combine (x·a + x'·a == a).
+    {
+      auto cubes = on_set.cubes();
+      bool merged_any = true;
+      while (merged_any) {
+        merged_any = false;
+        for (std::size_t i = 0; i < cubes.size() && !merged_any; ++i) {
+          for (std::size_t j = i + 1; j < cubes.size() && !merged_any; ++j) {
+            const Cube &a = cubes[i], &b = cubes[j];
+            if (a.mask() != b.mask()) continue;
+            const std::uint64_t diff = a.value() ^ b.value();
+            if (std::popcount(diff) != 1) continue;
+            const int var = std::countr_zero(diff);
+            cubes[i] = a.without_var(var);
+            cubes.erase(cubes.begin() + static_cast<std::ptrdiff_t>(j));
+            merged_any = true;
+            changed = true;
+          }
+        }
+      }
+      Cover merged(on_set.num_vars());
+      for (const Cube& c : cubes) merged.add(c);
+      on_set = std::move(merged);
+    }
+
+    // EXPAND: drop literals whose removal keeps the cube inside F ∪ D.
+    {
+      const Cover fd = union_cover(on_set, dc_set);
+      std::vector<Cube> cubes = on_set.cubes();
+      for (Cube& c : cubes) {
+        for (int v = 0; v < on_set.num_vars(); ++v) {
+          if (!c.has_var(v)) continue;
+          const Cube candidate = c.without_var(v);
+          if (fd.covers_cube(candidate)) {
+            c = candidate;
+            changed = true;
+          }
+        }
+      }
+      Cover expanded(on_set.num_vars());
+      for (const Cube& c : cubes) expanded.add(c);
+      on_set = std::move(expanded);
+      on_set.remove_single_cube_contained();
+    }
+
+    // IRREDUNDANT: drop cubes covered by the rest of F plus D.
+    {
+      std::vector<Cube> cubes = on_set.cubes();
+      for (std::size_t i = 0; i < cubes.size();) {
+        Cover rest(on_set.num_vars());
+        for (std::size_t j = 0; j < cubes.size(); ++j)
+          if (j != i) rest.add(cubes[j]);
+        if (dc_set != nullptr)
+          for (const Cube& c : dc_set->cubes()) rest.add(c);
+        if (rest.covers_cube(cubes[i])) {
+          cubes.erase(cubes.begin() + static_cast<std::ptrdiff_t>(i));
+          changed = true;
+        } else {
+          ++i;
+        }
+      }
+      Cover irr(on_set.num_vars());
+      for (const Cube& c : cubes) irr.add(c);
+      on_set = std::move(irr);
+    }
+  }
+
+  stats.cubes_after = on_set.size();
+  stats.literals_after = on_set.literal_count();
+  return stats;
+}
+
+}  // namespace rcarb::logic

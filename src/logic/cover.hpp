@@ -1,0 +1,79 @@
+// Covers (sums of products) and the two-level minimizer.
+//
+// A Cover is a disjunction of Cubes over a fixed variable count.  The
+// minimizer is a compact espresso-style loop — EXPAND, IRREDUNDANT and
+// distance-1 MERGE — built on the unate-recursive tautology check.  It is
+// not a full espresso, but on FSM next-state/output functions (tens of
+// variables, hundreds of cubes) it removes the bulk of the redundancy, which
+// is what the downstream AIG construction and LUT mapping need.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "logic/cube.hpp"
+
+namespace rcarb::logic {
+
+/// A sum of products over variables 0..num_vars-1.
+class Cover {
+ public:
+  explicit Cover(int num_vars);
+
+  [[nodiscard]] int num_vars() const { return num_vars_; }
+  [[nodiscard]] const std::vector<Cube>& cubes() const { return cubes_; }
+  [[nodiscard]] bool empty() const { return cubes_.empty(); }
+  [[nodiscard]] std::size_t size() const { return cubes_.size(); }
+
+  /// Appends a cube (no containment filtering).
+  void add(const Cube& cube);
+
+  /// Evaluates the cover on a full assignment.
+  [[nodiscard]] bool eval(std::uint64_t assignment) const;
+
+  /// Cofactor with respect to a literal: F restricted to var=value, with the
+  /// variable removed from all remaining cubes.
+  [[nodiscard]] Cover cofactor(int var, bool value) const;
+
+  /// Cofactor with respect to a cube (Shannon cofactor F_c).
+  [[nodiscard]] Cover cofactor(const Cube& c) const;
+
+  /// True if the cover is a tautology (covers all of B^n).  Unate-recursive.
+  [[nodiscard]] bool is_tautology() const;
+
+  /// True if cube c is covered by this cover (single-cube containment is a
+  /// special case; this is the general containment check via tautology).
+  [[nodiscard]] bool covers_cube(const Cube& c) const;
+
+  /// True if every cube of `other` is covered by this cover.
+  [[nodiscard]] bool covers(const Cover& other) const;
+
+  /// Removes cubes contained in another single cube of the cover.
+  void remove_single_cube_contained();
+
+  /// Total number of literals across all cubes.
+  [[nodiscard]] std::size_t literal_count() const;
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  int num_vars_;
+  std::vector<Cube> cubes_;
+};
+
+/// Result of minimization, with before/after statistics.
+struct MinimizeStats {
+  std::size_t cubes_before = 0;
+  std::size_t cubes_after = 0;
+  std::size_t literals_before = 0;
+  std::size_t literals_after = 0;
+  int iterations = 0;
+};
+
+/// Minimizes `on_set` against an optional don't-care set.  The result covers
+/// every point of on_set, covers no point outside on_set ∪ dc_set, and is
+/// irredundant.  `dc_set` may be nullptr (completely specified function).
+MinimizeStats minimize(Cover& on_set, const Cover* dc_set = nullptr);
+
+}  // namespace rcarb::logic

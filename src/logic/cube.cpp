@@ -1,0 +1,78 @@
+#include "logic/cube.hpp"
+
+#include <bit>
+
+#include "support/check.hpp"
+
+namespace rcarb::logic {
+
+Cube::Cube(std::uint64_t mask, std::uint64_t value)
+    : mask_(mask), value_(value) {
+  RCARB_CHECK((value & ~mask) == 0, "cube value bits outside mask");
+}
+
+Cube Cube::literal(int var, bool positive) {
+  RCARB_CHECK(var >= 0 && var < kMaxVars, "variable index out of range");
+  const std::uint64_t bit = 1ull << var;
+  return Cube(bit, positive ? bit : 0);
+}
+
+int Cube::literal_count() const { return std::popcount(mask_); }
+
+bool Cube::has_var(int var) const {
+  RCARB_CHECK(var >= 0 && var < kMaxVars, "variable index out of range");
+  return (mask_ >> var) & 1u;
+}
+
+bool Cube::polarity(int var) const {
+  RCARB_CHECK(has_var(var), "polarity of absent variable");
+  return (value_ >> var) & 1u;
+}
+
+Cube Cube::with_literal(int var, bool positive) const {
+  RCARB_CHECK(var >= 0 && var < kMaxVars, "variable index out of range");
+  const std::uint64_t bit = 1ull << var;
+  return Cube(mask_ | bit, (value_ & ~bit) | (positive ? bit : 0));
+}
+
+Cube Cube::without_var(int var) const {
+  RCARB_CHECK(var >= 0 && var < kMaxVars, "variable index out of range");
+  const std::uint64_t bit = 1ull << var;
+  return Cube(mask_ & ~bit, value_ & ~bit);
+}
+
+bool Cube::contains(const Cube& other) const {
+  return (mask_ & ~other.mask_) == 0 &&
+         ((value_ ^ other.value_) & mask_) == 0;
+}
+
+bool Cube::intersects(const Cube& other) const {
+  return ((value_ ^ other.value_) & (mask_ & other.mask_)) == 0;
+}
+
+Cube Cube::intersect(const Cube& other) const {
+  RCARB_CHECK(intersects(other), "intersect of disjoint cubes");
+  return Cube(mask_ | other.mask_, value_ | other.value_);
+}
+
+int Cube::conflict_count(const Cube& other) const {
+  return std::popcount((value_ ^ other.value_) & (mask_ & other.mask_));
+}
+
+bool Cube::eval(std::uint64_t assignment) const {
+  return ((assignment ^ value_) & mask_) == 0;
+}
+
+std::string Cube::to_string(int num_vars) const {
+  std::string s;
+  s.reserve(static_cast<std::size_t>(num_vars));
+  for (int v = 0; v < num_vars; ++v) {
+    if (!has_var(v))
+      s += '-';
+    else
+      s += polarity(v) ? '1' : '0';
+  }
+  return s;
+}
+
+}  // namespace rcarb::logic

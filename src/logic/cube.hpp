@@ -1,0 +1,76 @@
+// Cubes (product terms) over up to 64 Boolean variables.
+//
+// A cube is a conjunction of literals.  Variable i is either a positive
+// literal, a negative literal, or absent (don't-care).  Representation:
+// `mask` has bit i set iff variable i appears; `value` gives its polarity
+// (and is zero wherever mask is zero, by invariant).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace rcarb::logic {
+
+/// Maximum variable count supported by Cube/Cover.
+inline constexpr int kMaxVars = 64;
+
+/// A product term over Boolean variables 0..n-1 (n tracked by the Cover).
+class Cube {
+ public:
+  /// The universal cube (no literals — covers everything).
+  Cube() = default;
+
+  /// Cube from explicit masks.  Bits of `value` outside `mask` must be clear.
+  Cube(std::uint64_t mask, std::uint64_t value);
+
+  /// Cube with the single literal var (positive if `positive`).
+  static Cube literal(int var, bool positive);
+
+  [[nodiscard]] std::uint64_t mask() const { return mask_; }
+  [[nodiscard]] std::uint64_t value() const { return value_; }
+
+  /// True if no literal is present (the universal cube).
+  [[nodiscard]] bool is_universal() const { return mask_ == 0; }
+
+  /// Number of literals.
+  [[nodiscard]] int literal_count() const;
+
+  /// True if variable var appears in this cube.
+  [[nodiscard]] bool has_var(int var) const;
+
+  /// Polarity of var; requires has_var(var).
+  [[nodiscard]] bool polarity(int var) const;
+
+  /// Returns this cube with the literal on `var` added/overwritten.
+  [[nodiscard]] Cube with_literal(int var, bool positive) const;
+
+  /// Returns this cube with any literal on `var` removed.
+  [[nodiscard]] Cube without_var(int var) const;
+
+  /// Set containment: true if this cube's point set contains `other`'s,
+  /// i.e. every literal of *this appears in `other` with the same polarity.
+  [[nodiscard]] bool contains(const Cube& other) const;
+
+  /// True if the two cubes share at least one point.
+  [[nodiscard]] bool intersects(const Cube& other) const;
+
+  /// Intersection of two cubes; requires intersects(other).
+  [[nodiscard]] Cube intersect(const Cube& other) const;
+
+  /// Number of variables on which the cubes have opposing literals.
+  [[nodiscard]] int conflict_count(const Cube& other) const;
+
+  /// Evaluates the cube on a full assignment (bit i of `assignment` is var i).
+  [[nodiscard]] bool eval(std::uint64_t assignment) const;
+
+  /// Text form over `num_vars` variables, e.g. "1-0" (1=pos, 0=neg, -=absent).
+  [[nodiscard]] std::string to_string(int num_vars) const;
+
+  friend bool operator==(const Cube& a, const Cube& b) = default;
+
+ private:
+  std::uint64_t mask_ = 0;
+  std::uint64_t value_ = 0;
+};
+
+}  // namespace rcarb::logic

@@ -1,0 +1,149 @@
+#include "logic/truth_table.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace rcarb::logic {
+
+namespace {
+constexpr int kMaxTtVars = 20;
+
+std::size_t word_count(int num_vars) {
+  const std::uint64_t rows = 1ull << num_vars;
+  return static_cast<std::size_t>((rows + 63) / 64);
+}
+}  // namespace
+
+TruthTable::TruthTable(int num_vars)
+    : num_vars_(num_vars), bits_(word_count(num_vars), 0) {
+  RCARB_CHECK(num_vars >= 0 && num_vars <= kMaxTtVars,
+              "truth table variable count out of range");
+}
+
+TruthTable TruthTable::constant(int num_vars, bool value) {
+  TruthTable t(num_vars);
+  if (value) {
+    std::fill(t.bits_.begin(), t.bits_.end(), ~0ull);
+    // Clear bits past the row count in the last word.
+    const std::uint64_t rows = t.num_rows();
+    if (rows % 64 != 0)
+      t.bits_.back() &= (1ull << (rows % 64)) - 1;
+  }
+  return t;
+}
+
+TruthTable TruthTable::variable(int num_vars, int var) {
+  RCARB_CHECK(var >= 0 && var < num_vars, "projection variable out of range");
+  TruthTable t(num_vars);
+  for (std::uint64_t row = 0; row < t.num_rows(); ++row)
+    if ((row >> var) & 1u) t.set(row, true);
+  return t;
+}
+
+TruthTable TruthTable::from_cover(const Cover& cover) {
+  RCARB_CHECK(cover.num_vars() <= kMaxTtVars,
+              "cover too wide for a dense truth table");
+  TruthTable t(cover.num_vars());
+  for (std::uint64_t row = 0; row < t.num_rows(); ++row)
+    if (cover.eval(row)) t.set(row, true);
+  return t;
+}
+
+bool TruthTable::get(std::uint64_t row) const {
+  RCARB_CHECK(row < num_rows(), "truth table row out of range");
+  return (bits_[row / 64] >> (row % 64)) & 1u;
+}
+
+void TruthTable::set(std::uint64_t row, bool value) {
+  RCARB_CHECK(row < num_rows(), "truth table row out of range");
+  const std::uint64_t bit = 1ull << (row % 64);
+  if (value)
+    bits_[row / 64] |= bit;
+  else
+    bits_[row / 64] &= ~bit;
+}
+
+bool TruthTable::is_constant() const {
+  return *this == constant(num_vars_, false) ||
+         *this == constant(num_vars_, true);
+}
+
+bool TruthTable::constant_value() const {
+  RCARB_CHECK(is_constant(), "constant_value of a non-constant function");
+  return get(0);
+}
+
+TruthTable TruthTable::operator~() const {
+  TruthTable t(num_vars_);
+  for (std::size_t i = 0; i < bits_.size(); ++i) t.bits_[i] = ~bits_[i];
+  const std::uint64_t rows = num_rows();
+  if (rows % 64 != 0) t.bits_.back() &= (1ull << (rows % 64)) - 1;
+  return t;
+}
+
+TruthTable TruthTable::operator&(const TruthTable& o) const {
+  RCARB_CHECK(num_vars_ == o.num_vars_, "operand arity mismatch");
+  TruthTable t(num_vars_);
+  for (std::size_t i = 0; i < bits_.size(); ++i)
+    t.bits_[i] = bits_[i] & o.bits_[i];
+  return t;
+}
+
+TruthTable TruthTable::operator|(const TruthTable& o) const {
+  RCARB_CHECK(num_vars_ == o.num_vars_, "operand arity mismatch");
+  TruthTable t(num_vars_);
+  for (std::size_t i = 0; i < bits_.size(); ++i)
+    t.bits_[i] = bits_[i] | o.bits_[i];
+  return t;
+}
+
+TruthTable TruthTable::operator^(const TruthTable& o) const {
+  RCARB_CHECK(num_vars_ == o.num_vars_, "operand arity mismatch");
+  TruthTable t(num_vars_);
+  for (std::size_t i = 0; i < bits_.size(); ++i)
+    t.bits_[i] = bits_[i] ^ o.bits_[i];
+  return t;
+}
+
+bool TruthTable::depends_on(int var) const {
+  RCARB_CHECK(var >= 0 && var < num_vars_, "variable out of range");
+  for (std::uint64_t row = 0; row < num_rows(); ++row) {
+    if ((row >> var) & 1u) continue;
+    if (get(row) != get(row | (1ull << var))) return true;
+  }
+  return false;
+}
+
+std::vector<int> TruthTable::support() const {
+  std::vector<int> vars;
+  for (int v = 0; v < num_vars_; ++v)
+    if (depends_on(v)) vars.push_back(v);
+  return vars;
+}
+
+std::uint16_t TruthTable::lut4_mask() const {
+  RCARB_CHECK(num_vars_ <= 4, "lut4_mask requires <= 4 variables");
+  std::uint16_t m = 0;
+  for (std::uint64_t row = 0; row < num_rows(); ++row)
+    if (get(row)) m = static_cast<std::uint16_t>(m | (1u << row));
+  return m;
+}
+
+std::string TruthTable::to_hex() const {
+  static const char* digits = "0123456789abcdef";
+  const std::uint64_t rows = num_rows();
+  std::string s;
+  const std::uint64_t nibbles = std::max<std::uint64_t>(1, rows / 4);
+  for (std::uint64_t n = nibbles; n-- > 0;) {
+    unsigned nib = 0;
+    for (unsigned b = 0; b < 4; ++b) {
+      const std::uint64_t row = n * 4 + b;
+      if (row < rows && get(row)) nib |= 1u << b;
+    }
+    s += digits[nib];
+  }
+  return s;
+}
+
+}  // namespace rcarb::logic

@@ -1,0 +1,65 @@
+// Dense truth tables for functions of up to 20 variables.
+//
+// Used for LUT contents (<=4 inputs: 16 bits), exhaustive equivalence checks
+// in tests, and as the bridge between covers and simulation semantics.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "logic/cover.hpp"
+
+namespace rcarb::logic {
+
+/// A completely-specified Boolean function of `num_vars` inputs, stored as a
+/// packed bit vector of its 2^num_vars output column.
+class TruthTable {
+ public:
+  /// Constant-false function of `num_vars` inputs (0 <= num_vars <= 20).
+  explicit TruthTable(int num_vars);
+
+  /// Constant function.
+  static TruthTable constant(int num_vars, bool value);
+
+  /// Projection of input variable `var`.
+  static TruthTable variable(int num_vars, int var);
+
+  /// Truth table of a cover (evaluated over all assignments).
+  static TruthTable from_cover(const Cover& cover);
+
+  [[nodiscard]] int num_vars() const { return num_vars_; }
+  [[nodiscard]] std::uint64_t num_rows() const { return 1ull << num_vars_; }
+
+  [[nodiscard]] bool get(std::uint64_t row) const;
+  void set(std::uint64_t row, bool value);
+
+  [[nodiscard]] bool is_constant() const;
+  [[nodiscard]] bool constant_value() const;  // requires is_constant()
+
+  /// Logical operators (operand arities must match).
+  [[nodiscard]] TruthTable operator~() const;
+  [[nodiscard]] TruthTable operator&(const TruthTable& o) const;
+  [[nodiscard]] TruthTable operator|(const TruthTable& o) const;
+  [[nodiscard]] TruthTable operator^(const TruthTable& o) const;
+
+  /// True if input `var` affects the output.
+  [[nodiscard]] bool depends_on(int var) const;
+
+  /// Indices of variables the function actually depends on.
+  [[nodiscard]] std::vector<int> support() const;
+
+  /// The 16-bit LUT mask for functions of <= 4 variables.
+  [[nodiscard]] std::uint16_t lut4_mask() const;
+
+  /// Hex string, most significant row first.
+  [[nodiscard]] std::string to_hex() const;
+
+  friend bool operator==(const TruthTable& a, const TruthTable& b) = default;
+
+ private:
+  int num_vars_;
+  std::vector<std::uint64_t> bits_;
+};
+
+}  // namespace rcarb::logic

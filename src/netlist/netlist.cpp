@@ -1,0 +1,118 @@
+#include "netlist/netlist.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace rcarb::netlist {
+
+NetId Netlist::new_net(DriverKind kind, std::size_t index, std::string name) {
+  RCARB_CHECK(!net_by_name_.contains(name), "duplicate net name: " + name);
+  const NetId id = static_cast<NetId>(driver_kind_.size());
+  driver_kind_.push_back(kind);
+  driver_index_.push_back(index);
+  net_by_name_.emplace(name, id);
+  net_name_.push_back(std::move(name));
+  return id;
+}
+
+NetId Netlist::add_input(std::string name) {
+  const NetId id = new_net(DriverKind::kPrimaryInput, inputs_.size(),
+                           std::move(name));
+  inputs_.push_back(id);
+  return id;
+}
+
+NetId Netlist::add_lut(std::vector<NetId> inputs, std::uint16_t mask,
+                       std::string name) {
+  RCARB_CHECK(inputs.size() <= kMaxLutInputs, "LUT input count exceeds k");
+  for (NetId in : inputs)
+    RCARB_CHECK(in < num_nets(), "LUT input net out of range");
+  const std::size_t index = luts_.size();
+  const NetId out = new_net(DriverKind::kLut, index, std::move(name));
+  luts_.push_back({std::move(inputs), mask, out});
+  return out;
+}
+
+NetId Netlist::add_dff(NetId d, bool init, std::string name) {
+  const std::size_t index = dffs_.size();
+  const NetId q = new_net(DriverKind::kDff, index, std::move(name));
+  dffs_.push_back({d, q, init});
+  return q;
+}
+
+void Netlist::connect_dff_d(std::size_t dff_index, NetId d) {
+  RCARB_CHECK(dff_index < dffs_.size(), "DFF index out of range");
+  RCARB_CHECK(d < num_nets(), "DFF d net out of range");
+  dffs_[dff_index].d = d;
+}
+
+void Netlist::mark_output(NetId net, std::string name) {
+  RCARB_CHECK(net < num_nets(), "output net out of range");
+  // The output name becomes an alias of the net so callers can address the
+  // port by its interface name (find_net resolves either).
+  if (!net_by_name_.contains(name)) net_by_name_.emplace(name, net);
+  outputs_.emplace_back(net, std::move(name));
+}
+
+DriverKind Netlist::driver_kind(NetId net) const {
+  RCARB_CHECK(net < num_nets(), "net out of range");
+  return driver_kind_[net];
+}
+
+std::size_t Netlist::driver_index(NetId net) const {
+  RCARB_CHECK(net < num_nets(), "net out of range");
+  return driver_index_[net];
+}
+
+const std::string& Netlist::net_name(NetId net) const {
+  RCARB_CHECK(net < num_nets(), "net out of range");
+  return net_name_[net];
+}
+
+std::optional<NetId> Netlist::find_net(const std::string& name) const {
+  if (auto it = net_by_name_.find(name); it != net_by_name_.end())
+    return it->second;
+  return std::nullopt;
+}
+
+std::vector<std::size_t> Netlist::fanout_counts() const {
+  std::vector<std::size_t> fanout(num_nets(), 0);
+  for (const Lut& lut : luts_)
+    for (NetId in : lut.inputs) ++fanout[in];
+  for (const Dff& dff : dffs_) ++fanout[dff.d];
+  for (const auto& [net, name] : outputs_) ++fanout[net];
+  return fanout;
+}
+
+std::vector<std::size_t> Netlist::lut_topo_order() const {
+  // Kahn's algorithm over LUT→LUT dependencies (inputs and DFF outputs are
+  // sources and impose no ordering).
+  std::vector<std::size_t> pending(luts_.size(), 0);
+  std::vector<std::vector<std::size_t>> dependents(luts_.size());
+  for (std::size_t i = 0; i < luts_.size(); ++i) {
+    for (NetId in : luts_[i].inputs) {
+      if (driver_kind_[in] == DriverKind::kLut) {
+        ++pending[i];
+        dependents[driver_index_[in]].push_back(i);
+      }
+    }
+  }
+  std::vector<std::size_t> order;
+  order.reserve(luts_.size());
+  std::vector<std::size_t> ready;
+  for (std::size_t i = 0; i < luts_.size(); ++i)
+    if (pending[i] == 0) ready.push_back(i);
+  while (!ready.empty()) {
+    const std::size_t i = ready.back();
+    ready.pop_back();
+    order.push_back(i);
+    for (std::size_t dep : dependents[i])
+      if (--pending[dep] == 0) ready.push_back(dep);
+  }
+  RCARB_CHECK(order.size() == luts_.size(),
+              "combinational loop detected in netlist");
+  return order;
+}
+
+}  // namespace rcarb::netlist

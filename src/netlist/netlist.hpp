@@ -1,0 +1,100 @@
+// Technology-mapped netlists.
+//
+// The output of the LUT mapper: a synchronous netlist of k-input LUTs and
+// D flip-flops over named nets.  This is the representation consumed by the
+// CLB packer, the static timing analyzer, and the cycle-accurate simulator.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace rcarb::netlist {
+
+/// Index of a net (signal).  Each net has exactly one driver.
+using NetId = std::uint32_t;
+
+/// Largest LUT input count (XC4000e function generators are 4-input).
+inline constexpr std::size_t kMaxLutInputs = 4;
+
+/// Who drives a net.
+enum class DriverKind : std::uint8_t { kPrimaryInput, kLut, kDff };
+
+/// A k-input lookup table; bit r of `mask` is the output for the input row r
+/// (input i contributes bit i of r).
+struct Lut {
+  std::vector<NetId> inputs;
+  std::uint16_t mask = 0;
+  NetId output = 0;
+};
+
+/// A D flip-flop; q takes d on every clock() of the simulator.
+struct Dff {
+  NetId d = 0;
+  NetId q = 0;
+  bool init = false;
+};
+
+/// A synchronous LUT/DFF netlist.
+class Netlist {
+ public:
+  /// Creates a primary-input net.
+  NetId add_input(std::string name);
+
+  /// Creates a LUT driving a fresh net.  inputs.size() <= kMaxLutInputs.
+  NetId add_lut(std::vector<NetId> inputs, std::uint16_t mask,
+                std::string name);
+
+  /// Creates a DFF driving a fresh q net.  The d net may be created later;
+  /// connect it with connect_dff_d.
+  NetId add_dff(NetId d, bool init, std::string name);
+
+  /// Re-points an existing DFF's d input (used when building FSM loops).
+  void connect_dff_d(std::size_t dff_index, NetId d);
+
+  /// Marks a net as a primary output under `name`.
+  void mark_output(NetId net, std::string name);
+
+  [[nodiscard]] std::size_t num_nets() const { return driver_kind_.size(); }
+  [[nodiscard]] std::size_t num_luts() const { return luts_.size(); }
+  [[nodiscard]] std::size_t num_dffs() const { return dffs_.size(); }
+  [[nodiscard]] std::size_t num_inputs() const { return inputs_.size(); }
+
+  [[nodiscard]] const std::vector<Lut>& luts() const { return luts_; }
+  [[nodiscard]] const std::vector<Dff>& dffs() const { return dffs_; }
+  [[nodiscard]] const std::vector<NetId>& inputs() const { return inputs_; }
+  [[nodiscard]] const std::vector<std::pair<NetId, std::string>>& outputs()
+      const {
+    return outputs_;
+  }
+
+  [[nodiscard]] DriverKind driver_kind(NetId net) const;
+  /// Index into luts()/dffs()/inputs() depending on driver_kind(net).
+  [[nodiscard]] std::size_t driver_index(NetId net) const;
+
+  [[nodiscard]] const std::string& net_name(NetId net) const;
+  [[nodiscard]] std::optional<NetId> find_net(const std::string& name) const;
+
+  /// Number of LUT/DFF sinks per net (for the fanout-based net delay model).
+  [[nodiscard]] std::vector<std::size_t> fanout_counts() const;
+
+  /// LUT indices in topological order; throws if combinational loops exist.
+  [[nodiscard]] std::vector<std::size_t> lut_topo_order() const;
+
+ private:
+  NetId new_net(DriverKind kind, std::size_t index, std::string name);
+
+  std::vector<DriverKind> driver_kind_;
+  std::vector<std::size_t> driver_index_;
+  std::vector<std::string> net_name_;
+  std::unordered_map<std::string, NetId> net_by_name_;
+
+  std::vector<Lut> luts_;
+  std::vector<Dff> dffs_;
+  std::vector<NetId> inputs_;
+  std::vector<std::pair<NetId, std::string>> outputs_;
+};
+
+}  // namespace rcarb::netlist

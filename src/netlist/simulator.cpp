@@ -1,0 +1,63 @@
+#include "netlist/simulator.hpp"
+
+#include "support/check.hpp"
+
+namespace rcarb::netlist {
+
+Simulator::Simulator(const Netlist& netlist)
+    : netlist_(netlist),
+      topo_(netlist.lut_topo_order()),
+      value_(netlist.num_nets(), 0) {
+  reset();
+}
+
+void Simulator::reset() {
+  std::fill(value_.begin(), value_.end(), 0);
+  for (const Dff& dff : netlist_.dffs()) value_[dff.q] = dff.init ? 1 : 0;
+  settle();
+}
+
+void Simulator::set_input(NetId net, bool value) {
+  RCARB_CHECK(netlist_.driver_kind(net) == DriverKind::kPrimaryInput,
+              "set_input on a non-input net");
+  value_[net] = value ? 1 : 0;
+}
+
+void Simulator::set_input(const std::string& name, bool value) {
+  const auto net = netlist_.find_net(name);
+  RCARB_CHECK(net.has_value(), "unknown input net: " + name);
+  set_input(*net, value);
+}
+
+void Simulator::settle() {
+  for (std::size_t i : topo_) {
+    const Lut& lut = netlist_.luts()[i];
+    std::size_t row = 0;
+    for (std::size_t b = 0; b < lut.inputs.size(); ++b)
+      if (value_[lut.inputs[b]]) row |= 1u << b;
+    value_[lut.output] = (lut.mask >> row) & 1u;
+  }
+}
+
+void Simulator::clock() {
+  // Sample every d first so the update is simultaneous.
+  std::vector<char> sampled(netlist_.num_dffs());
+  for (std::size_t i = 0; i < netlist_.num_dffs(); ++i)
+    sampled[i] = value_[netlist_.dffs()[i].d];
+  for (std::size_t i = 0; i < netlist_.num_dffs(); ++i)
+    value_[netlist_.dffs()[i].q] = sampled[i];
+  settle();
+}
+
+bool Simulator::get(NetId net) const {
+  RCARB_CHECK(net < netlist_.num_nets(), "net out of range");
+  return value_[net] != 0;
+}
+
+bool Simulator::get(const std::string& name) const {
+  const auto net = netlist_.find_net(name);
+  RCARB_CHECK(net.has_value(), "unknown net: " + name);
+  return get(*net);
+}
+
+}  // namespace rcarb::netlist

@@ -1,0 +1,43 @@
+// Cycle-accurate netlist simulation.
+//
+// Two-phase semantics: settle() propagates combinational logic with the
+// current primary inputs and register outputs (so Mealy outputs can be read
+// the same cycle), clock() then latches every DFF simultaneously.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace rcarb::netlist {
+
+/// Simulates a Netlist cycle by cycle.
+class Simulator {
+ public:
+  /// Captures the topological order; the netlist must outlive the simulator.
+  explicit Simulator(const Netlist& netlist);
+
+  /// Returns all DFFs to their init values and re-settles.
+  void reset();
+
+  /// Sets a primary input (takes effect on the next settle()).
+  void set_input(NetId net, bool value);
+  void set_input(const std::string& name, bool value);
+
+  /// Propagates combinational logic to a fixed point (single topo pass).
+  void settle();
+
+  /// Rising clock edge: latches d into every q, then settles.
+  void clock();
+
+  [[nodiscard]] bool get(NetId net) const;
+  [[nodiscard]] bool get(const std::string& name) const;
+
+ private:
+  const Netlist& netlist_;
+  std::vector<std::size_t> topo_;
+  std::vector<char> value_;  // per net
+};
+
+}  // namespace rcarb::netlist

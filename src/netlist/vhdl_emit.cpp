@@ -1,0 +1,114 @@
+#include "netlist/vhdl_emit.hpp"
+
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "support/check.hpp"
+#include "support/text.hpp"
+
+namespace rcarb::netlist {
+
+namespace {
+
+/// VHDL identifier from an arbitrary net name.
+std::string sanitize(const std::string& name) {
+  std::string id;
+  for (char ch : name) {
+    if ((ch >= 'a' && ch <= 'z') || (ch >= 'A' && ch <= 'Z') ||
+        (ch >= '0' && ch <= '9'))
+      id += ch;
+    else
+      id += '_';
+  }
+  if (id.empty() || !((id[0] >= 'a' && id[0] <= 'z') ||
+                      (id[0] >= 'A' && id[0] <= 'Z')))
+    id = "n_" + id;
+  return id;
+}
+
+}  // namespace
+
+std::string emit_vhdl(const Netlist& nl, const std::string& entity_name) {
+  RCARB_CHECK(is_identifier(entity_name), "entity name must be an identifier");
+
+  // Unique VHDL name per net.
+  std::vector<std::string> vname(nl.num_nets());
+  std::set<std::string> used{"clk", "rst"};
+  for (NetId n = 0; n < nl.num_nets(); ++n) {
+    std::string base = sanitize(nl.net_name(n));
+    std::string candidate = base;
+    int suffix = 1;
+    while (used.contains(candidate))
+      candidate = base + "_" + std::to_string(suffix++);
+    used.insert(candidate);
+    vname[n] = candidate;
+  }
+
+  std::ostringstream os;
+  os << "-- Structural netlist emitted by rcarb (LUT/DFF level).\n"
+     << "library ieee;\nuse ieee.std_logic_1164.all;\n\n"
+     << "entity " << entity_name << " is\n  port (\n"
+     << "    clk : in std_logic;\n    rst : in std_logic";
+  for (NetId in : nl.inputs())
+    os << ";\n    " << vname[in] << " : in std_logic";
+  for (std::size_t o = 0; o < nl.outputs().size(); ++o)
+    os << ";\n    " << sanitize(nl.outputs()[o].second) << "_o"
+       << " : out std_logic";
+  os << "\n  );\nend entity " << entity_name << ";\n\n"
+     << "architecture structural of " << entity_name << " is\n";
+  for (const Lut& lut : nl.luts())
+    os << "  signal " << vname[lut.output] << " : std_logic;\n";
+  for (const Dff& dff : nl.dffs())
+    os << "  signal " << vname[dff.q] << " : std_logic;\n";
+  os << "begin\n";
+
+  // LUTs as selected signal assignments over the concatenated inputs.
+  std::size_t lut_index = 0;
+  for (const Lut& lut : nl.luts()) {
+    if (lut.inputs.empty()) {
+      os << "  " << vname[lut.output] << " <= '"
+         << ((lut.mask & 1u) ? '1' : '0') << "';\n";
+      ++lut_index;
+      continue;
+    }
+    // Selector: MSB = highest input index, matching row = sum(bit_i << i).
+    std::vector<std::string> sel;
+    for (std::size_t i = lut.inputs.size(); i-- > 0;)
+      sel.push_back(vname[lut.inputs[i]]);
+    os << "  lut" << lut_index << ": with std_logic_vector'("
+       << join(sel, " & ") << ") select\n    " << vname[lut.output]
+       << " <=\n";
+    const std::size_t rows = 1u << lut.inputs.size();
+    for (std::size_t row = 0; row < rows; ++row) {
+      std::string pattern;
+      for (std::size_t i = lut.inputs.size(); i-- > 0;)
+        pattern += ((row >> i) & 1u) ? '1' : '0';
+      os << "      '" << (((lut.mask >> row) & 1u) ? '1' : '0') << "' when \""
+         << pattern << "\",\n";
+    }
+    os << "      '0' when others;\n";
+    ++lut_index;
+  }
+
+  // The register bank: synchronous capture, asynchronous init-value reset.
+  if (nl.num_dffs() > 0) {
+    os << "\n  registers: process (clk, rst)\n  begin\n"
+       << "    if rst = '1' then\n";
+    for (const Dff& dff : nl.dffs())
+      os << "      " << vname[dff.q] << " <= '" << (dff.init ? '1' : '0')
+         << "';\n";
+    os << "    elsif rising_edge(clk) then\n";
+    for (const Dff& dff : nl.dffs())
+      os << "      " << vname[dff.q] << " <= " << vname[dff.d] << ";\n";
+    os << "    end if;\n  end process;\n";
+  }
+
+  os << "\n";
+  for (const auto& [net, name] : nl.outputs())
+    os << "  " << sanitize(name) << "_o <= " << vname[net] << ";\n";
+  os << "end architecture structural;\n";
+  return os.str();
+}
+
+}  // namespace rcarb::netlist

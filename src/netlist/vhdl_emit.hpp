@@ -1,0 +1,23 @@
+// Structural VHDL emission for mapped netlists.
+//
+// After LUT mapping, the flow can hand the design to downstream (layout)
+// tools as VHDL-93: one selected signal assignment per LUT (its truth
+// table spelled out) and one clocked process for the register bank, with
+// an asynchronous reset restoring every DFF's init value.  This is the
+// per-FPGA artifact SPARCS passed to "commercial logic and layout
+// synthesis tools".
+#pragma once
+
+#include <string>
+
+#include "netlist/netlist.hpp"
+
+namespace rcarb::netlist {
+
+/// Emits the netlist as a self-contained VHDL-93 entity/architecture.
+/// Net names are sanitized into VHDL identifiers (collisions resolved by
+/// suffixing); primary inputs/outputs keep their interface names.
+[[nodiscard]] std::string emit_vhdl(const Netlist& netlist,
+                                    const std::string& entity_name);
+
+}  // namespace rcarb::netlist

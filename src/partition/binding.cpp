@@ -1,0 +1,24 @@
+#include "partition/binding.hpp"
+
+namespace rcarb::part {
+
+core::Binding make_binding(const tg::TaskGraph& graph,
+                           const board::Board& board,
+                           const SpatialResult& spatial,
+                           const MemoryMapResult& memory,
+                           const ChannelMapResult& channels) {
+  core::Binding binding;
+  binding.task_to_pe = spatial.pe_of_task;
+  binding.segment_to_bank = memory.bank_of_segment;
+  binding.channel_to_phys = channels.phys_of_channel;
+  binding.num_banks = board.num_banks();
+  binding.num_phys_channels = channels.phys.size();
+  for (board::BankId b = 0; b < board.num_banks(); ++b)
+    binding.bank_names.push_back(board.bank(b).name);
+  for (const PhysChannel& ph : channels.phys)
+    binding.phys_channel_names.push_back(ph.name);
+  (void)graph;
+  return binding;
+}
+
+}  // namespace rcarb::part

@@ -1,0 +1,23 @@
+// Assembles a core::Binding from the partitioners' results, the form the
+// arbiter-insertion pass and the system simulator consume.
+#pragma once
+
+#include "board/board.hpp"
+#include "core/insertion.hpp"
+#include "partition/channel_map.hpp"
+#include "partition/memory_map.hpp"
+#include "partition/spatial.hpp"
+#include "taskgraph/taskgraph.hpp"
+
+namespace rcarb::part {
+
+/// Builds the unified binding for one temporal partition.  Resource ids:
+/// every board bank (shared or not) first, then the mapper's physical
+/// channels.
+[[nodiscard]] core::Binding make_binding(const tg::TaskGraph& graph,
+                                         const board::Board& board,
+                                         const SpatialResult& spatial,
+                                         const MemoryMapResult& memory,
+                                         const ChannelMapResult& channels);
+
+}  // namespace rcarb::part

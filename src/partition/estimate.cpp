@@ -1,0 +1,38 @@
+#include "partition/estimate.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rcarb::part {
+
+std::size_t estimate_task_clbs(const tg::Program& program,
+                               const EstimateModel& model) {
+  const tg::Program::OpCounts counts = program.op_counts();
+
+  std::size_t clbs = model.base_control;
+  clbs += static_cast<std::size_t>(
+      std::ceil(model.control_per_op * static_cast<double>(counts.total)));
+  if (counts.alu > 0) clbs += model.alu;
+  if (counts.multiplies > 0) clbs += model.multiplier;
+  if (counts.mem_accesses > 0) clbs += model.mem_interface;
+  if (counts.channel_ops > 0) clbs += model.channel_interface;
+
+  // Registers actually referenced.
+  std::size_t max_reg = 0;
+  for (const tg::Op& op : program.ops()) {
+    max_reg = std::max({max_reg, static_cast<std::size_t>(std::max(op.a, 0)),
+                        static_cast<std::size_t>(std::max(op.c, 0))});
+  }
+  clbs += model.regfile_per_reg * (max_reg + 1);
+  return clbs;
+}
+
+void annotate_areas(tg::TaskGraph& graph, const EstimateModel& model) {
+  for (tg::TaskId t = 0; t < graph.num_tasks(); ++t) {
+    tg::Task& task = graph.task(t);
+    if (task.area_clbs == 0)
+      task.area_clbs = estimate_task_clbs(task.program, model);
+  }
+}
+
+}  // namespace rcarb::part

@@ -1,0 +1,35 @@
+// Light-weight high-level-synthesis estimation (paper Fig. 9's
+// "Light-Weight High-Level Synthesis Estimator").
+//
+// The temporal/spatial partitioners need per-task area before any RTL
+// exists.  This estimator prices a task program in CLBs from its static
+// operation mix: a datapath word for every live value class, an ALU per
+// op kind, a serial multiplier, memory/channel interface logic and a
+// one-hot controller proportional to program length.
+#pragma once
+
+#include <cstddef>
+
+#include "taskgraph/taskgraph.hpp"
+
+namespace rcarb::part {
+
+/// Estimation knobs (CLBs per resource, 16-bit datapath by default).
+struct EstimateModel {
+  std::size_t base_control = 6;       // sequencer skeleton
+  double control_per_op = 0.75;       // one-hot controller states
+  std::size_t alu = 9;                // add/sub/shift unit
+  std::size_t multiplier = 38;        // serial 16x16 multiplier
+  std::size_t mem_interface = 7;      // address/data/select registers
+  std::size_t channel_interface = 5;  // channel registers + handshake
+  std::size_t regfile_per_reg = 1;    // register file slice
+};
+
+/// Estimated CLB cost of one task program.
+[[nodiscard]] std::size_t estimate_task_clbs(const tg::Program& program,
+                                             const EstimateModel& model = {});
+
+/// Fills Task::area_clbs for every task whose estimate is still 0.
+void annotate_areas(tg::TaskGraph& graph, const EstimateModel& model = {});
+
+}  // namespace rcarb::part

@@ -1,0 +1,142 @@
+#include "partition/spatial.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace rcarb::part {
+
+namespace {
+
+/// Connection between two tasks with a wire-width weight.
+struct Edge {
+  tg::TaskId a;
+  tg::TaskId b;
+  int weight;
+};
+
+/// Builds the weighted task-connectivity graph of one partition: logical
+/// channels contribute their width; co-access of a segment contributes the
+/// remote-memory cost (both tasks must reach the same bank).
+std::vector<Edge> build_edges(const tg::TaskGraph& graph,
+                              const std::vector<tg::TaskId>& tasks,
+                              const SpatialOptions& options) {
+  std::vector<bool> in_set(graph.num_tasks(), false);
+  for (tg::TaskId t : tasks) in_set[t] = true;
+
+  std::vector<Edge> edges;
+  for (tg::ChannelId c = 0; c < graph.num_channels(); ++c) {
+    const tg::Channel& ch = graph.channel(c);
+    if (in_set[ch.source] && in_set[ch.target] && ch.source != ch.target)
+      edges.push_back({ch.source, ch.target, ch.width_bits});
+  }
+  for (tg::SegmentId s = 0; s < graph.num_segments(); ++s) {
+    const auto accessors = graph.tasks_accessing_segment(s);
+    for (std::size_t i = 0; i < accessors.size(); ++i)
+      for (std::size_t j = i + 1; j < accessors.size(); ++j)
+        if (in_set[accessors[i]] && in_set[accessors[j]])
+          edges.push_back(
+              {accessors[i], accessors[j], options.remote_memory_cost});
+  }
+  return edges;
+}
+
+std::size_t cut_of(const std::vector<Edge>& edges,
+                   const std::vector<int>& pe_of_task) {
+  std::size_t cut = 0;
+  for (const Edge& e : edges)
+    if (pe_of_task[e.a] != pe_of_task[e.b])
+      cut += static_cast<std::size_t>(e.weight);
+  return cut;
+}
+
+}  // namespace
+
+SpatialResult spatial_partition(const tg::TaskGraph& graph,
+                                const std::vector<tg::TaskId>& tasks,
+                                const board::Board& board,
+                                const SpatialOptions& options) {
+  RCARB_CHECK(!tasks.empty(), "spatial partitioning of an empty set");
+  const std::size_t num_pes = board.num_pes();
+
+  std::vector<std::size_t> budget(num_pes);
+  for (board::PeId p = 0; p < num_pes; ++p)
+    budget[p] = static_cast<std::size_t>(
+        options.utilization * static_cast<double>(board.pe(p).clb_capacity));
+
+  SpatialResult result;
+  result.pe_of_task.assign(graph.num_tasks(), -1);
+  result.pe_clbs.assign(num_pes, 0);
+
+  // ---- Greedy seed: biggest tasks first, onto the emptiest feasible PE.
+  std::vector<tg::TaskId> order = tasks;
+  std::stable_sort(order.begin(), order.end(),
+                   [&](tg::TaskId a, tg::TaskId b) {
+                     return graph.task(a).area_clbs > graph.task(b).area_clbs;
+                   });
+  for (tg::TaskId t : order) {
+    const std::size_t area = graph.task(t).area_clbs;
+    int best_pe = -1;
+    for (board::PeId p = 0; p < num_pes; ++p) {
+      if (result.pe_clbs[p] + area > budget[p]) continue;
+      if (best_pe < 0 ||
+          result.pe_clbs[p] <
+              result.pe_clbs[static_cast<std::size_t>(best_pe)])
+        best_pe = static_cast<int>(p);
+    }
+    RCARB_CHECK(best_pe >= 0,
+                "task " + graph.task(t).name + " does not fit any PE");
+    result.pe_of_task[t] = best_pe;
+    result.pe_clbs[static_cast<std::size_t>(best_pe)] += area;
+  }
+
+  // ---- FM-style refinement: single-task moves with positive cut gain.
+  const std::vector<Edge> edges = build_edges(graph, tasks, options);
+  Rng rng(options.seed);
+  for (int pass = 0; pass < options.max_passes; ++pass) {
+    bool improved = false;
+    ++result.passes_run;
+    for (tg::TaskId t : tasks) {
+      const int from = result.pe_of_task[t];
+      const std::size_t area = graph.task(t).area_clbs;
+
+      // Gain of moving t to PE p: cut delta over incident edges.
+      std::vector<long> gain(num_pes, 0);
+      for (const Edge& e : edges) {
+        if (e.a != t && e.b != t) continue;
+        const tg::TaskId other = e.a == t ? e.b : e.a;
+        const int other_pe = result.pe_of_task[other];
+        for (board::PeId p = 0; p < num_pes; ++p) {
+          const bool cut_now = from != other_pe;
+          const bool cut_then = static_cast<int>(p) != other_pe;
+          gain[p] += (cut_now ? e.weight : 0) - (cut_then ? e.weight : 0);
+        }
+      }
+      int best = from;
+      for (board::PeId p = 0; p < num_pes; ++p) {
+        if (static_cast<int>(p) == from) continue;
+        if (result.pe_clbs[p] + area > budget[p]) continue;
+        const auto bi = static_cast<std::size_t>(best);
+        if (gain[p] > gain[bi] ||
+            (gain[p] == gain[bi] && best != from && rng.chance(1, 2)))
+          best = static_cast<int>(p);
+      }
+      if (best != from &&
+          gain[static_cast<std::size_t>(best)] >
+              gain[static_cast<std::size_t>(from)]) {
+        result.pe_clbs[static_cast<std::size_t>(from)] -= area;
+        result.pe_clbs[static_cast<std::size_t>(best)] += area;
+        result.pe_of_task[t] = best;
+        improved = true;
+      }
+    }
+    if (!improved) break;
+  }
+
+  result.cut_bits = cut_of(edges, result.pe_of_task);
+  return result;
+}
+
+}  // namespace rcarb::part

@@ -1,0 +1,42 @@
+// Spatial partitioning: tasks of one temporal partition onto the board's
+// PEs (paper Sec. 5: "a spatial partitioning tool to map the tasks to
+// individual FPGAs").
+//
+// Greedy seeding by descending area followed by Fiduccia–Mattheyses-style
+// refinement passes that move single tasks between PEs to reduce the
+// inter-PE communication cut (logical channel widths plus a fixed wire cost
+// per remote memory access relation), subject to per-PE CLB capacity.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "board/board.hpp"
+#include "taskgraph/taskgraph.hpp"
+
+namespace rcarb::part {
+
+struct SpatialOptions {
+  double utilization = 0.85;  // per-PE CLB budget fraction
+  int max_passes = 8;         // FM refinement passes
+  /// Wire cost charged when a task and a segment co-accessor sit on
+  /// different PEs (models the shared memory bus crossing).
+  int remote_memory_cost = 8;
+  std::uint64_t seed = 1;  // tie-breaking
+};
+
+struct SpatialResult {
+  /// PE per TaskId; -1 for tasks outside the partitioned set.
+  std::vector<int> pe_of_task;
+  std::size_t cut_bits = 0;  // total width of PE-crossing relations
+  std::vector<std::size_t> pe_clbs;  // area per PE
+  int passes_run = 0;
+};
+
+/// Places `tasks` (one temporal partition) onto the PEs of `board`.
+/// Throws if the tasks cannot fit under the utilization budget.
+[[nodiscard]] SpatialResult spatial_partition(
+    const tg::TaskGraph& graph, const std::vector<tg::TaskId>& tasks,
+    const board::Board& board, const SpatialOptions& options);
+
+}  // namespace rcarb::part

@@ -1,0 +1,556 @@
+#include "rcsim/system_sim.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "support/check.hpp"
+
+namespace rcarb::rcsim {
+
+namespace {
+
+using tg::Op;
+using tg::OpCode;
+using tg::TaskId;
+
+/// Per-logical-channel receiver register (Fig. 3: a register per receiving
+/// end whose enable comes from the source keeps earlier transfers alive).
+struct ChannelReg {
+  bool valid = false;
+  std::int64_t value = 0;
+};
+
+/// Naive alternative: one register per physical channel; `writer` records
+/// which logical channel wrote last so corrupted reads can be counted.
+struct NaiveReg {
+  bool valid = false;
+  std::int64_t value = 0;
+  int writer = -1;
+};
+
+struct LoopFrame {
+  std::size_t begin_pc = 0;  // index of the kLoopBegin op
+  std::int64_t remaining = 0;
+};
+
+}  // namespace
+
+struct SystemSimulator::TaskCtx {
+  TaskId id = 0;
+  bool in_run = false;
+  bool started = false;
+  bool finished = false;
+  std::size_t pc = 0;
+  std::int64_t regs[tg::kNumRegs] = {};
+  std::vector<LoopFrame> loops;
+  std::int64_t compute_left = 0;  // remaining busy cycles of a kCompute
+  // Arbitration protocol state.
+  int requesting = -1;  // resource whose Req line this task asserts (-1 none)
+  // Resource whose request was auto-deasserted during send backpressure
+  // (the sender re-arbitrates once the receiver register frees up).
+  int dropped_request = -1;
+  std::uint64_t request_since = 0;
+  TaskStats stats;
+};
+
+SystemSimulator::SystemSimulator(tg::TaskGraph graph, core::Binding binding,
+                                 core::ArbitrationPlan plan,
+                                 SimOptions options)
+    : graph_(std::move(graph)),
+      binding_(std::move(binding)),
+      plan_(std::move(plan)),
+      options_(options) {
+  graph_.validate();
+  memory_.resize(graph_.num_segments());
+  for (tg::SegmentId s = 0; s < graph_.num_segments(); ++s)
+    memory_[s].assign(graph_.segment(s).words, 0);
+}
+
+void SystemSimulator::write_segment(tg::SegmentId s,
+                                    const std::vector<std::int64_t>& words) {
+  RCARB_CHECK(s < memory_.size(), "segment out of range");
+  RCARB_CHECK(words.size() <= graph_.segment(s).words,
+              "segment preload larger than the segment");
+  memory_[s].assign(graph_.segment(s).words, 0);
+  std::copy(words.begin(), words.end(), memory_[s].begin());
+}
+
+const std::vector<std::int64_t>& SystemSimulator::segment_data(
+    tg::SegmentId s) const {
+  RCARB_CHECK(s < memory_.size(), "segment out of range");
+  return memory_[s];
+}
+
+SimResult SystemSimulator::run(const std::vector<TaskId>& tasks) {
+  SimResult result;
+  result.tasks.resize(graph_.num_tasks());
+
+  // ---- Instantiate behavioral arbiters from the plan. ----
+  std::vector<std::unique_ptr<core::Arbiter>> arbiters;
+  std::vector<int> grant_holder(plan_.arbiters.size(), -1);  // port index
+  for (const core::ArbiterInstance& inst : plan_.arbiters) {
+    const int n = static_cast<int>(inst.ports.size());
+    if (inst.policy == core::Policy::kRoundRobin && options_.rr_max_hold > 0) {
+      arbiters.push_back(std::make_unique<core::RoundRobinArbiter>(
+          n, core::RoundRobinOptions{options_.rr_max_hold}));
+    } else {
+      arbiters.push_back(core::make_arbiter(inst.policy, n, options_.seed));
+    }
+    ArbiterStats st;
+    st.resource_name = inst.resource_name;
+    st.ports = n;
+    result.arbiters.push_back(st);
+  }
+
+  // ---- Task contexts. ----
+  std::vector<TaskCtx> ctx(graph_.num_tasks());
+  for (TaskId t = 0; t < graph_.num_tasks(); ++t) ctx[t].id = t;
+  for (TaskId t : tasks) {
+    RCARB_CHECK(t < graph_.num_tasks(), "task out of range");
+    ctx[t].in_run = true;
+  }
+
+  // ---- Channel registers. ----
+  std::vector<ChannelReg> chan_reg(graph_.num_channels());
+  std::vector<NaiveReg> naive_reg(binding_.num_phys_channels);
+
+  // Request lines per arbiter port, rebuilt each cycle from task state.
+  std::vector<std::uint64_t> requests(plan_.arbiters.size(), 0);
+  std::vector<std::uint64_t> wait_start(graph_.num_tasks(), 0);
+
+  auto fail = [&](const std::string& msg) {
+    result.diagnostics.push_back(msg);
+    if (options_.strict) RCARB_CHECK(false, msg);
+  };
+  auto protocol_fail = [&](const std::string& msg) {
+    ++result.protocol_violations;
+    fail(msg);
+  };
+
+  // Maps a task+resource to the arbiter index and port, if arbitrated.
+  auto arbiter_port = [&](TaskId t, int resource) -> std::pair<int, int> {
+    return plan_.port_lookup(resource, t);
+  };
+
+  auto driven_resource = [&](const Op& op) -> int {
+    switch (op.code) {
+      case OpCode::kLoad:
+      case OpCode::kStore: {
+        const int bank =
+            binding_.segment_to_bank[static_cast<std::size_t>(op.b)];
+        return bank < 0 ? -1 : binding_.bank_resource(bank);
+      }
+      case OpCode::kSend: {
+        const int phys =
+            binding_.channel_to_phys[static_cast<std::size_t>(op.b)];
+        return phys < 0 ? -1 : binding_.channel_resource(phys);
+      }
+      default:
+        return -1;
+    }
+  };
+
+  // ---- Main loop. ----
+  std::uint64_t cycle = 0;
+  std::uint64_t last_progress_cycle = 0;
+  std::size_t finished_count = 0;
+  std::size_t to_finish = tasks.size();
+
+  // Per-cycle single-port usage: (bank or phys channel) -> first user task.
+  std::vector<int> bank_user(binding_.num_banks);
+  std::vector<int> chan_user(binding_.num_phys_channels);
+
+  while (finished_count < to_finish) {
+    RCARB_CHECK(cycle < options_.max_cycles, "simulation exceeded max_cycles");
+    if (cycle - last_progress_cycle >= 100000) {
+      std::string detail = "simulation deadlocked (no progress for 100000 "
+                           "cycles); task states:";
+      for (TaskId t : tasks) {
+        const TaskCtx& c = ctx[t];
+        if (c.finished) continue;
+        detail += "\n  " + graph_.task(t).name +
+                  (c.started ? "" : " (not started)") +
+                  " pc=" + std::to_string(c.pc);
+        if (c.started && c.pc < graph_.task(t).program.ops().size())
+          detail += std::string(" op=") +
+                    tg::to_string(graph_.task(t).program.ops()[c.pc].code) +
+                    " a=" +
+                    std::to_string(graph_.task(t).program.ops()[c.pc].a) +
+                    " b=" +
+                    std::to_string(graph_.task(t).program.ops()[c.pc].b);
+        detail += " requesting=" + std::to_string(c.requesting) +
+                  " dropped=" + std::to_string(c.dropped_request);
+      }
+      RCARB_CHECK(false, detail);
+    }
+
+    // Phase 1: arbiters sample the request lines asserted in prior cycles.
+    std::vector<int> granted_port(plan_.arbiters.size(), -1);
+    for (std::size_t a = 0; a < arbiters.size(); ++a) {
+      const int g = arbiters[a]->step(requests[a]);
+      granted_port[a] = g;
+      if (g >= 0) {
+        ++result.arbiters[a].granted_cycles;
+        if (g != grant_holder[a]) ++result.arbiters[a].grants;
+        // Wait accounting: the granted task's wait ends now.
+        const TaskId t = plan_.arbiters[a].ports[static_cast<std::size_t>(g)];
+        if (ctx[t].requesting >= 0) {
+          const std::uint64_t waited = cycle - ctx[t].request_since;
+          result.arbiters[a].max_wait =
+              std::max(result.arbiters[a].max_wait, waited);
+        }
+      }
+      grant_holder[a] = g;
+    }
+
+    auto has_grant = [&](TaskId t, int resource) {
+      const auto [ai, port] = arbiter_port(t, resource);
+      if (ai < 0) return true;  // unarbitrated resource
+      if (port < 0) return true;  // task elided from the arbiter
+      return granted_port[static_cast<std::size_t>(ai)] == port;
+    };
+
+    // Phase 2: start tasks whose in-run predecessors have finished.
+    for (TaskId t : tasks) {
+      TaskCtx& c = ctx[t];
+      if (c.started || c.finished) continue;
+      bool ready = true;
+      for (TaskId p : graph_.predecessors(t))
+        if (ctx[p].in_run && !ctx[p].finished) ready = false;
+      if (ready) {
+        c.started = true;
+        c.stats.ran = true;
+        c.stats.start_cycle = cycle;
+      }
+    }
+
+    // Phase 3: execute one cycle of every running task.
+    std::fill(bank_user.begin(), bank_user.end(), -1);
+    std::fill(chan_user.begin(), chan_user.end(), -1);
+
+    for (TaskId t : tasks) {
+      TaskCtx& c = ctx[t];
+      if (!c.started || c.finished) continue;
+      const auto& ops = graph_.task(t).program.ops();
+
+      bool spent_cycle = false;
+      if (c.compute_left > 0) {
+        --c.compute_left;
+        last_progress_cycle = cycle;
+        if (c.compute_left > 0) continue;
+        ++c.pc;
+        ++c.stats.ops_retired;
+        spent_cycle = true;  // zero-cost ops may still drain below
+      }
+
+      // Retire zero-cost control ops freely; execute at most one costed op
+      // per cycle, then keep draining zero-cost ops (so a task whose last
+      // costed op retires this cycle also finishes this cycle).
+      int control_budget = 64;
+      while (!c.finished) {
+        if (c.pc >= ops.size()) {
+          c.finished = true;
+          c.stats.finish_cycle = cycle;
+          ++finished_count;
+          if (c.requesting >= 0)
+            fail("task " + graph_.task(t).name +
+                 " finished while still requesting " +
+                 binding_.resource_name(c.requesting));
+          break;
+        }
+        const Op& op = ops[c.pc];
+        const bool zero_cost =
+            op.code == OpCode::kLoopBegin ||
+            op.code == OpCode::kLoopBeginVar ||
+            op.code == OpCode::kLoopEnd || op.code == OpCode::kHalt ||
+            (op.code == OpCode::kCompute && op.imm == 0);
+        if (spent_cycle && !zero_cost) break;
+        switch (op.code) {
+          case OpCode::kLoopBegin:
+          case OpCode::kLoopBeginVar: {
+            RCARB_CHECK(--control_budget > 0, "zero-cost op runaway");
+            const std::int64_t trip =
+                op.code == OpCode::kLoopBegin
+                    ? op.imm
+                    : std::max<std::int64_t>(0, c.regs[op.a]);
+            if (trip == 0) {
+              // Skip to the matching end.
+              int depth = 1;
+              std::size_t pc = c.pc + 1;
+              while (depth > 0) {
+                if (ops[pc].code == OpCode::kLoopBegin ||
+                    ops[pc].code == OpCode::kLoopBeginVar)
+                  ++depth;
+                if (ops[pc].code == OpCode::kLoopEnd) --depth;
+                ++pc;
+              }
+              c.pc = pc;
+            } else {
+              c.loops.push_back({c.pc, trip});
+              ++c.pc;
+            }
+            last_progress_cycle = cycle;
+            break;
+          }
+          case OpCode::kLoopEnd: {
+            RCARB_CHECK(--control_budget > 0, "zero-cost op runaway");
+            RCARB_ASSERT(!c.loops.empty(), "loop_end without frame");
+            LoopFrame& frame = c.loops.back();
+            if (--frame.remaining > 0) {
+              c.pc = frame.begin_pc + 1;
+            } else {
+              c.loops.pop_back();
+              ++c.pc;
+            }
+            last_progress_cycle = cycle;
+            break;
+          }
+          case OpCode::kHalt:
+            c.pc = ops.size();
+            break;
+          case OpCode::kCompute:
+            if (op.imm == 0) {
+              RCARB_CHECK(--control_budget > 0, "zero-cost op runaway");
+              ++c.pc;
+              ++c.stats.ops_retired;
+              break;
+            }
+            c.compute_left = op.imm - 1;  // this cycle is the first
+            if (c.compute_left == 0) ++c.pc, ++c.stats.ops_retired;
+            spent_cycle = true;
+            last_progress_cycle = cycle;
+            break;
+          case OpCode::kAcquire: {
+            if (c.requesting >= 0 && c.requesting != op.a)
+              protocol_fail("task " + graph_.task(t).name +
+                            " acquires a second resource while holding one");
+            c.requesting = op.a;
+            c.request_since = cycle;
+            ++c.stats.acquires;
+            ++c.pc;
+            ++c.stats.ops_retired;
+            spent_cycle = true;  // the Req:=1 cycle of Fig. 8
+            last_progress_cycle = cycle;
+            break;
+          }
+          case OpCode::kRelease: {
+            if (c.requesting != op.a)
+              protocol_fail("task " + graph_.task(t).name +
+                            " releases a resource it does not hold");
+            c.requesting = -1;
+            ++c.pc;
+            ++c.stats.ops_retired;
+            spent_cycle = true;  // the Req:=0 cycle of Fig. 8
+            last_progress_cycle = cycle;
+            break;
+          }
+          case OpCode::kLoad:
+          case OpCode::kStore: {
+            const int resource = driven_resource(op);
+            const auto [ai, port] = arbiter_port(t, resource);
+            if (ai >= 0 && port >= 0) {
+              if (c.requesting != resource) {
+                protocol_fail("task " + graph_.task(t).name +
+                              " accesses arbitrated " +
+                              binding_.resource_name(resource) +
+                              " without requesting it");
+              } else if (!has_grant(t, resource)) {
+                ++c.stats.grant_wait_cycles;  // stall, request stays up
+                spent_cycle = true;
+                break;
+              }
+            }
+            // Single-port bank conflict detection.
+            const int bank =
+                binding_.segment_to_bank[static_cast<std::size_t>(op.b)];
+            if (bank >= 0) {
+              int& user = bank_user[static_cast<std::size_t>(bank)];
+              if (user >= 0 && user != static_cast<int>(t)) {
+                ++result.bank_conflicts;
+                fail("bank conflict on " +
+                     binding_.bank_names[static_cast<std::size_t>(bank)] +
+                     " between " + graph_.task(static_cast<TaskId>(user)).name +
+                     " and " + graph_.task(t).name);
+              }
+              user = static_cast<int>(t);
+            }
+            auto& mem = memory_[static_cast<std::size_t>(op.b)];
+            const std::int64_t addr = c.regs[op.c] + op.imm;
+            if (addr < 0 || static_cast<std::size_t>(addr) >= mem.size()) {
+              fail("task " + graph_.task(t).name + " address " +
+                   std::to_string(addr) + " out of segment " +
+                   graph_.segment(static_cast<std::size_t>(op.b)).name);
+              // Non-strict mode: drop the access.
+            } else if (op.code == OpCode::kLoad) {
+              c.regs[op.a] = mem[static_cast<std::size_t>(addr)];
+            } else {
+              mem[static_cast<std::size_t>(addr)] = c.regs[op.a];
+            }
+            ++c.stats.mem_accesses;
+            ++c.pc;
+            ++c.stats.ops_retired;
+            spent_cycle = true;
+            last_progress_cycle = cycle;
+            break;
+          }
+          case OpCode::kSend: {
+            const auto ch = static_cast<std::size_t>(op.b);
+            if (ch < options_.tdm_slots.size() &&
+                options_.tdm_slots[ch].second > 0) {
+              const auto [slot, period] = options_.tdm_slots[ch];
+              if (cycle % static_cast<std::uint64_t>(period) !=
+                  static_cast<std::uint64_t>(slot)) {
+                ++c.stats.grant_wait_cycles;  // waiting for the time slot
+                spent_cycle = true;
+                break;
+              }
+            }
+            const int resource = driven_resource(op);
+            const auto [ai, port] = arbiter_port(t, resource);
+            const bool naive =
+                options_.naive_shared_channel_register &&
+                binding_.channel_to_phys[ch] >= 0;
+            // Receiver-side backpressure comes first: the sender can see
+            // its receiver's ready line regardless of the channel grant,
+            // and — so no one starves behind a blocked holder — it
+            // deasserts its own channel request while stalled.
+            if (!naive && chan_reg[ch].valid) {
+              if (c.requesting >= 0 && c.requesting == resource) {
+                c.dropped_request = c.requesting;
+                c.requesting = -1;
+              }
+              ++c.stats.backpressure_cycles;
+              spent_cycle = true;
+              break;
+            }
+            if (!naive && c.dropped_request == resource &&
+                c.requesting != resource && ai >= 0 && port >= 0) {
+              // Re-assert the request dropped during backpressure (one
+              // cycle, like the Fig. 8 Req:=1 step).
+              c.requesting = resource;
+              c.dropped_request = -1;
+              c.request_since = cycle;
+              spent_cycle = true;
+              break;
+            }
+            if (ai >= 0 && port >= 0) {
+              if (c.requesting != resource) {
+                protocol_fail("task " + graph_.task(t).name +
+                              " sends on arbitrated " +
+                              binding_.resource_name(resource) +
+                              " without requesting it");
+              } else if (!has_grant(t, resource)) {
+                ++c.stats.grant_wait_cycles;
+                spent_cycle = true;
+                break;
+              }
+            }
+            const int phys = binding_.channel_to_phys[ch];
+            if (phys >= 0) {
+              int& user = chan_user[static_cast<std::size_t>(phys)];
+              if (user >= 0 && user != static_cast<int>(t)) {
+                ++result.channel_conflicts;
+                fail("channel conflict on " +
+                     binding_
+                         .phys_channel_names[static_cast<std::size_t>(phys)] +
+                     " between " + graph_.task(static_cast<TaskId>(user)).name +
+                     " and " + graph_.task(t).name);
+              }
+              user = static_cast<int>(t);
+            }
+            if (naive) {
+              // The broken baseline clobbers silently (that is its point).
+              NaiveReg& reg = naive_reg[static_cast<std::size_t>(phys)];
+              reg.valid = true;
+              reg.value = c.regs[op.a];
+              reg.writer = op.b;
+            } else {
+              chan_reg[ch].valid = true;
+              chan_reg[ch].value = c.regs[op.a];
+            }
+            ++c.stats.channel_ops;
+            ++c.pc;
+            ++c.stats.ops_retired;
+            spent_cycle = true;
+            last_progress_cycle = cycle;
+            break;
+          }
+          case OpCode::kRecv: {
+            const auto ch = static_cast<std::size_t>(op.b);
+            const int phys = binding_.channel_to_phys[ch];
+            bool got = false;
+            if (options_.naive_shared_channel_register && phys >= 0) {
+              // The broken single-register baseline has no per-target valid
+              // handshake: receivers sample whatever the register holds, so
+              // a later transfer on a merged channel is read in place of an
+              // earlier one (counted as a clobbered read).
+              NaiveReg& reg = naive_reg[static_cast<std::size_t>(phys)];
+              if (reg.valid) {
+                if (reg.writer != op.b) ++result.clobbered_reads;
+                c.regs[op.a] = reg.value;
+                got = true;
+              }
+            } else if (chan_reg[ch].valid) {
+              c.regs[op.a] = chan_reg[ch].value;
+              chan_reg[ch].valid = false;
+              got = true;
+            }
+            if (got) {
+              ++c.stats.channel_ops;
+              ++c.pc;
+              ++c.stats.ops_retired;
+              last_progress_cycle = cycle;
+            }
+            spent_cycle = true;  // waiting or consuming both take the cycle
+            break;
+          }
+          default: {
+            // Single-cycle register ops.
+            switch (op.code) {
+              case OpCode::kLoadImm: c.regs[op.a] = op.imm; break;
+              case OpCode::kMov: c.regs[op.a] = c.regs[op.b]; break;
+              case OpCode::kAdd: c.regs[op.a] = c.regs[op.b] + c.regs[op.c]; break;
+              case OpCode::kSub: c.regs[op.a] = c.regs[op.b] - c.regs[op.c]; break;
+              case OpCode::kMul: c.regs[op.a] = c.regs[op.b] * c.regs[op.c]; break;
+              case OpCode::kMulQ:
+                c.regs[op.a] = (c.regs[op.b] * c.regs[op.c]) >> op.imm;
+                break;
+              case OpCode::kShr: c.regs[op.a] = c.regs[op.b] >> op.imm; break;
+              case OpCode::kShl:
+                c.regs[op.a] = static_cast<std::int64_t>(
+                    static_cast<std::uint64_t>(c.regs[op.b]) << op.imm);
+                break;
+              case OpCode::kAddImm: c.regs[op.a] = c.regs[op.b] + op.imm; break;
+              default:
+                RCARB_CHECK(false, "unhandled opcode in simulator");
+            }
+            ++c.pc;
+            ++c.stats.ops_retired;
+            spent_cycle = true;
+            last_progress_cycle = cycle;
+            break;
+          }
+        }
+      }
+    }
+
+    // Phase 4: rebuild the request lines from the tasks' protocol state.
+    std::fill(requests.begin(), requests.end(), 0);
+    for (TaskId t : tasks) {
+      const TaskCtx& c = ctx[t];
+      if (c.finished || c.requesting < 0) continue;
+      const auto [ai, port] = arbiter_port(t, c.requesting);
+      if (ai >= 0 && port >= 0)
+        requests[static_cast<std::size_t>(ai)] |= 1ull << port;
+    }
+
+    ++cycle;
+  }
+
+  result.cycles = cycle;
+  for (TaskId t = 0; t < graph_.num_tasks(); ++t)
+    result.tasks[t] = ctx[t].stats;
+  return result;
+}
+
+}  // namespace rcarb::rcsim

@@ -1,0 +1,104 @@
+// Cycle-level reconfigurable-computer system simulation.
+//
+// Executes the tasks of one temporal partition concurrently, interpreting
+// their (arbitration-rewritten) programs cycle by cycle against single-port
+// memory banks, inter-PE channels with receiver-side registers (paper
+// Sec. 4.3) and the behavioral arbiters of core/policy.  The simulator
+// enforces the Fig. 8 protocol: an access to an arbitrated resource
+// without the grant is a protocol violation, and two simultaneous drivers
+// of one bank or physical channel are a hardware conflict.  Both are
+// detected and reported — the unarbitrated baseline benches rely on the
+// detector to show *why* arbitration is necessary.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/insertion.hpp"
+#include "core/policy.hpp"
+#include "taskgraph/taskgraph.hpp"
+
+namespace rcarb::rcsim {
+
+struct SimOptions {
+  std::uint64_t max_cycles = 50'000'000;
+  /// Preemption window for round-robin arbiters (0 = paper's base form).
+  int rr_max_hold = 0;
+  std::uint64_t seed = 1;  // random-policy arbiters
+  /// Throw on protocol violations / conflicts instead of recording them.
+  bool strict = true;
+  /// Model the *broken* alternative to Fig. 3's receiver-side registers:
+  /// one register per physical channel, so merged transfers can clobber
+  /// each other (used by the Table 1 bench to demonstrate the hazard).
+  bool naive_shared_channel_register = false;
+  /// Virtual-wires-style static TDM baseline (related work, Sec. 1.2):
+  /// per logical channel, an optional (slot, period) pair.  A send must
+  /// wait until cycle % period == slot; no arbiter is involved.  Empty =
+  /// arbitrated sharing as in the paper.
+  std::vector<std::pair<int, int>> tdm_slots;  // per ChannelId; period 0=off
+};
+
+struct TaskStats {
+  bool ran = false;
+  std::uint64_t start_cycle = 0;
+  std::uint64_t finish_cycle = 0;
+  std::uint64_t ops_retired = 0;
+  std::uint64_t mem_accesses = 0;
+  std::uint64_t channel_ops = 0;
+  std::uint64_t grant_wait_cycles = 0;  // stalled awaiting a grant
+  std::uint64_t backpressure_cycles = 0;  // sends stalled on a full register
+  std::uint64_t acquires = 0;
+};
+
+struct ArbiterStats {
+  std::string resource_name;
+  int ports = 0;
+  std::uint64_t grants = 0;         // grant-holder changes
+  std::uint64_t granted_cycles = 0; // cycles with any grant asserted
+  std::uint64_t max_wait = 0;       // longest request-to-grant wait
+};
+
+struct SimResult {
+  std::uint64_t cycles = 0;
+  std::vector<TaskStats> tasks;       // per TaskId
+  std::vector<ArbiterStats> arbiters; // per plan arbiter
+  std::uint64_t bank_conflicts = 0;
+  std::uint64_t channel_conflicts = 0;
+  std::uint64_t protocol_violations = 0;
+  std::uint64_t clobbered_reads = 0;  // naive shared-register corruption
+  std::vector<std::string> diagnostics;
+};
+
+/// Simulates one temporal partition of a bound, arbitration-planned design.
+/// Owns copies of the graph, binding and plan, so callers may pass
+/// temporaries freely.
+class SystemSimulator {
+ public:
+  /// The graph must be the *rewritten* graph from insert_arbitration (or an
+  /// un-rewritten one when demonstrating violations with an empty plan).
+  SystemSimulator(tg::TaskGraph graph, core::Binding binding,
+                  core::ArbitrationPlan plan, SimOptions options = {});
+
+  /// Pre-loads a segment's words (resizes to the segment's declared size).
+  void write_segment(tg::SegmentId s, const std::vector<std::int64_t>& words);
+  [[nodiscard]] const std::vector<std::int64_t>& segment_data(
+      tg::SegmentId s) const;
+
+  /// Runs the given tasks to completion (or max_cycles) and returns stats.
+  /// Tasks outside `tasks` are treated as already finished for control
+  /// dependencies.  May be called repeatedly; memory persists across runs.
+  SimResult run(const std::vector<tg::TaskId>& tasks);
+
+ private:
+  struct TaskCtx;
+
+  tg::TaskGraph graph_;
+  core::Binding binding_;
+  core::ArbitrationPlan plan_;
+  SimOptions options_;
+  std::vector<std::vector<std::int64_t>> memory_;  // per segment
+};
+
+}  // namespace rcarb::rcsim

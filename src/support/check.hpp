@@ -1,0 +1,35 @@
+// Runtime checking utilities.
+//
+// RCARB_CHECK is for *caller* errors (bad arguments, protocol misuse): it is
+// always on and throws rcarb::CheckError so library users get a diagnosable
+// failure instead of UB.  RCARB_ASSERT is for *internal* invariants and
+// compiles to the same check (these libraries are not on a hot enough path to
+// justify compiling invariant checks out).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace rcarb {
+
+/// Thrown when a precondition or invariant check fails.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void check_failed(const char* expr, const char* file, int line,
+                               const std::string& msg);
+}  // namespace detail
+
+}  // namespace rcarb
+
+#define RCARB_CHECK(expr, msg)                                        \
+  do {                                                                \
+    if (!(expr)) {                                                    \
+      ::rcarb::detail::check_failed(#expr, __FILE__, __LINE__, (msg)); \
+    }                                                                 \
+  } while (false)
+
+#define RCARB_ASSERT(expr, msg) RCARB_CHECK(expr, msg)

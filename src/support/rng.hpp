@@ -1,0 +1,36 @@
+// Deterministic pseudo-random number generator (xoshiro256**).
+//
+// Every randomized algorithm in this project (FM tie-breaking, the random
+// arbitration policy, property-test vector generation) takes an explicit Rng
+// so that runs are reproducible from a single seed.
+#pragma once
+
+#include <cstdint>
+
+namespace rcarb {
+
+/// xoshiro256** by Blackman & Vigna — fast, high quality, tiny state.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+  /// Uniform 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform value in [0, bound) using Lemire's rejection method.  bound > 0.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform value in [lo, hi] inclusive.  lo <= hi.
+  std::int64_t next_in(std::int64_t lo, std::int64_t hi);
+
+  /// Bernoulli trial with probability num/den.  num <= den, den > 0.
+  bool chance(std::uint64_t num, std::uint64_t den);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace rcarb

@@ -1,0 +1,40 @@
+// ASCII table rendering used by the benchmark harnesses to print the
+// paper-style tables (Figs. 6/7, Table 1, Section 5) before the
+// google-benchmark timings run.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace rcarb {
+
+/// Column-aligned ASCII table with a title, header row and data rows.
+class Table {
+ public:
+  explicit Table(std::string title) : title_(std::move(title)) {}
+
+  /// Sets the header row.  Must be called before add_row.
+  void set_header(std::vector<std::string> header);
+
+  /// Appends one data row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Renders the table; ends with a newline.
+  [[nodiscard]] std::string render() const;
+
+  /// Convenience: renders to stdout.
+  void print() const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with the given number of decimals (locale-independent).
+[[nodiscard]] std::string fmt_fixed(double value, int decimals);
+
+}  // namespace rcarb

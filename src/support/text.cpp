@@ -1,0 +1,43 @@
+#include "support/text.hpp"
+
+#include <cctype>
+#include <sstream>
+
+namespace rcarb {
+
+std::string join(const std::vector<std::string>& items,
+                 const std::string& sep) {
+  std::string out;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (i != 0) out += sep;
+    out += items[i];
+  }
+  return out;
+}
+
+bool is_identifier(const std::string& s) {
+  if (s.empty() || !std::isalpha(static_cast<unsigned char>(s.front())))
+    return false;
+  for (char ch : s)
+    if (!std::isalnum(static_cast<unsigned char>(ch)) && ch != '_')
+      return false;
+  return true;
+}
+
+std::string indent(const std::string& block, int spaces) {
+  const std::string pad(static_cast<std::size_t>(spaces), ' ');
+  std::istringstream in(block);
+  std::ostringstream out;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty()) out << pad << line;
+    out << '\n';
+  }
+  return out.str();
+}
+
+std::string signal_name(const std::string& base, std::size_t i) {
+  return base + std::to_string(i);
+}
+
+}  // namespace rcarb

@@ -1,0 +1,23 @@
+// Small string helpers shared across modules (name mangling for generated
+// RTL, joining, simple indentation for the VHDL emitter).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace rcarb {
+
+/// Joins items with a separator: join({"a","b"}, ", ") == "a, b".
+[[nodiscard]] std::string join(const std::vector<std::string>& items,
+                               const std::string& sep);
+
+/// True if `s` is a valid identifier: [A-Za-z][A-Za-z0-9_]*.
+[[nodiscard]] bool is_identifier(const std::string& s);
+
+/// Indents every line of `block` by `spaces` spaces.
+[[nodiscard]] std::string indent(const std::string& block, int spaces);
+
+/// "name" + index, e.g. signal_name("req", 3) == "req3".
+[[nodiscard]] std::string signal_name(const std::string& base, std::size_t i);
+
+}  // namespace rcarb

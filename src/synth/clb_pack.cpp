@@ -1,0 +1,56 @@
+#include "synth/clb_pack.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace rcarb::synth {
+
+ClbReport pack_xc4000e(const netlist::Netlist& nl) {
+  ClbReport report;
+  report.luts = nl.num_luts();
+  report.ffs = nl.num_dffs();
+
+  const auto fanout = nl.fanout_counts();
+
+  // Greedy H-absorption: a LUT with <= 3 inputs of which at least two are
+  // single-fanout outputs of other (still unclaimed) LUTs can become the H
+  // generator of a CLB whose F and G are those two feeder LUTs.
+  std::vector<bool> claimed(nl.num_luts(), false);
+  std::size_t h_triples = 0;
+  for (std::size_t i = 0; i < nl.num_luts(); ++i) {
+    if (claimed[i]) continue;
+    const netlist::Lut& lut = nl.luts()[i];
+    if (lut.inputs.size() > 3) continue;
+    std::vector<std::size_t> feeders;
+    for (netlist::NetId in : lut.inputs) {
+      if (nl.driver_kind(in) != netlist::DriverKind::kLut) continue;
+      const std::size_t feeder = nl.driver_index(in);
+      if (feeder == i || claimed[feeder]) continue;
+      if (fanout[in] != 1) continue;
+      feeders.push_back(feeder);
+    }
+    if (feeders.size() < 2) continue;
+    // Claim H + two feeders as one CLB.
+    claimed[i] = true;
+    claimed[feeders[0]] = true;
+    claimed[feeders[1]] = true;
+    ++h_triples;
+  }
+  report.h_luts = h_triples;
+
+  const std::size_t remaining_luts =
+      nl.num_luts() - 3 * h_triples;  // F/G-eligible LUTs left
+  const std::size_t fg_clbs = (remaining_luts + 1) / 2;
+  const std::size_t logic_clbs = h_triples + fg_clbs;
+
+  // Flip-flops ride along: each logic CLB offers 2 FF slots; overflow FFs
+  // occupy CLBs of their own (2 per CLB).
+  const std::size_t ff_capacity = 2 * logic_clbs;
+  const std::size_t overflow_ffs =
+      nl.num_dffs() > ff_capacity ? nl.num_dffs() - ff_capacity : 0;
+  report.ff_only_clbs = (overflow_ffs + 1) / 2;
+  report.clbs = logic_clbs + report.ff_only_clbs;
+  return report;
+}
+
+}  // namespace rcarb::synth

@@ -1,0 +1,28 @@
+// XC4000e CLB packing.
+//
+// The Xilinx XC4000-series CLB contains two 4-input function generators
+// (F and G), a third 3-input function generator (H) whose inputs are the F
+// and G outputs plus one direct signal, and two D flip-flops.  The packer
+// estimates how many CLBs a mapped LUT/DFF netlist occupies, which is the
+// unit in which the paper's Fig. 6 reports arbiter area.
+#pragma once
+
+#include <cstddef>
+
+#include "netlist/netlist.hpp"
+
+namespace rcarb::synth {
+
+/// Outcome of packing a netlist into XC4000e CLBs.
+struct ClbReport {
+  std::size_t clbs = 0;         // total CLBs used
+  std::size_t luts = 0;         // 4-input LUTs packed as F/G
+  std::size_t h_luts = 0;       // LUTs absorbed into H function generators
+  std::size_t ffs = 0;          // flip-flops
+  std::size_t ff_only_clbs = 0; // CLBs used purely for flip-flops
+};
+
+/// Packs the netlist; greedy H-absorption, then F/G pairing, then FFs.
+[[nodiscard]] ClbReport pack_xc4000e(const netlist::Netlist& netlist);
+
+}  // namespace rcarb::synth

@@ -1,0 +1,65 @@
+#include "synth/elaborate.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+#include "support/text.hpp"
+
+namespace rcarb::synth {
+
+ElaboratedFsm elaborate(const Fsm& fsm, const StateCodes& codes) {
+  RCARB_CHECK(codes.code.size() == fsm.num_states(),
+              "state codes do not match the FSM");
+  ElaboratedFsm e;
+  e.num_inputs = fsm.num_inputs();
+  e.num_state_bits = codes.num_bits;
+  e.reset_code = codes.code[fsm.reset_state()];
+  RCARB_CHECK(e.num_vars() <= logic::kMaxVars,
+              "FSM too wide to elaborate (inputs + state bits > 64)");
+
+  const int nvars = e.num_vars();
+  e.next_state.assign(static_cast<std::size_t>(codes.num_bits),
+                      logic::Cover(nvars));
+  e.outputs.assign(static_cast<std::size_t>(fsm.num_outputs()),
+                   logic::Cover(nvars));
+
+  for (const Transition& t : fsm.transitions()) {
+    // Guard variables are already [0, I); state recognizer sits at [I, I+B).
+    const logic::Cube state_cube = codes.state_cube(t.from, e.num_inputs);
+    const logic::Cube full = t.guard.intersect(state_cube);
+    const std::uint64_t to_code = codes.code[t.to];
+    for (int b = 0; b < codes.num_bits; ++b)
+      if ((to_code >> b) & 1u)
+        e.next_state[static_cast<std::size_t>(b)].add(full);
+    for (int o = 0; o < fsm.num_outputs(); ++o)
+      if ((t.outputs >> o) & 1u)
+        e.outputs[static_cast<std::size_t>(o)].add(full);
+  }
+
+  // Don't-care set: dense encodings may leave unused codes.  (One-hot uses
+  // single-literal recognizers instead, so no DC cover is produced.)
+  if (codes.encoding != Encoding::kOneHot) {
+    const std::uint64_t num_codes = 1ull << codes.num_bits;
+    logic::Cover dc(nvars);
+    for (std::uint64_t c = 0; c < num_codes; ++c) {
+      if (std::find(codes.code.begin(), codes.code.end(), c) !=
+          codes.code.end())
+        continue;
+      logic::Cube cube;
+      for (int b = 0; b < codes.num_bits; ++b)
+        cube = cube.with_literal(e.num_inputs + b, ((c >> b) & 1u) != 0);
+      dc.add(cube);
+    }
+    if (!dc.empty()) e.dc = std::move(dc);
+  }
+
+  for (int i = 0; i < fsm.num_inputs(); ++i)
+    e.input_names.push_back(fsm.input_name(i));
+  for (int b = 0; b < codes.num_bits; ++b)
+    e.state_bit_names.push_back(signal_name("state", static_cast<std::size_t>(b)));
+  for (int o = 0; o < fsm.num_outputs(); ++o)
+    e.output_names.push_back(fsm.output_name(o));
+  return e;
+}
+
+}  // namespace rcarb::synth

@@ -1,0 +1,40 @@
+// FSM elaboration: from symbolic FSM + state codes to Boolean covers.
+//
+// Variable convention for all produced covers: FSM inputs occupy variables
+// [0, I) and current-state register bits occupy [I, I+B).  Each next-state
+// bit and each Mealy output becomes one ON-set cover; unused dense codes
+// become a shared don't-care cover the minimizer may exploit.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "logic/cover.hpp"
+#include "synth/encoding.hpp"
+#include "synth/fsm.hpp"
+
+namespace rcarb::synth {
+
+/// The Boolean view of an encoded FSM.
+struct ElaboratedFsm {
+  int num_inputs = 0;      // I
+  int num_state_bits = 0;  // B
+  std::uint64_t reset_code = 0;
+
+  std::vector<logic::Cover> next_state;  // size B, over I+B variables
+  std::vector<logic::Cover> outputs;     // size O, over I+B variables
+  std::optional<logic::Cover> dc;        // unused-code don't-cares
+
+  std::vector<std::string> input_names;      // size I
+  std::vector<std::string> state_bit_names;  // size B
+  std::vector<std::string> output_names;     // size O
+
+  [[nodiscard]] int num_vars() const { return num_inputs + num_state_bits; }
+};
+
+/// Elaborates a validated FSM under the given state codes.
+[[nodiscard]] ElaboratedFsm elaborate(const Fsm& fsm, const StateCodes& codes);
+
+}  // namespace rcarb::synth

@@ -1,0 +1,66 @@
+#include "synth/encoding.hpp"
+
+#include <bit>
+
+#include "support/check.hpp"
+
+namespace rcarb::synth {
+
+const char* to_string(Encoding e) {
+  switch (e) {
+    case Encoding::kOneHot:
+      return "one-hot";
+    case Encoding::kCompact:
+      return "compact";
+    case Encoding::kGray:
+      return "gray";
+  }
+  return "?";
+}
+
+logic::Cube StateCodes::state_cube(StateId s, int first_var) const {
+  RCARB_CHECK(s < code.size(), "state out of range");
+  logic::Cube c;
+  if (encoding == Encoding::kOneHot) {
+    const int bit = std::countr_zero(code[s]);
+    return c.with_literal(first_var + bit, true);
+  }
+  for (int b = 0; b < num_bits; ++b)
+    c = c.with_literal(first_var + b, ((code[s] >> b) & 1u) != 0);
+  return c;
+}
+
+std::size_t StateCodes::decode(std::uint64_t code_bits) const {
+  for (std::size_t s = 0; s < code.size(); ++s)
+    if (code[s] == code_bits) return s;
+  return npos;
+}
+
+StateCodes encode_states(const Fsm& fsm, Encoding encoding) {
+  const std::size_t n = fsm.num_states();
+  RCARB_CHECK(n >= 1, "cannot encode an empty FSM");
+  StateCodes sc;
+  sc.encoding = encoding;
+  sc.code.resize(n);
+  switch (encoding) {
+    case Encoding::kOneHot: {
+      RCARB_CHECK(n <= 64, "one-hot supports at most 64 states");
+      sc.num_bits = static_cast<int>(n);
+      for (std::size_t s = 0; s < n; ++s) sc.code[s] = 1ull << s;
+      break;
+    }
+    case Encoding::kCompact: {
+      sc.num_bits = std::max(1, static_cast<int>(std::bit_width(n - 1)));
+      for (std::size_t s = 0; s < n; ++s) sc.code[s] = s;
+      break;
+    }
+    case Encoding::kGray: {
+      sc.num_bits = std::max(1, static_cast<int>(std::bit_width(n - 1)));
+      for (std::size_t s = 0; s < n; ++s) sc.code[s] = s ^ (s >> 1);
+      break;
+    }
+  }
+  return sc;
+}
+
+}  // namespace rcarb::synth

@@ -1,0 +1,49 @@
+// State assignment (encoding) schemes.
+//
+// The paper's arbiter generator offers one-hot, "compact" (minimum-length
+// binary) and the synthesis tool's default; Fig. 6/7 compare one-hot vs
+// compact.  We add gray as a third explicit scheme for the encoding
+// ablation bench.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "logic/cover.hpp"
+#include "synth/fsm.hpp"
+
+namespace rcarb::synth {
+
+/// FSM state encoding scheme.
+enum class Encoding : std::uint8_t {
+  kOneHot,   // one flip-flop per state
+  kCompact,  // minimum-length binary
+  kGray,     // minimum-length gray code
+};
+
+[[nodiscard]] const char* to_string(Encoding e);
+
+/// A concrete state assignment: every state has a code over `num_bits`
+/// register bits.
+struct StateCodes {
+  Encoding encoding = Encoding::kOneHot;
+  int num_bits = 0;
+  std::vector<std::uint64_t> code;  // per StateId
+
+  /// Recognizer cube for a state over variables [first_var, first_var +
+  /// num_bits).  One-hot uses the standard single-literal recognizer (code
+  /// validity is an invariant of the register bank); dense codes use the
+  /// full code.
+  [[nodiscard]] logic::Cube state_cube(StateId s, int first_var) const;
+
+  /// The state whose code equals `code_bits`, or npos if invalid.
+  [[nodiscard]] std::size_t decode(std::uint64_t code_bits) const;
+
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+};
+
+/// Assigns codes to all states of `fsm` under `encoding`.
+[[nodiscard]] StateCodes encode_states(const Fsm& fsm, Encoding encoding);
+
+}  // namespace rcarb::synth

@@ -1,0 +1,87 @@
+#include "synth/fsm.hpp"
+
+#include "support/check.hpp"
+
+namespace rcarb::synth {
+
+StateId Fsm::add_state(std::string name) {
+  states_.push_back(std::move(name));
+  return states_.size() - 1;
+}
+
+int Fsm::add_input(std::string name) {
+  RCARB_CHECK(inputs_.size() < 64, "at most 64 FSM inputs supported");
+  inputs_.push_back(std::move(name));
+  return static_cast<int>(inputs_.size() - 1);
+}
+
+int Fsm::add_output(std::string name) {
+  RCARB_CHECK(outputs_.size() < 64, "at most 64 FSM outputs supported");
+  outputs_.push_back(std::move(name));
+  return static_cast<int>(outputs_.size() - 1);
+}
+
+void Fsm::set_reset_state(StateId s) {
+  RCARB_CHECK(s < states_.size(), "reset state out of range");
+  reset_state_ = s;
+}
+
+void Fsm::add_transition(StateId from, const logic::Cube& guard, StateId to,
+                         std::uint64_t outputs) {
+  RCARB_CHECK(from < states_.size() && to < states_.size(),
+              "transition endpoint out of range");
+  RCARB_CHECK((guard.mask() >> inputs_.size()) == 0 || inputs_.size() == 64,
+              "guard uses variables beyond the FSM inputs");
+  RCARB_CHECK(outputs_.size() == 64 || (outputs >> outputs_.size()) == 0,
+              "output bits beyond declared outputs");
+  transitions_.push_back({from, guard, to, outputs});
+}
+
+void Fsm::validate() const {
+  RCARB_CHECK(!states_.empty(), "FSM has no states");
+  for (StateId s = 0; s < states_.size(); ++s) {
+    logic::Cover guards(num_inputs());
+    std::vector<const Transition*> from_s;
+    for (const Transition& t : transitions_)
+      if (t.from == s) from_s.push_back(&t);
+    RCARB_CHECK(!from_s.empty(),
+                "state " + states_[s] + " has no outgoing transitions");
+    for (std::size_t i = 0; i < from_s.size(); ++i) {
+      for (std::size_t j = i + 1; j < from_s.size(); ++j) {
+        RCARB_CHECK(!from_s[i]->guard.intersects(from_s[j]->guard),
+                    "overlapping guards from state " + states_[s]);
+      }
+      guards.add(from_s[i]->guard);
+    }
+    RCARB_CHECK(guards.is_tautology(),
+                "incomplete guards from state " + states_[s]);
+  }
+}
+
+const std::string& Fsm::state_name(StateId s) const {
+  RCARB_CHECK(s < states_.size(), "state out of range");
+  return states_[s];
+}
+
+const std::string& Fsm::input_name(int i) const {
+  RCARB_CHECK(i >= 0 && i < num_inputs(), "input out of range");
+  return inputs_[static_cast<std::size_t>(i)];
+}
+
+const std::string& Fsm::output_name(int o) const {
+  RCARB_CHECK(o >= 0 && o < num_outputs(), "output out of range");
+  return outputs_[static_cast<std::size_t>(o)];
+}
+
+Fsm::StepResult Fsm::step(StateId state, std::uint64_t inputs) const {
+  RCARB_CHECK(state < states_.size(), "state out of range");
+  for (const Transition& t : transitions_) {
+    if (t.from != state) continue;
+    if (t.guard.eval(inputs)) return {t.to, t.outputs};
+  }
+  RCARB_CHECK(false, "no transition matches (FSM incomplete) from state " +
+                         states_[state]);
+  return {0, 0};  // unreachable
+}
+
+}  // namespace rcarb::synth

@@ -1,0 +1,84 @@
+// Finite state machine specifications (Mealy style).
+//
+// An Fsm is the synthesis-facing description of a controller: named states,
+// named inputs and outputs, and transitions guarded by cubes over the
+// inputs.  Outputs are Mealy: they are attached to transitions, as in the
+// paper's Fig. 5 where the grant is issued combinationally with the state
+// change.  validate() checks determinism (pairwise-disjoint guards per
+// state) and completeness (guards of every state cover the input space).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "logic/cover.hpp"
+
+namespace rcarb::synth {
+
+/// Index of a state within an Fsm.
+using StateId = std::size_t;
+
+/// One guarded transition with Mealy outputs.
+struct Transition {
+  StateId from = 0;
+  logic::Cube guard;           // over the FSM inputs (vars 0..I-1)
+  StateId to = 0;
+  std::uint64_t outputs = 0;   // bit o set => output o asserted
+};
+
+/// A Mealy FSM over named states, inputs and outputs.
+class Fsm {
+ public:
+  explicit Fsm(std::string name) : name_(std::move(name)) {}
+
+  StateId add_state(std::string name);
+  int add_input(std::string name);
+  int add_output(std::string name);
+
+  /// First state added is the reset state unless overridden here.
+  void set_reset_state(StateId s);
+
+  void add_transition(StateId from, const logic::Cube& guard, StateId to,
+                      std::uint64_t outputs);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] std::size_t num_states() const { return states_.size(); }
+  [[nodiscard]] int num_inputs() const {
+    return static_cast<int>(inputs_.size());
+  }
+  [[nodiscard]] int num_outputs() const {
+    return static_cast<int>(outputs_.size());
+  }
+  [[nodiscard]] StateId reset_state() const { return reset_state_; }
+
+  [[nodiscard]] const std::string& state_name(StateId s) const;
+  [[nodiscard]] const std::string& input_name(int i) const;
+  [[nodiscard]] const std::string& output_name(int o) const;
+  [[nodiscard]] const std::vector<Transition>& transitions() const {
+    return transitions_;
+  }
+
+  /// Throws CheckError if any state's guards overlap or leave input
+  /// combinations unhandled.
+  void validate() const;
+
+  /// Reference semantics: executes one step from `state` on `inputs`
+  /// (bit i = input i); returns {next_state, outputs}.  Requires validated
+  /// determinism (first matching transition is THE matching transition).
+  struct StepResult {
+    StateId next_state;
+    std::uint64_t outputs;
+  };
+  [[nodiscard]] StepResult step(StateId state, std::uint64_t inputs) const;
+
+ private:
+  std::string name_;
+  std::vector<std::string> states_;
+  std::vector<std::string> inputs_;
+  std::vector<std::string> outputs_;
+  std::vector<Transition> transitions_;
+  StateId reset_state_ = 0;
+};
+
+}  // namespace rcarb::synth

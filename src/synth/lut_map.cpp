@@ -1,0 +1,228 @@
+#include "synth/lut_map.hpp"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+#include "support/check.hpp"
+#include "support/text.hpp"
+
+namespace rcarb::synth {
+
+namespace {
+
+using aig::Aig;
+using aig::Lit;
+
+/// A k-feasible cut: sorted unique leaf node ids.
+struct Cut {
+  std::vector<std::uint32_t> leaves;
+  int depth = 0;
+  double area_flow = 0.0;
+};
+
+bool leaves_equal(const Cut& a, const Cut& b) { return a.leaves == b.leaves; }
+
+/// Merges two leaf sets if the union stays within k.
+bool merge_leaves(const std::vector<std::uint32_t>& a,
+                  const std::vector<std::uint32_t>& b, int k,
+                  std::vector<std::uint32_t>& out) {
+  out.clear();
+  std::size_t i = 0, j = 0;
+  while (i < a.size() || j < b.size()) {
+    std::uint32_t next;
+    if (j >= b.size() || (i < a.size() && a[i] < b[j]))
+      next = a[i++];
+    else if (i >= a.size() || b[j] < a[i])
+      next = b[j++];
+    else {
+      next = a[i];
+      ++i;
+      ++j;
+    }
+    out.push_back(next);
+    if (out.size() > static_cast<std::size_t>(k)) return false;
+  }
+  return true;
+}
+
+/// Evaluates the cone of `root` over an assignment of the cut leaves.
+bool eval_cone(const Aig& aig, std::uint32_t root,
+               const std::vector<std::uint32_t>& leaves,
+               std::uint32_t leaf_values,
+               std::unordered_map<std::uint32_t, bool>& memo) {
+  if (root == 0) return false;  // constant node
+  for (std::size_t i = 0; i < leaves.size(); ++i)
+    if (leaves[i] == root) return ((leaf_values >> i) & 1u) != 0;
+  if (auto it = memo.find(root); it != memo.end()) return it->second;
+  RCARB_ASSERT(aig.is_and(root), "cone walk reached an unexpected node");
+  const Lit f0 = aig.fanin0(root);
+  const Lit f1 = aig.fanin1(root);
+  const bool v0 = eval_cone(aig, aig::lit_node(f0), leaves, leaf_values, memo) ^
+                  aig::lit_compl(f0);
+  const bool v1 = eval_cone(aig, aig::lit_node(f1), leaves, leaf_values, memo) ^
+                  aig::lit_compl(f1);
+  const bool v = v0 && v1;
+  memo.emplace(root, v);
+  return v;
+}
+
+std::uint16_t cut_truth_table(const Aig& aig, std::uint32_t root,
+                              const std::vector<std::uint32_t>& leaves) {
+  std::uint16_t mask = 0;
+  const std::uint32_t rows = 1u << leaves.size();
+  for (std::uint32_t row = 0; row < rows; ++row) {
+    std::unordered_map<std::uint32_t, bool> memo;
+    if (eval_cone(aig, root, leaves, row, memo))
+      mask = static_cast<std::uint16_t>(mask | (1u << row));
+  }
+  return mask;
+}
+
+}  // namespace
+
+std::vector<netlist::NetId> map_aig(const Aig& aig, const MapOptions& options,
+                                    netlist::Netlist& out,
+                                    const std::vector<netlist::NetId>& input_nets,
+                                    const std::string& prefix,
+                                    MapStats* stats) {
+  RCARB_CHECK(options.cut_size >= 2 &&
+                  options.cut_size <=
+                      static_cast<int>(netlist::kMaxLutInputs),
+              "cut size out of range");
+  RCARB_CHECK(input_nets.size() == aig.num_inputs(),
+              "input net count must match AIG inputs");
+
+  const std::size_t n = aig.num_nodes();
+
+  // ---- Phase 1: priority-cut enumeration, best cut per node. ----
+  std::vector<std::vector<Cut>> cuts(n);
+  std::vector<Cut> best(n);
+
+  auto better = [&](const Cut& a, const Cut& b) {
+    if (options.objective == MapObjective::kDepth) {
+      if (a.depth != b.depth) return a.depth < b.depth;
+      if (a.area_flow != b.area_flow) return a.area_flow < b.area_flow;
+    } else {
+      if (a.area_flow != b.area_flow) return a.area_flow < b.area_flow;
+      if (a.depth != b.depth) return a.depth < b.depth;
+    }
+    return a.leaves.size() < b.leaves.size();
+  };
+
+  for (std::uint32_t node = 0; node < n; ++node) {
+    if (node == 0 || aig.is_input(node)) {
+      Cut trivial{{node}, 0, 0.0};
+      cuts[node] = {trivial};
+      best[node] = trivial;
+      continue;
+    }
+    const Lit f0 = aig.fanin0(node);
+    const Lit f1 = aig.fanin1(node);
+    const std::uint32_t n0 = aig::lit_node(f0);
+    const std::uint32_t n1 = aig::lit_node(f1);
+
+    std::vector<Cut> mine;
+    std::vector<std::uint32_t> merged;
+    for (const Cut& c0 : cuts[n0]) {
+      for (const Cut& c1 : cuts[n1]) {
+        if (!merge_leaves(c0.leaves, c1.leaves, options.cut_size, merged))
+          continue;
+        Cut c;
+        c.leaves = merged;
+        c.depth = 0;
+        c.area_flow = 1.0;
+        for (std::uint32_t leaf : c.leaves) {
+          c.depth = std::max(c.depth, best[leaf].depth + 1);
+          c.area_flow += best[leaf].area_flow;
+        }
+        bool duplicate = false;
+        for (const Cut& existing : mine)
+          if (leaves_equal(existing, c)) {
+            duplicate = true;
+            break;
+          }
+        if (!duplicate) mine.push_back(std::move(c));
+      }
+    }
+    RCARB_ASSERT(!mine.empty(), "AND node with no feasible cut");
+    std::sort(mine.begin(), mine.end(), better);
+    if (mine.size() > static_cast<std::size_t>(options.cuts_per_node))
+      mine.resize(static_cast<std::size_t>(options.cuts_per_node));
+    best[node] = mine.front();
+    // Trivial cut participates in consumers' merges but is never selected
+    // as the node's own implementation.
+    mine.push_back(Cut{{node}, best[node].depth, best[node].area_flow});
+    cuts[node] = std::move(mine);
+  }
+
+  // ---- Phase 2: cover from the outputs down, materializing LUTs. ----
+  // plain_net[node]: net carrying the node's (uncomplemented) function.
+  std::vector<netlist::NetId> plain_net(n, netlist::NetId(-1));
+  std::vector<int> lut_level(n, 0);
+  for (std::size_t i = 0; i < input_nets.size(); ++i)
+    plain_net[i + 1] = input_nets[i];
+
+  netlist::NetId const_net = netlist::NetId(-1);
+  auto get_const_net = [&]() {
+    if (const_net == netlist::NetId(-1))
+      const_net = out.add_lut({}, 0, prefix + "const0");
+    return const_net;
+  };
+
+  std::size_t fresh = 0;
+  auto materialize = [&](auto&& self, std::uint32_t node) -> netlist::NetId {
+    if (node == 0) return get_const_net();
+    if (plain_net[node] != netlist::NetId(-1)) return plain_net[node];
+    RCARB_ASSERT(aig.is_and(node), "materializing an unexpected node");
+    const Cut& cut = best[node];
+    std::vector<netlist::NetId> ins;
+    int level = 0;
+    ins.reserve(cut.leaves.size());
+    for (std::uint32_t leaf : cut.leaves) {
+      ins.push_back(self(self, leaf));
+      level = std::max(level, lut_level[leaf]);
+    }
+    const std::uint16_t mask = cut_truth_table(aig, node, cut.leaves);
+    const netlist::NetId net =
+        out.add_lut(std::move(ins), mask, prefix + "n" + std::to_string(fresh++));
+    plain_net[node] = net;
+    lut_level[node] = level + 1;
+    return net;
+  };
+
+  std::vector<netlist::NetId> output_nets;
+  int max_level = 0;
+  std::size_t luts_before = out.num_luts();
+  for (std::size_t o = 0; o < aig.num_outputs(); ++o) {
+    const Lit driver = aig.output_driver(o);
+    const std::uint32_t node = aig::lit_node(driver);
+    netlist::NetId net;
+    int level;
+    if (node == 0) {
+      // Constant output: a 0-input LUT with the right constant.
+      net = out.add_lut({}, aig::lit_compl(driver) ? std::uint16_t{1}
+                                                   : std::uint16_t{0},
+                        prefix + "const_out" + std::to_string(o));
+      level = 0;
+    } else {
+      net = materialize(materialize, node);
+      level = lut_level[node];
+      if (aig::lit_compl(driver)) {
+        net = out.add_lut({net}, 0b01,
+                          prefix + "inv" + std::to_string(o));
+        level += 1;
+      }
+    }
+    output_nets.push_back(net);
+    max_level = std::max(max_level, level);
+  }
+
+  if (stats != nullptr) {
+    stats->luts = out.num_luts() - luts_before;
+    stats->depth = max_level;
+  }
+  return output_nets;
+}
+
+}  // namespace rcarb::synth

@@ -1,0 +1,45 @@
+#include "taskgraph/dot_export.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace rcarb::tg {
+
+std::string to_dot(const TaskGraph& graph) {
+  std::ostringstream os;
+  os << "digraph \"" << graph.name() << "\" {\n"
+     << "  rankdir=TB;\n"
+     << "  node [fontname=\"Helvetica\"];\n";
+  for (TaskId t = 0; t < graph.num_tasks(); ++t)
+    os << "  t" << t << " [shape=box, label=\"" << graph.task(t).name
+       << "\"];\n";
+  for (SegmentId s = 0; s < graph.num_segments(); ++s)
+    os << "  m" << s << " [shape=ellipse, label=\"" << graph.segment(s).name
+       << "\"];\n";
+
+  // Data edges: task -> segment for writes, segment -> task for reads.
+  for (TaskId t = 0; t < graph.num_tasks(); ++t) {
+    std::vector<int> writes, reads;
+    for (const Op& op : graph.task(t).program.ops()) {
+      if (op.code == OpCode::kStore) writes.push_back(op.b);
+      if (op.code == OpCode::kLoad) reads.push_back(op.b);
+    }
+    std::sort(writes.begin(), writes.end());
+    writes.erase(std::unique(writes.begin(), writes.end()), writes.end());
+    std::sort(reads.begin(), reads.end());
+    reads.erase(std::unique(reads.begin(), reads.end()), reads.end());
+    for (int s : writes) os << "  t" << t << " -> m" << s << ";\n";
+    for (int s : reads) os << "  m" << s << " -> t" << t << ";\n";
+  }
+  for (ChannelId c = 0; c < graph.num_channels(); ++c) {
+    const Channel& ch = graph.channel(c);
+    os << "  t" << ch.source << " -> t" << ch.target << " [label=\""
+       << ch.name << "\"];\n";
+  }
+  for (const auto& [pred, succ] : graph.control_deps())
+    os << "  t" << pred << " -> t" << succ << " [style=dashed];\n";
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace rcarb::tg

@@ -1,0 +1,17 @@
+// Graphviz export of taskgraphs (Fig. 10-style pictures).
+//
+// Tasks are boxes, memory segments ellipses, solid edges are data access
+// (task <-> segment, channel source -> target), dashed edges control
+// dependences — the same drawing conventions as the paper's Fig. 10.
+#pragma once
+
+#include <string>
+
+#include "taskgraph/taskgraph.hpp"
+
+namespace rcarb::tg {
+
+/// Renders the graph in Graphviz dot syntax.
+[[nodiscard]] std::string to_dot(const TaskGraph& graph);
+
+}  // namespace rcarb::tg

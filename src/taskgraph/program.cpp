@@ -1,0 +1,249 @@
+#include "taskgraph/program.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace rcarb::tg {
+
+const char* to_string(OpCode code) {
+  switch (code) {
+    case OpCode::kCompute: return "compute";
+    case OpCode::kLoadImm: return "load_imm";
+    case OpCode::kMov: return "mov";
+    case OpCode::kAdd: return "add";
+    case OpCode::kSub: return "sub";
+    case OpCode::kMul: return "mul";
+    case OpCode::kMulQ: return "mul_q";
+    case OpCode::kShr: return "shr";
+    case OpCode::kShl: return "shl";
+    case OpCode::kAddImm: return "add_imm";
+    case OpCode::kLoad: return "load";
+    case OpCode::kStore: return "store";
+    case OpCode::kSend: return "send";
+    case OpCode::kRecv: return "recv";
+    case OpCode::kLoopBegin: return "loop_begin";
+    case OpCode::kLoopBeginVar: return "loop_begin_var";
+    case OpCode::kLoopEnd: return "loop_end";
+    case OpCode::kAcquire: return "acquire";
+    case OpCode::kRelease: return "release";
+    case OpCode::kHalt: return "halt";
+  }
+  return "?";
+}
+
+namespace {
+void check_reg(Reg r) {
+  RCARB_CHECK(r >= 0 && r < kNumRegs, "register index out of range");
+}
+}  // namespace
+
+Program& Program::compute(std::int64_t cycles) {
+  RCARB_CHECK(cycles >= 0, "negative compute cycles");
+  ops_.push_back({OpCode::kCompute, 0, 0, 0, cycles});
+  return *this;
+}
+Program& Program::load_imm(Reg dst, std::int64_t value) {
+  check_reg(dst);
+  ops_.push_back({OpCode::kLoadImm, dst, 0, 0, value});
+  return *this;
+}
+Program& Program::mov(Reg dst, Reg src) {
+  check_reg(dst);
+  check_reg(src);
+  ops_.push_back({OpCode::kMov, dst, src, 0, 0});
+  return *this;
+}
+Program& Program::add(Reg dst, Reg lhs, Reg rhs) {
+  check_reg(dst);
+  check_reg(lhs);
+  check_reg(rhs);
+  ops_.push_back({OpCode::kAdd, dst, lhs, rhs, 0});
+  return *this;
+}
+Program& Program::sub(Reg dst, Reg lhs, Reg rhs) {
+  check_reg(dst);
+  check_reg(lhs);
+  check_reg(rhs);
+  ops_.push_back({OpCode::kSub, dst, lhs, rhs, 0});
+  return *this;
+}
+Program& Program::mul(Reg dst, Reg lhs, Reg rhs) {
+  check_reg(dst);
+  check_reg(lhs);
+  check_reg(rhs);
+  ops_.push_back({OpCode::kMul, dst, lhs, rhs, 0});
+  return *this;
+}
+Program& Program::mul_q(Reg dst, Reg lhs, Reg rhs, int frac_bits) {
+  check_reg(dst);
+  check_reg(lhs);
+  check_reg(rhs);
+  RCARB_CHECK(frac_bits >= 0 && frac_bits < 63, "bad fixed-point shift");
+  ops_.push_back({OpCode::kMulQ, dst, lhs, rhs, frac_bits});
+  return *this;
+}
+Program& Program::shr(Reg dst, Reg src, int amount) {
+  check_reg(dst);
+  check_reg(src);
+  RCARB_CHECK(amount >= 0 && amount < 64, "bad shift amount");
+  ops_.push_back({OpCode::kShr, dst, src, 0, amount});
+  return *this;
+}
+Program& Program::shl(Reg dst, Reg src, int amount) {
+  check_reg(dst);
+  check_reg(src);
+  RCARB_CHECK(amount >= 0 && amount < 64, "bad shift amount");
+  ops_.push_back({OpCode::kShl, dst, src, 0, amount});
+  return *this;
+}
+Program& Program::add_imm(Reg dst, Reg src, std::int64_t value) {
+  check_reg(dst);
+  check_reg(src);
+  ops_.push_back({OpCode::kAddImm, dst, src, 0, value});
+  return *this;
+}
+Program& Program::load(Reg dst, int segment, Reg addr, std::int64_t offset) {
+  check_reg(dst);
+  check_reg(addr);
+  RCARB_CHECK(segment >= 0, "negative segment id");
+  ops_.push_back({OpCode::kLoad, dst, segment, addr, offset});
+  return *this;
+}
+Program& Program::store(int segment, Reg addr, Reg src, std::int64_t offset) {
+  check_reg(src);
+  check_reg(addr);
+  RCARB_CHECK(segment >= 0, "negative segment id");
+  ops_.push_back({OpCode::kStore, src, segment, addr, offset});
+  return *this;
+}
+Program& Program::send(int channel, Reg src) {
+  check_reg(src);
+  RCARB_CHECK(channel >= 0, "negative channel id");
+  ops_.push_back({OpCode::kSend, src, channel, 0, 0});
+  return *this;
+}
+Program& Program::recv(Reg dst, int channel) {
+  check_reg(dst);
+  RCARB_CHECK(channel >= 0, "negative channel id");
+  ops_.push_back({OpCode::kRecv, dst, channel, 0, 0});
+  return *this;
+}
+Program& Program::loop_begin(std::int64_t count) {
+  RCARB_CHECK(count >= 0, "negative loop count");
+  ops_.push_back({OpCode::kLoopBegin, 0, 0, 0, count});
+  return *this;
+}
+Program& Program::loop_begin_var(Reg count) {
+  check_reg(count);
+  ops_.push_back({OpCode::kLoopBeginVar, count, 0, 0, 0});
+  return *this;
+}
+Program& Program::loop_end() {
+  ops_.push_back({OpCode::kLoopEnd, 0, 0, 0, 0});
+  return *this;
+}
+Program& Program::acquire(int resource) {
+  RCARB_CHECK(resource >= 0, "negative resource id");
+  ops_.push_back({OpCode::kAcquire, resource, 0, 0, 0});
+  return *this;
+}
+Program& Program::release(int resource) {
+  RCARB_CHECK(resource >= 0, "negative resource id");
+  ops_.push_back({OpCode::kRelease, resource, 0, 0, 0});
+  return *this;
+}
+Program& Program::halt() {
+  ops_.push_back({OpCode::kHalt, 0, 0, 0, 0});
+  return *this;
+}
+
+void Program::validate() const {
+  int depth = 0;
+  for (const Op& op : ops_) {
+    if (op.code == OpCode::kLoopBegin || op.code == OpCode::kLoopBeginVar)
+      ++depth;
+    if (op.code == OpCode::kLoopEnd) {
+      RCARB_CHECK(depth > 0, "loop_end without loop_begin");
+      --depth;
+    }
+  }
+  RCARB_CHECK(depth == 0, "unbalanced loop_begin");
+}
+
+namespace {
+std::vector<int> unique_sorted(std::vector<int> v) {
+  std::sort(v.begin(), v.end());
+  v.erase(std::unique(v.begin(), v.end()), v.end());
+  return v;
+}
+}  // namespace
+
+std::vector<int> Program::accessed_segments() const {
+  std::vector<int> v;
+  for (const Op& op : ops_)
+    if (op.code == OpCode::kLoad || op.code == OpCode::kStore)
+      v.push_back(op.b);
+  return unique_sorted(std::move(v));
+}
+
+std::vector<int> Program::sent_channels() const {
+  std::vector<int> v;
+  for (const Op& op : ops_)
+    if (op.code == OpCode::kSend) v.push_back(op.b);
+  return unique_sorted(std::move(v));
+}
+
+std::vector<int> Program::received_channels() const {
+  std::vector<int> v;
+  for (const Op& op : ops_)
+    if (op.code == OpCode::kRecv) v.push_back(op.b);
+  return unique_sorted(std::move(v));
+}
+
+Program::OpCounts Program::op_counts() const {
+  OpCounts counts;
+  for (const Op& op : ops_) {
+    switch (op.code) {
+      case OpCode::kAdd:
+      case OpCode::kSub:
+      case OpCode::kAddImm:
+      case OpCode::kShr:
+      case OpCode::kShl:
+        ++counts.alu;
+        break;
+      case OpCode::kMul:
+      case OpCode::kMulQ:
+        ++counts.multiplies;
+        break;
+      case OpCode::kLoad:
+      case OpCode::kStore:
+        ++counts.mem_accesses;
+        break;
+      case OpCode::kSend:
+      case OpCode::kRecv:
+        ++counts.channel_ops;
+        break;
+      default:
+        break;
+    }
+  }
+  counts.total = ops_.size();
+  return counts;
+}
+
+std::string Program::to_string() const {
+  std::ostringstream os;
+  int indent = 0;
+  for (const Op& op : ops_) {
+    if (op.code == OpCode::kLoopEnd) --indent;
+    for (int i = 0; i < indent; ++i) os << "  ";
+    os << tg::to_string(op.code) << " a=" << op.a << " b=" << op.b
+       << " c=" << op.c << " imm=" << op.imm << '\n';
+    if (op.code == OpCode::kLoopBegin) ++indent;
+  }
+  return os.str();
+}
+
+}  // namespace rcarb::tg

@@ -1,0 +1,117 @@
+// Task-program IR.
+//
+// Each task's behavior is a small register program: loads/stores against
+// *logical* memory segments, sends/receives on *logical* channels, integer
+// ALU operations, fixed-count loops and compute (busy) cycles.  The paper's
+// Fig. 8 task-modification process is implemented as a rewrite of this IR
+// (core/insertion): kAcquire / kRelease ops are inserted around runs of
+// accesses to shared physical resources, which is where the fixed two-cycle
+// arbitration overhead becomes observable in the cycle simulator.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rcarb::tg {
+
+/// Register index within a task's register file.
+using Reg = int;
+
+inline constexpr int kNumRegs = 32;
+
+/// IR opcodes.  Operand meaning per opcode is documented on the builders.
+enum class OpCode : std::uint8_t {
+  kCompute,   // busy for imm cycles
+  kLoadImm,   // r[a] = imm
+  kMov,       // r[a] = r[b]
+  kAdd,       // r[a] = r[b] + r[c]
+  kSub,       // r[a] = r[b] - r[c]
+  kMul,       // r[a] = r[b] * r[c]
+  kMulQ,      // r[a] = (r[b] * r[c]) >> imm   (fixed-point multiply)
+  kShr,       // r[a] = r[b] >> imm (arithmetic)
+  kShl,       // r[a] = r[b] << imm
+  kAddImm,    // r[a] = r[b] + imm
+  kLoad,      // r[a] = segment[b][r[c] + imm]
+  kStore,     // segment[b][r[c] + imm] = r[a]
+  kSend,      // channel[b] <- r[a]
+  kRecv,      // r[a] = channel[b]  (blocks until a value is available)
+  kLoopBegin, // repeat the body imm times (loops may nest)
+  kLoopBeginVar,  // repeat the body r[a] times (data-dependent trip count —
+                  // the "unpredictable loops" of the paper's Sec. 2.2)
+  kLoopEnd,
+  kAcquire,   // request arbitrated resource a (inserted by arbitration pass)
+  kRelease,   // release arbitrated resource a (inserted by arbitration pass)
+  kHalt,      // end of task
+};
+
+[[nodiscard]] const char* to_string(OpCode code);
+
+/// One IR operation.  Fields are interpreted per OpCode.
+struct Op {
+  OpCode code = OpCode::kHalt;
+  int a = 0;             // usually a destination register or resource id
+  int b = 0;             // usually a source register / segment / channel
+  int c = 0;             // usually a second source register
+  std::int64_t imm = 0;  // immediate / cycle count / loop count / shift
+};
+
+/// A straight-line program with structured fixed-count loops.
+class Program {
+ public:
+  // -- builders (return *this for chaining) --
+  Program& compute(std::int64_t cycles);
+  Program& load_imm(Reg dst, std::int64_t value);
+  Program& mov(Reg dst, Reg src);
+  Program& add(Reg dst, Reg lhs, Reg rhs);
+  Program& sub(Reg dst, Reg lhs, Reg rhs);
+  Program& mul(Reg dst, Reg lhs, Reg rhs);
+  Program& mul_q(Reg dst, Reg lhs, Reg rhs, int frac_bits);
+  Program& shr(Reg dst, Reg src, int amount);
+  Program& shl(Reg dst, Reg src, int amount);
+  Program& add_imm(Reg dst, Reg src, std::int64_t value);
+  Program& load(Reg dst, int segment, Reg addr, std::int64_t offset = 0);
+  Program& store(int segment, Reg addr, Reg src, std::int64_t offset = 0);
+  Program& send(int channel, Reg src);
+  Program& recv(Reg dst, int channel);
+  Program& loop_begin(std::int64_t count);
+  /// Loop whose trip count is read from a register at runtime (clamped to
+  /// >= 0).  Static scheduling must assume the worst case for such loops.
+  Program& loop_begin_var(Reg count);
+  Program& loop_end();
+  Program& acquire(int resource);
+  Program& release(int resource);
+  Program& halt();
+
+  void append(const Op& op) { ops_.push_back(op); }
+
+  [[nodiscard]] const std::vector<Op>& ops() const { return ops_; }
+  [[nodiscard]] std::size_t size() const { return ops_.size(); }
+  [[nodiscard]] bool empty() const { return ops_.empty(); }
+
+  /// Throws CheckError on malformed programs (unbalanced loops, bad regs).
+  void validate() const;
+
+  /// Segments read or written anywhere in the program.
+  [[nodiscard]] std::vector<int> accessed_segments() const;
+  /// Channels sent on / received from.
+  [[nodiscard]] std::vector<int> sent_channels() const;
+  [[nodiscard]] std::vector<int> received_channels() const;
+
+  /// Static operation counts used by the light-weight HLS area estimator.
+  struct OpCounts {
+    std::size_t alu = 0;
+    std::size_t multiplies = 0;
+    std::size_t mem_accesses = 0;
+    std::size_t channel_ops = 0;
+    std::size_t total = 0;
+  };
+  [[nodiscard]] OpCounts op_counts() const;
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::vector<Op> ops_;
+};
+
+}  // namespace rcarb::tg

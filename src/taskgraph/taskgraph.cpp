@@ -1,0 +1,162 @@
+#include "taskgraph/taskgraph.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace rcarb::tg {
+
+TaskId TaskGraph::add_task(std::string name, Program program,
+                           std::size_t area_clbs) {
+  program.validate();
+  tasks_.push_back({std::move(name), std::move(program), area_clbs});
+  return tasks_.size() - 1;
+}
+
+SegmentId TaskGraph::add_segment(std::string name, std::size_t bytes,
+                                 std::size_t words) {
+  RCARB_CHECK(words > 0, "segment must have at least one word");
+  segments_.push_back({std::move(name), bytes, words});
+  return segments_.size() - 1;
+}
+
+ChannelId TaskGraph::add_channel(std::string name, int width_bits,
+                                 TaskId source, TaskId target) {
+  RCARB_CHECK(width_bits > 0, "channel width must be positive");
+  RCARB_CHECK(source < tasks_.size() && target < tasks_.size(),
+              "channel endpoint out of range");
+  channels_.push_back({std::move(name), width_bits, source, target});
+  return channels_.size() - 1;
+}
+
+void TaskGraph::add_control_dep(TaskId pred, TaskId succ) {
+  RCARB_CHECK(pred < tasks_.size() && succ < tasks_.size(),
+              "control dependence endpoint out of range");
+  RCARB_CHECK(pred != succ, "self control dependence");
+  control_deps_.emplace_back(pred, succ);
+}
+
+const Task& TaskGraph::task(TaskId t) const {
+  RCARB_CHECK(t < tasks_.size(), "task out of range");
+  return tasks_[t];
+}
+
+Task& TaskGraph::task(TaskId t) {
+  RCARB_CHECK(t < tasks_.size(), "task out of range");
+  return tasks_[t];
+}
+
+const MemorySegment& TaskGraph::segment(SegmentId s) const {
+  RCARB_CHECK(s < segments_.size(), "segment out of range");
+  return segments_[s];
+}
+
+const Channel& TaskGraph::channel(ChannelId c) const {
+  RCARB_CHECK(c < channels_.size(), "channel out of range");
+  return channels_[c];
+}
+
+std::vector<TaskId> TaskGraph::predecessors(TaskId t) const {
+  std::vector<TaskId> out;
+  for (const auto& [pred, succ] : control_deps_)
+    if (succ == t) out.push_back(pred);
+  return out;
+}
+
+std::vector<TaskId> TaskGraph::successors(TaskId t) const {
+  std::vector<TaskId> out;
+  for (const auto& [pred, succ] : control_deps_)
+    if (pred == t) out.push_back(succ);
+  return out;
+}
+
+bool TaskGraph::precedes(TaskId a, TaskId b) const {
+  RCARB_CHECK(a < tasks_.size() && b < tasks_.size(), "task out of range");
+  std::vector<bool> visited(tasks_.size(), false);
+  std::vector<TaskId> stack{a};
+  while (!stack.empty()) {
+    const TaskId t = stack.back();
+    stack.pop_back();
+    if (t == b && t != a) return true;
+    if (visited[t]) continue;
+    visited[t] = true;
+    for (TaskId s : successors(t)) {
+      if (s == b) return true;
+      stack.push_back(s);
+    }
+  }
+  return false;
+}
+
+bool TaskGraph::serialized(TaskId a, TaskId b) const {
+  return precedes(a, b) || precedes(b, a);
+}
+
+std::vector<int> TaskGraph::levels() const {
+  std::vector<int> level(tasks_.size(), 0);
+  std::vector<std::size_t> pending(tasks_.size(), 0);
+  for (const auto& [pred, succ] : control_deps_) ++pending[succ];
+  std::vector<TaskId> ready;
+  for (TaskId t = 0; t < tasks_.size(); ++t)
+    if (pending[t] == 0) ready.push_back(t);
+  std::size_t processed = 0;
+  while (!ready.empty()) {
+    const TaskId t = ready.back();
+    ready.pop_back();
+    ++processed;
+    for (TaskId s : successors(t)) {
+      level[s] = std::max(level[s], level[t] + 1);
+      if (--pending[s] == 0) ready.push_back(s);
+    }
+  }
+  RCARB_CHECK(processed == tasks_.size(),
+              "control-dependence cycle in taskgraph");
+  return level;
+}
+
+void TaskGraph::validate() const {
+  RCARB_CHECK(!tasks_.empty(), "taskgraph has no tasks");
+  (void)levels();  // checks acyclicity
+  for (const Task& t : tasks_) {
+    t.program.validate();
+    for (int s : t.program.accessed_segments())
+      RCARB_CHECK(static_cast<std::size_t>(s) < segments_.size(),
+                  "task " + t.name + " references unknown segment");
+    for (int c : t.program.sent_channels())
+      RCARB_CHECK(static_cast<std::size_t>(c) < channels_.size(),
+                  "task " + t.name + " sends on unknown channel");
+    for (int c : t.program.received_channels())
+      RCARB_CHECK(static_cast<std::size_t>(c) < channels_.size(),
+                  "task " + t.name + " receives on unknown channel");
+  }
+  // Channel direction must match the programs that use it.
+  for (ChannelId c = 0; c < channels_.size(); ++c) {
+    for (TaskId t = 0; t < tasks_.size(); ++t) {
+      const auto sends = tasks_[t].program.sent_channels();
+      const auto recvs = tasks_[t].program.received_channels();
+      if (std::find(sends.begin(), sends.end(), static_cast<int>(c)) !=
+          sends.end())
+        RCARB_CHECK(channels_[c].source == t,
+                    "task " + tasks_[t].name + " sends on channel " +
+                        channels_[c].name + " it does not source");
+      if (std::find(recvs.begin(), recvs.end(), static_cast<int>(c)) !=
+          recvs.end())
+        RCARB_CHECK(channels_[c].target == t,
+                    "task " + tasks_[t].name + " receives on channel " +
+                        channels_[c].name + " it does not target");
+    }
+  }
+}
+
+std::vector<TaskId> TaskGraph::tasks_accessing_segment(SegmentId s) const {
+  RCARB_CHECK(s < segments_.size(), "segment out of range");
+  std::vector<TaskId> out;
+  for (TaskId t = 0; t < tasks_.size(); ++t) {
+    const auto segs = tasks_[t].program.accessed_segments();
+    if (std::find(segs.begin(), segs.end(), static_cast<int>(s)) != segs.end())
+      out.push_back(t);
+  }
+  return out;
+}
+
+}  // namespace rcarb::tg

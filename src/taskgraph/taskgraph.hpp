@@ -1,0 +1,100 @@
+// USM-like taskgraphs (paper Sec. 2).
+//
+// A TaskGraph holds tasks (synthesizable computation with a Program),
+// logical memory segments (data storage), logical channels (task-to-task
+// transfers) and control dependencies.  All tasks conceptually execute
+// concurrently; control-dependence edges are the only ordering, which is
+// exactly the window the arbiter-elision analysis of Sec. 5 exploits.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "taskgraph/program.hpp"
+
+namespace rcarb::tg {
+
+using TaskId = std::size_t;
+using SegmentId = std::size_t;
+using ChannelId = std::size_t;
+
+/// A logical data segment (paper: "elements of data storage").
+struct MemorySegment {
+  std::string name;
+  std::size_t bytes = 0;      // footprint used by the memory mapper
+  std::size_t words = 0;      // addressable words seen by programs
+};
+
+/// A logical point-to-point channel between two tasks.
+struct Channel {
+  std::string name;
+  int width_bits = 32;
+  TaskId source = 0;
+  TaskId target = 0;
+};
+
+/// A synthesizable element of computation.
+struct Task {
+  std::string name;
+  Program program;
+  std::size_t area_clbs = 0;  // light-weight HLS estimate (Sec. 5 flow)
+};
+
+/// The design under partitioning/synthesis.
+class TaskGraph {
+ public:
+  explicit TaskGraph(std::string name) : name_(std::move(name)) {}
+
+  TaskId add_task(std::string name, Program program,
+                  std::size_t area_clbs = 0);
+  SegmentId add_segment(std::string name, std::size_t bytes,
+                        std::size_t words);
+  ChannelId add_channel(std::string name, int width_bits, TaskId source,
+                        TaskId target);
+  /// Control dependence: `succ` may only start after `pred` terminates.
+  void add_control_dep(TaskId pred, TaskId succ);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] std::size_t num_tasks() const { return tasks_.size(); }
+  [[nodiscard]] std::size_t num_segments() const { return segments_.size(); }
+  [[nodiscard]] std::size_t num_channels() const { return channels_.size(); }
+
+  [[nodiscard]] const Task& task(TaskId t) const;
+  [[nodiscard]] Task& task(TaskId t);
+  [[nodiscard]] const MemorySegment& segment(SegmentId s) const;
+  [[nodiscard]] const Channel& channel(ChannelId c) const;
+  [[nodiscard]] const std::vector<std::pair<TaskId, TaskId>>& control_deps()
+      const {
+    return control_deps_;
+  }
+
+  /// Direct control predecessors of `t`.
+  [[nodiscard]] std::vector<TaskId> predecessors(TaskId t) const;
+  /// Direct control successors of `t`.
+  [[nodiscard]] std::vector<TaskId> successors(TaskId t) const;
+
+  /// True if a precedes b transitively in the control-dependence DAG.
+  [[nodiscard]] bool precedes(TaskId a, TaskId b) const;
+  /// True if the tasks can never overlap (a->*b or b->*a): the Sec. 5
+  /// condition under which an arbiter between them is unnecessary.
+  [[nodiscard]] bool serialized(TaskId a, TaskId b) const;
+
+  /// Topological levels (level 0 = no predecessors).  Throws on cycles.
+  [[nodiscard]] std::vector<int> levels() const;
+
+  /// Checks programs, channel endpoints, segment references and acyclicity.
+  void validate() const;
+
+  /// Tasks that access `s` in their programs.
+  [[nodiscard]] std::vector<TaskId> tasks_accessing_segment(SegmentId s) const;
+
+ private:
+  std::string name_;
+  std::vector<Task> tasks_;
+  std::vector<MemorySegment> segments_;
+  std::vector<Channel> channels_;
+  std::vector<std::pair<TaskId, TaskId>> control_deps_;
+};
+
+}  // namespace rcarb::tg

@@ -1,0 +1,35 @@
+// Delay model for static timing analysis.
+//
+// Calibrated to the Xilinx XC4000E -3 speed grade band (1998 Programmable
+// Logic Data Book): function-generator combinational delay ~1.6 ns,
+// clock-to-Q ~2.8 ns, setup ~2.5 ns, and routing delays that dominate and
+// grow with fanout (pre-route estimate: base segment plus an increment per
+// extra load).  Absolute values are a model, not silicon; what the
+// reproduction relies on is that path delay grows with LUT depth and
+// fanout, which these constants express.  All delays in nanoseconds.
+#pragma once
+
+#include <cstddef>
+
+namespace rcarb::timing {
+
+/// Per-technology delay constants (ns).
+struct DelayModel {
+  double lut_delay = 1.4;       // F/G function generator T_ILO
+  double clk_to_q = 2.8;        // T_CKO
+  double setup = 2.5;           // T_ICK (D to clock setup via logic bypass)
+  double net_base = 0.9;        // routing delay of a 1-load net
+  double net_per_fanout = 0.45; // additional delay per extra load
+  double clock_uncertainty = 0.5;
+
+  /// Routing delay of a net with `fanout` loads (>= 1 effective).
+  [[nodiscard]] double net_delay(std::size_t fanout) const {
+    const double loads = fanout == 0 ? 1.0 : static_cast<double>(fanout);
+    return net_base + net_per_fanout * (loads - 1.0);
+  }
+};
+
+/// The default model: XC4000E, -3 speed grade.
+[[nodiscard]] inline DelayModel xc4000e_speed3() { return DelayModel{}; }
+
+}  // namespace rcarb::timing

@@ -1,0 +1,83 @@
+#include "timing/sta.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace rcarb::timing {
+
+TimingReport analyze(const netlist::Netlist& nl, const DelayModel& model) {
+  const auto fanout = nl.fanout_counts();
+  const auto topo = nl.lut_topo_order();
+
+  // arrival[net]: worst arrival at the *driver output pin* of the net.
+  // from_reg[net]: true if some worst path into the net starts at a register
+  // (tracked separately so reg->reg and in->reg paths are distinguished).
+  const double neg_inf = -1.0;
+  std::vector<double> arr_from_reg(nl.num_nets(), neg_inf);
+  std::vector<double> arr_from_input(nl.num_nets(), neg_inf);
+  std::vector<netlist::NetId> pred(nl.num_nets(), netlist::NetId(-1));
+
+  for (netlist::NetId in : nl.inputs()) arr_from_input[in] = 0.0;
+  for (const netlist::Dff& dff : nl.dffs()) arr_from_reg[dff.q] = model.clk_to_q;
+
+  for (std::size_t i : topo) {
+    const netlist::Lut& lut = nl.luts()[i];
+    double best_reg = neg_inf;
+    double best_in = neg_inf;
+    netlist::NetId best_pred = netlist::NetId(-1);
+    double best_any = neg_inf;
+    for (netlist::NetId in : lut.inputs) {
+      const double wire = model.net_delay(fanout[in]);
+      if (arr_from_reg[in] >= 0.0)
+        best_reg = std::max(best_reg, arr_from_reg[in] + wire);
+      if (arr_from_input[in] >= 0.0)
+        best_in = std::max(best_in, arr_from_input[in] + wire);
+      const double any = std::max(arr_from_reg[in], arr_from_input[in]);
+      if (any >= 0.0 && any + wire > best_any) {
+        best_any = any + wire;
+        best_pred = in;
+      }
+    }
+    if (best_reg >= 0.0) arr_from_reg[lut.output] = best_reg + model.lut_delay;
+    if (best_in >= 0.0) arr_from_input[lut.output] = best_in + model.lut_delay;
+    pred[lut.output] = best_pred;
+  }
+
+  TimingReport report;
+  netlist::NetId critical_end = netlist::NetId(-1);
+  for (const netlist::Dff& dff : nl.dffs()) {
+    const double wire = model.net_delay(fanout[dff.d]);
+    if (arr_from_reg[dff.d] >= 0.0) {
+      const double path = arr_from_reg[dff.d] + wire + model.setup;
+      if (path > report.reg_to_reg_ns) {
+        report.reg_to_reg_ns = path;
+        critical_end = dff.d;
+      }
+    }
+    if (arr_from_input[dff.d] >= 0.0)
+      report.input_to_reg_ns = std::max(
+          report.input_to_reg_ns, arr_from_input[dff.d] + wire + model.setup);
+  }
+  for (const auto& [net, name] : nl.outputs()) {
+    if (arr_from_reg[net] >= 0.0)
+      report.reg_to_out_ns =
+          std::max(report.reg_to_out_ns,
+                   arr_from_reg[net] + model.net_delay(fanout[net]));
+  }
+
+  report.critical_path_ns = std::max(
+      {report.reg_to_reg_ns, report.input_to_reg_ns, report.reg_to_out_ns});
+  // Fmax is constrained by every register capture path plus uncertainty.
+  const double cycle = std::max(report.reg_to_reg_ns, report.input_to_reg_ns) +
+                       model.clock_uncertainty;
+  report.fmax_mhz = cycle > 0.0 ? 1000.0 / cycle : 0.0;
+
+  // Walk the critical path back for the report.
+  for (netlist::NetId n = critical_end; n != netlist::NetId(-1); n = pred[n])
+    report.critical_nets.push_back(nl.net_name(n));
+  std::reverse(report.critical_nets.begin(), report.critical_nets.end());
+  return report;
+}
+
+}  // namespace rcarb::timing

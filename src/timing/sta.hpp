@@ -1,0 +1,30 @@
+// Static timing analysis over mapped netlists.
+//
+// Computes arrival times in topological order and reports the worst
+// register-to-register, input-to-register and register-to-output paths,
+// from which the maximum clock frequency (Fig. 7's metric) follows.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "timing/delay_model.hpp"
+
+namespace rcarb::timing {
+
+/// Result of a timing run.
+struct TimingReport {
+  double reg_to_reg_ns = 0.0;   // worst launch->capture path incl. clkQ+setup
+  double input_to_reg_ns = 0.0; // worst PI->register path incl. setup
+  double reg_to_out_ns = 0.0;   // worst register->PO path incl. clkQ
+  double critical_path_ns = 0.0;  // max of the above
+  double fmax_mhz = 0.0;          // 1000 / (reg_to_reg + uncertainty)
+  std::vector<std::string> critical_nets;  // nets on the critical r2r path
+};
+
+/// Runs STA on `netlist` under `model`.
+[[nodiscard]] TimingReport analyze(const netlist::Netlist& netlist,
+                                   const DelayModel& model);
+
+}  // namespace rcarb::timing

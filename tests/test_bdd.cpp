@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include "bdd/bdd.hpp"
+#include "logic/truth_table.hpp"
+#include "support/rng.hpp"
+
+namespace rcarb::bdd {
+namespace {
+
+TEST(Bdd, TerminalsAndVariables) {
+  Manager m(3);
+  EXPECT_TRUE(m.eval(kTrue, 0));
+  EXPECT_FALSE(m.eval(kFalse, 0));
+  const Ref x1 = m.var(1);
+  EXPECT_TRUE(m.eval(x1, 0b010));
+  EXPECT_FALSE(m.eval(x1, 0b101));
+}
+
+TEST(Bdd, HashConsingGivesCanonicity) {
+  Manager m(4);
+  const Ref a = m.var(0);
+  const Ref b = m.var(1);
+  // (a & b) built twice is the same node; and & is commutative.
+  EXPECT_EQ(m.land(a, b), m.land(a, b));
+  EXPECT_EQ(m.land(a, b), m.land(b, a));
+  // Double negation cancels structurally.
+  EXPECT_EQ(m.lnot(m.lnot(a)), a);
+  // Tautologies reduce to terminals.
+  EXPECT_EQ(m.lor(a, m.lnot(a)), kTrue);
+  EXPECT_EQ(m.land(a, m.lnot(a)), kFalse);
+}
+
+TEST(Bdd, OperatorSemanticsExhaustive) {
+  Manager m(3);
+  const Ref a = m.var(0), b = m.var(1), c = m.var(2);
+  const Ref f = m.lor(m.land(a, b), m.lxor(b, c));
+  for (std::uint64_t p = 0; p < 8; ++p) {
+    const bool av = p & 1, bv = (p >> 1) & 1, cv = (p >> 2) & 1;
+    EXPECT_EQ(m.eval(f, p), (av && bv) || (bv != cv));
+  }
+}
+
+TEST(Bdd, IteIsIfThenElse) {
+  Manager m(3);
+  const Ref s = m.var(0), t = m.var(1), e = m.var(2);
+  const Ref f = m.ite(s, t, e);
+  for (std::uint64_t p = 0; p < 8; ++p) {
+    const bool sv = p & 1, tv = (p >> 1) & 1, ev = (p >> 2) & 1;
+    EXPECT_EQ(m.eval(f, p), sv ? tv : ev);
+  }
+}
+
+TEST(Bdd, RestrictFixesVariable) {
+  Manager m(3);
+  const Ref f = m.land(m.var(0), m.lor(m.var(1), m.var(2)));
+  const Ref f1 = m.restrict_var(f, 0, true);
+  for (std::uint64_t p = 0; p < 8; ++p)
+    EXPECT_EQ(m.eval(f1, p), m.eval(f, p | 1));
+  const Ref f0 = m.restrict_var(f, 0, false);
+  EXPECT_EQ(f0, kFalse);
+}
+
+TEST(Bdd, SatCount) {
+  Manager m(4);
+  EXPECT_DOUBLE_EQ(m.sat_count(kTrue), 16.0);
+  EXPECT_DOUBLE_EQ(m.sat_count(kFalse), 0.0);
+  EXPECT_DOUBLE_EQ(m.sat_count(m.var(2)), 8.0);
+  EXPECT_DOUBLE_EQ(m.sat_count(m.land(m.var(0), m.var(3))), 4.0);
+  EXPECT_DOUBLE_EQ(m.sat_count(m.lxor(m.var(0), m.var(1))), 8.0);
+}
+
+TEST(Bdd, AnySatReturnsSatisfyingAssignment) {
+  Manager m(5);
+  const Ref f = m.land(m.land(m.var(1), m.lnot(m.var(3))), m.var(4));
+  const std::uint64_t a = m.any_sat(f);
+  EXPECT_TRUE(m.eval(f, a));
+}
+
+TEST(Bdd, SupportFindsTrueSupport) {
+  Manager m(5);
+  // f = x1 ^ x3; x2 appears nowhere.
+  const Ref f = m.lxor(m.var(1), m.var(3));
+  EXPECT_EQ(m.support(f), (std::vector<int>{1, 3}));
+  EXPECT_TRUE(m.support(kTrue).empty());
+}
+
+TEST(Bdd, FromCoverMatchesCoverEval) {
+  Rng rng(61);
+  for (int trial = 0; trial < 100; ++trial) {
+    const int nvars = 2 + static_cast<int>(rng.next_below(8));
+    logic::Cover f(nvars);
+    for (int i = 0; i < 5; ++i) {
+      const std::uint64_t mask = rng.next_below(1ull << nvars);
+      f.add(logic::Cube(mask, rng.next_below(1ull << nvars) & mask));
+    }
+    Manager m(nvars);
+    const Ref r = m.from_cover(f);
+    for (int check = 0; check < 64; ++check) {
+      const std::uint64_t p = rng.next_below(1ull << nvars);
+      EXPECT_EQ(m.eval(r, p), f.eval(p));
+    }
+  }
+}
+
+TEST(Bdd, EquivalenceCheckOfIdenticalFunctions) {
+  // Two structurally different covers of the same function must produce the
+  // same BDD node — this is how the test suite checks synthesized logic.
+  Manager m(3);
+  logic::Cover f(3);  // a&b | a&~b == a
+  f.add(logic::Cube::literal(0, true).with_literal(1, true));
+  f.add(logic::Cube::literal(0, true).with_literal(1, false));
+  logic::Cover g(3);
+  g.add(logic::Cube::literal(0, true));
+  EXPECT_EQ(m.from_cover(f), m.from_cover(g));
+}
+
+TEST(Bdd, NodeCountStaysReducedOnPriorityChain) {
+  // Priority chains (the arbiter's structure) have linear-size BDDs.
+  Manager m(16);
+  Ref chain = kFalse;
+  for (int v = 15; v >= 0; --v) chain = m.ite(m.var(v), kTrue, chain);
+  EXPECT_LT(m.node_count(), 64u);
+}
+
+}  // namespace
+}  // namespace rcarb::bdd

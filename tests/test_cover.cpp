@@ -1,0 +1,198 @@
+#include <gtest/gtest.h>
+
+#include "logic/cover.hpp"
+#include "logic/truth_table.hpp"
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace rcarb::logic {
+namespace {
+
+Cover random_cover(Rng& rng, int nvars, int ncubes) {
+  Cover f(nvars);
+  for (int i = 0; i < ncubes; ++i) {
+    const std::uint64_t mask = rng.next_below(1ull << nvars);
+    const std::uint64_t value = rng.next_below(1ull << nvars) & mask;
+    f.add(Cube(mask, value));
+  }
+  return f;
+}
+
+TEST(Cover, EmptyCoverIsFalse) {
+  Cover f(4);
+  EXPECT_TRUE(f.empty());
+  EXPECT_FALSE(f.eval(0));
+  EXPECT_FALSE(f.is_tautology());
+}
+
+TEST(Cover, UniversalCubeIsTautology) {
+  Cover f(4);
+  f.add(Cube());
+  EXPECT_TRUE(f.is_tautology());
+}
+
+TEST(Cover, XPlusNotXIsTautology) {
+  Cover f(3);
+  f.add(Cube::literal(1, true));
+  f.add(Cube::literal(1, false));
+  EXPECT_TRUE(f.is_tautology());
+}
+
+TEST(Cover, SingleLiteralIsNotTautology) {
+  Cover f(3);
+  f.add(Cube::literal(0, true));
+  EXPECT_FALSE(f.is_tautology());
+}
+
+TEST(Cover, CofactorRemovesVariable) {
+  Cover f(3);
+  f.add(Cube::literal(0, true).with_literal(1, true));   // x0 x1
+  f.add(Cube::literal(0, false).with_literal(2, true));  // ~x0 x2
+  const Cover pos = f.cofactor(0, true);
+  EXPECT_EQ(pos.size(), 1u);                 // x1 remains
+  EXPECT_TRUE(pos.eval(0b010));
+  const Cover neg = f.cofactor(0, false);
+  EXPECT_EQ(neg.size(), 1u);                 // x2 remains
+  EXPECT_TRUE(neg.eval(0b100));
+}
+
+TEST(Cover, CoversCubeDetectsMultiCubeContainment) {
+  // x1 is covered by (x1 & x0) + (x1 & ~x0) even though neither cube alone
+  // contains it.
+  Cover f(2);
+  f.add(Cube::literal(1, true).with_literal(0, true));
+  f.add(Cube::literal(1, true).with_literal(0, false));
+  EXPECT_TRUE(f.covers_cube(Cube::literal(1, true)));
+  EXPECT_FALSE(f.covers_cube(Cube()));
+}
+
+TEST(Cover, RemoveSingleCubeContainedKeepsOneCopy) {
+  Cover f(3);
+  f.add(Cube::literal(0, true));
+  f.add(Cube::literal(0, true));                          // duplicate
+  f.add(Cube::literal(0, true).with_literal(1, true));    // contained
+  f.remove_single_cube_contained();
+  EXPECT_EQ(f.size(), 1u);
+}
+
+TEST(CoverProperty, TautologyMatchesTruthTable) {
+  Rng rng(31);
+  for (int trial = 0; trial < 200; ++trial) {
+    const int nvars = 1 + static_cast<int>(rng.next_below(6));
+    const Cover f = random_cover(rng, nvars, 1 + static_cast<int>(rng.next_below(6)));
+    const TruthTable tt = TruthTable::from_cover(f);
+    EXPECT_EQ(f.is_tautology(), tt == TruthTable::constant(nvars, true))
+        << "nvars=" << nvars << "\n" << f.to_string();
+  }
+}
+
+TEST(CoverProperty, CofactorMatchesSemantics) {
+  Rng rng(37);
+  for (int trial = 0; trial < 100; ++trial) {
+    const int nvars = 3 + static_cast<int>(rng.next_below(4));
+    const Cover f = random_cover(rng, nvars, 5);
+    const int var = static_cast<int>(rng.next_below(static_cast<std::uint64_t>(nvars)));
+    const bool val = rng.chance(1, 2);
+    const Cover cf = f.cofactor(var, val);
+    for (std::uint64_t p = 0; p < (1ull << nvars); ++p) {
+      std::uint64_t q = p;
+      if (val)
+        q |= 1ull << var;
+      else
+        q &= ~(1ull << var);
+      EXPECT_EQ(cf.eval(p & ~(1ull << var)) || cf.eval(p | (1ull << var)),
+                cf.eval(p))  // cofactor is independent of var
+          << "cofactor result must not depend on the removed variable";
+      EXPECT_EQ(cf.eval(p), f.eval(q));
+    }
+  }
+}
+
+TEST(Minimize, MergesDistanceOneCubes) {
+  Cover f(2);
+  f.add(Cube::literal(0, true).with_literal(1, true));
+  f.add(Cube::literal(0, true).with_literal(1, false));
+  minimize(f);
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f.cubes()[0], Cube::literal(0, true));
+}
+
+TEST(Minimize, DropsRedundantCube) {
+  Cover f(2);
+  f.add(Cube::literal(0, true));
+  f.add(Cube::literal(1, true));
+  f.add(Cube::literal(0, true).with_literal(1, true));  // redundant
+  minimize(f);
+  EXPECT_EQ(f.size(), 2u);
+}
+
+TEST(Minimize, UsesDontCaresToExpand) {
+  // ON = x0&x1; DC = x0&~x1  =>  the cube may expand to x0.
+  Cover on(2);
+  on.add(Cube::literal(0, true).with_literal(1, true));
+  Cover dc(2);
+  dc.add(Cube::literal(0, true).with_literal(1, false));
+  minimize(on, &dc);
+  ASSERT_EQ(on.size(), 1u);
+  EXPECT_EQ(on.cubes()[0], Cube::literal(0, true));
+}
+
+TEST(Minimize, ReportsStats) {
+  Cover f(2);
+  f.add(Cube::literal(0, true).with_literal(1, true));
+  f.add(Cube::literal(0, true).with_literal(1, false));
+  const MinimizeStats stats = minimize(f);
+  EXPECT_EQ(stats.cubes_before, 2u);
+  EXPECT_EQ(stats.cubes_after, 1u);
+  EXPECT_GT(stats.iterations, 0);
+}
+
+TEST(MinimizeProperty, PreservesFunctionExactly) {
+  Rng rng(41);
+  for (int trial = 0; trial < 150; ++trial) {
+    const int nvars = 2 + static_cast<int>(rng.next_below(5));
+    Cover f = random_cover(rng, nvars, 2 + static_cast<int>(rng.next_below(8)));
+    const TruthTable before = TruthTable::from_cover(f);
+    minimize(f);
+    const TruthTable after = TruthTable::from_cover(f);
+    EXPECT_EQ(before, after) << "minimization changed the function";
+  }
+}
+
+TEST(MinimizeProperty, WithDcStaysWithinOnPlusDc) {
+  Rng rng(43);
+  for (int trial = 0; trial < 100; ++trial) {
+    const int nvars = 2 + static_cast<int>(rng.next_below(4));
+    Cover on = random_cover(rng, nvars, 3);
+    Cover dc = random_cover(rng, nvars, 2);
+    const TruthTable on_before = TruthTable::from_cover(on);
+    const TruthTable dc_tt = TruthTable::from_cover(dc);
+    minimize(on, &dc);
+    const TruthTable after = TruthTable::from_cover(on);
+    // Still covers every ON point that is not also a don't-care...
+    const TruthTable hard_on = on_before & ~dc_tt;
+    EXPECT_EQ(hard_on & after, hard_on);
+    // ...and never leaves ON ∪ DC.
+    EXPECT_EQ(after & ~(on_before | dc_tt), TruthTable::constant(nvars, false));
+  }
+}
+
+TEST(Cover, LiteralCountSums) {
+  Cover f(4);
+  f.add(Cube::literal(0, true).with_literal(1, false));
+  f.add(Cube::literal(2, true));
+  EXPECT_EQ(f.literal_count(), 3u);
+}
+
+TEST(Cover, CoversWholeCover) {
+  Cover f(2);
+  f.add(Cube::literal(0, true));
+  f.add(Cube::literal(0, false));
+  Cover g(2);
+  g.add(Cube::literal(1, true));
+  EXPECT_TRUE(f.covers(g));
+  EXPECT_FALSE(g.covers(f));
+}
+
+}  // namespace
+}  // namespace rcarb::logic

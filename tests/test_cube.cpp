@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include "logic/cube.hpp"
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace rcarb::logic {
+namespace {
+
+TEST(Cube, UniversalCubeCoversEverything) {
+  Cube u;
+  EXPECT_TRUE(u.is_universal());
+  EXPECT_EQ(u.literal_count(), 0);
+  for (std::uint64_t a : {0ull, 5ull, ~0ull}) EXPECT_TRUE(u.eval(a));
+}
+
+TEST(Cube, LiteralConstruction) {
+  const Cube pos = Cube::literal(3, true);
+  const Cube neg = Cube::literal(3, false);
+  EXPECT_TRUE(pos.has_var(3));
+  EXPECT_TRUE(pos.polarity(3));
+  EXPECT_FALSE(neg.polarity(3));
+  EXPECT_TRUE(pos.eval(0b1000));
+  EXPECT_FALSE(pos.eval(0));
+  EXPECT_TRUE(neg.eval(0));
+}
+
+TEST(Cube, WithAndWithoutLiteral) {
+  Cube c = Cube().with_literal(0, true).with_literal(2, false);
+  EXPECT_EQ(c.literal_count(), 2);
+  EXPECT_TRUE(c.eval(0b001));
+  EXPECT_FALSE(c.eval(0b101));
+  c = c.without_var(2);
+  EXPECT_EQ(c.literal_count(), 1);
+  EXPECT_TRUE(c.eval(0b101));
+}
+
+TEST(Cube, WithLiteralOverwritesPolarity) {
+  const Cube c = Cube::literal(1, true).with_literal(1, false);
+  EXPECT_FALSE(c.polarity(1));
+  EXPECT_EQ(c.literal_count(), 1);
+}
+
+TEST(Cube, ContainsIsSetContainment) {
+  const Cube big = Cube::literal(0, true);                // x0
+  const Cube small = big.with_literal(1, false);          // x0 & ~x1
+  EXPECT_TRUE(big.contains(small));
+  EXPECT_FALSE(small.contains(big));
+  EXPECT_TRUE(big.contains(big));
+  EXPECT_TRUE(Cube().contains(big));
+}
+
+TEST(Cube, IntersectionAndConflicts) {
+  const Cube a = Cube::literal(0, true);
+  const Cube b = Cube::literal(0, false);
+  const Cube c = Cube::literal(1, true);
+  EXPECT_FALSE(a.intersects(b));
+  EXPECT_EQ(a.conflict_count(b), 1);
+  EXPECT_TRUE(a.intersects(c));
+  const Cube ac = a.intersect(c);
+  EXPECT_EQ(ac.literal_count(), 2);
+  EXPECT_TRUE(ac.eval(0b11));
+  EXPECT_THROW((void)a.intersect(b), CheckError);
+}
+
+TEST(Cube, EvalMatchesLiteralSemantics) {
+  Rng rng(9);
+  for (int trial = 0; trial < 200; ++trial) {
+    Cube c;
+    const int nvars = 10;
+    std::uint64_t mask = rng.next_below(1u << nvars);
+    std::uint64_t value = rng.next_below(1u << nvars) & mask;
+    c = Cube(mask, value);
+    const std::uint64_t assignment = rng.next_below(1u << nvars);
+    bool expect = true;
+    for (int v = 0; v < nvars; ++v) {
+      if (!((mask >> v) & 1)) continue;
+      if (((assignment >> v) & 1) != ((value >> v) & 1)) expect = false;
+    }
+    EXPECT_EQ(c.eval(assignment), expect);
+  }
+}
+
+TEST(Cube, ToStringShowsPolarity) {
+  const Cube c = Cube::literal(0, true).with_literal(2, false);
+  EXPECT_EQ(c.to_string(3), "1-0");
+}
+
+TEST(Cube, RejectsBadConstruction) {
+  EXPECT_THROW(Cube(0b01, 0b10), CheckError);  // value outside mask
+  EXPECT_THROW(Cube::literal(-1, true), CheckError);
+  EXPECT_THROW(Cube::literal(64, true), CheckError);
+  EXPECT_THROW((void)Cube().polarity(0), CheckError);
+}
+
+TEST(CubeProperty, ContainmentIsConsistentWithEval) {
+  // If a.contains(b), every point of b satisfies a.
+  Rng rng(17);
+  const int nvars = 6;
+  for (int trial = 0; trial < 300; ++trial) {
+    const std::uint64_t mask_a = rng.next_below(1u << nvars);
+    const Cube a(mask_a, rng.next_below(1u << nvars) & mask_a);
+    const std::uint64_t mask_b = rng.next_below(1u << nvars);
+    const Cube b(mask_b, rng.next_below(1u << nvars) & mask_b);
+    if (!a.contains(b)) continue;
+    for (std::uint64_t p = 0; p < (1u << nvars); ++p) {
+      if (b.eval(p)) {
+        EXPECT_TRUE(a.eval(p));
+      }
+    }
+  }
+}
+
+TEST(CubeProperty, IntersectionEvalIsConjunction) {
+  Rng rng(23);
+  const int nvars = 6;
+  for (int trial = 0; trial < 300; ++trial) {
+    const std::uint64_t mask_a = rng.next_below(1u << nvars);
+    const Cube a(mask_a, rng.next_below(1u << nvars) & mask_a);
+    const std::uint64_t mask_b = rng.next_below(1u << nvars);
+    const Cube b(mask_b, rng.next_below(1u << nvars) & mask_b);
+    if (!a.intersects(b)) {
+      for (std::uint64_t p = 0; p < (1u << nvars); ++p)
+        EXPECT_FALSE(a.eval(p) && b.eval(p));
+      continue;
+    }
+    const Cube ab = a.intersect(b);
+    for (std::uint64_t p = 0; p < (1u << nvars); ++p)
+      EXPECT_EQ(ab.eval(p), a.eval(p) && b.eval(p));
+  }
+}
+
+}  // namespace
+}  // namespace rcarb::logic

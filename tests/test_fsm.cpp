@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include "support/check.hpp"
+#include "synth/elaborate.hpp"
+#include "synth/fsm.hpp"
+
+namespace rcarb::synth {
+namespace {
+
+/// A 2-input toggle machine with a Mealy output.
+Fsm toggler() {
+  Fsm fsm("toggler");
+  const auto off = fsm.add_state("off");
+  const auto on = fsm.add_state("on");
+  fsm.add_input("go");
+  fsm.add_output("pulse");
+  fsm.add_transition(off, logic::Cube::literal(0, true), on, 0b1);
+  fsm.add_transition(off, logic::Cube::literal(0, false), off, 0);
+  fsm.add_transition(on, logic::Cube::literal(0, true), off, 0);
+  fsm.add_transition(on, logic::Cube::literal(0, false), on, 0);
+  return fsm;
+}
+
+TEST(Fsm, ValidatesCompleteDeterministicMachine) {
+  EXPECT_NO_THROW(toggler().validate());
+}
+
+TEST(Fsm, DetectsIncompleteGuards) {
+  Fsm fsm("partial");
+  const auto s = fsm.add_state("s");
+  fsm.add_input("a");
+  fsm.add_transition(s, logic::Cube::literal(0, true), s, 0);
+  EXPECT_THROW(fsm.validate(), CheckError);
+}
+
+TEST(Fsm, DetectsOverlappingGuards) {
+  Fsm fsm("overlap");
+  const auto s = fsm.add_state("s");
+  fsm.add_input("a");
+  fsm.add_transition(s, logic::Cube(), s, 0);
+  fsm.add_transition(s, logic::Cube::literal(0, true), s, 0);
+  EXPECT_THROW(fsm.validate(), CheckError);
+}
+
+TEST(Fsm, DetectsDeadStates) {
+  Fsm fsm("dead");
+  fsm.add_state("s0");
+  fsm.add_state("unreachable_but_also_no_out");
+  fsm.add_input("a");
+  fsm.add_transition(0, logic::Cube(), 0, 0);
+  EXPECT_THROW(fsm.validate(), CheckError);
+}
+
+TEST(Fsm, StepFollowsGuards) {
+  const Fsm fsm = toggler();
+  auto r = fsm.step(0, 0b1);
+  EXPECT_EQ(r.next_state, 1u);
+  EXPECT_EQ(r.outputs, 0b1u);
+  r = fsm.step(0, 0);
+  EXPECT_EQ(r.next_state, 0u);
+  EXPECT_EQ(r.outputs, 0u);
+  r = fsm.step(1, 0b1);
+  EXPECT_EQ(r.next_state, 0u);
+}
+
+TEST(Fsm, ResetStateDefaultsToFirstAdded) {
+  const Fsm fsm = toggler();
+  EXPECT_EQ(fsm.reset_state(), 0u);
+}
+
+TEST(Fsm, SetResetState) {
+  Fsm fsm = toggler();
+  fsm.set_reset_state(1);
+  EXPECT_EQ(fsm.reset_state(), 1u);
+  EXPECT_THROW(fsm.set_reset_state(9), CheckError);
+}
+
+TEST(Fsm, RejectsBadTransitions) {
+  Fsm fsm("bad");
+  fsm.add_state("s");
+  fsm.add_input("a");
+  EXPECT_THROW(fsm.add_transition(5, logic::Cube(), 0, 0), CheckError);
+  EXPECT_THROW(fsm.add_transition(0, logic::Cube::literal(3, true), 0, 0),
+               CheckError);
+  fsm.add_output("o");
+  EXPECT_THROW(fsm.add_transition(0, logic::Cube(), 0, 0b10), CheckError);
+}
+
+TEST(Elaborate, NextStateCoversMatchStepExhaustively) {
+  const Fsm fsm = toggler();
+  for (const Encoding e :
+       {Encoding::kOneHot, Encoding::kCompact, Encoding::kGray}) {
+    const StateCodes codes = encode_states(fsm, e);
+    const ElaboratedFsm elab = elaborate(fsm, codes);
+    ASSERT_EQ(elab.next_state.size(), static_cast<std::size_t>(codes.num_bits));
+    ASSERT_EQ(elab.outputs.size(), 1u);
+    for (StateId s = 0; s < fsm.num_states(); ++s) {
+      for (std::uint64_t in = 0; in < 2; ++in) {
+        const auto want = fsm.step(s, in);
+        // Assignment: inputs at [0, I), state bits at [I, I+B).
+        const std::uint64_t assignment =
+            in | (codes.code[s] << fsm.num_inputs());
+        std::uint64_t got_code = 0;
+        for (int b = 0; b < codes.num_bits; ++b)
+          if (elab.next_state[static_cast<std::size_t>(b)].eval(assignment))
+            got_code |= 1ull << b;
+        EXPECT_EQ(got_code, codes.code[want.next_state]) << to_string(e);
+        EXPECT_EQ(elab.outputs[0].eval(assignment), (want.outputs & 1) != 0)
+            << to_string(e);
+      }
+    }
+  }
+}
+
+TEST(Elaborate, DcCoverListsUnusedCodes) {
+  const Fsm fsm = toggler();  // 2 states
+  // Force a 3-state machine so compact leaves unused codes.
+  Fsm fsm3("three");
+  fsm3.add_state("a");
+  fsm3.add_state("b");
+  fsm3.add_state("c");
+  fsm3.add_input("x");
+  for (StateId s = 0; s < 3; ++s)
+    fsm3.add_transition(s, logic::Cube(), (s + 1) % 3, 0);
+  const StateCodes codes = encode_states(fsm3, Encoding::kCompact);
+  const ElaboratedFsm elab = elaborate(fsm3, codes);
+  ASSERT_TRUE(elab.dc.has_value());
+  EXPECT_EQ(elab.dc->size(), 1u);  // code 3 unused
+  // The DC cube matches exactly the unused code.
+  const std::uint64_t unused = 3ull << fsm3.num_inputs();
+  EXPECT_TRUE(elab.dc->eval(unused));
+  for (std::size_t s = 0; s < 3; ++s)
+    EXPECT_FALSE(elab.dc->eval(codes.code[s] << fsm3.num_inputs()));
+  // One-hot produces no DC cover (single-literal recognizers instead).
+  const ElaboratedFsm oh = elaborate(fsm3, encode_states(fsm3, Encoding::kOneHot));
+  EXPECT_FALSE(oh.dc.has_value());
+  (void)fsm;
+}
+
+TEST(Elaborate, ResetCodeMatchesEncoding) {
+  Fsm fsm = toggler();
+  fsm.set_reset_state(1);
+  const StateCodes codes = encode_states(fsm, Encoding::kOneHot);
+  const ElaboratedFsm elab = elaborate(fsm, codes);
+  EXPECT_EQ(elab.reset_code, codes.code[1]);
+}
+
+}  // namespace
+}  // namespace rcarb::synth

@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include "core/generator.hpp"
+#include "core/policy.hpp"
+
+namespace rcarb::core {
+namespace {
+
+TEST(Generator, CharacteristicsArePopulated) {
+  const GeneratedArbiter g = generate_round_robin(
+      4, synth::FlowKind::kExpressLike, synth::Encoding::kOneHot);
+  EXPECT_EQ(g.chars.n, 4);
+  EXPECT_GT(g.chars.clbs, 0u);
+  EXPECT_GT(g.chars.luts, 0u);
+  EXPECT_EQ(g.chars.ffs, 8u);  // one-hot: 2N registers
+  EXPECT_GT(g.chars.fmax_mhz, 0.0);
+  EXPECT_EQ(g.chars.overhead_cycles, kProtocolOverheadCycles);
+  EXPECT_EQ(g.chars.encoding, synth::Encoding::kOneHot);
+}
+
+TEST(Generator, SynplifyForcesOneHotEvenWhenCompactRequested) {
+  const GeneratedArbiter g = generate_round_robin(
+      4, synth::FlowKind::kSynplifyLike, synth::Encoding::kCompact);
+  EXPECT_EQ(g.chars.encoding, synth::Encoding::kOneHot);
+}
+
+TEST(Generator, CompactUsesFewerRegisters) {
+  const GeneratedArbiter oh = generate_round_robin(
+      6, synth::FlowKind::kExpressLike, synth::Encoding::kOneHot);
+  const GeneratedArbiter cp = generate_round_robin(
+      6, synth::FlowKind::kExpressLike, synth::Encoding::kCompact);
+  EXPECT_EQ(oh.chars.ffs, 12u);
+  EXPECT_EQ(cp.chars.ffs, 4u);  // ceil(log2(12))
+}
+
+TEST(Generator, AreaGrowsMonotonicallyWithN) {
+  std::size_t prev = 0;
+  for (int n = 2; n <= 10; n += 2) {
+    const GeneratedArbiter g = generate_round_robin(
+        n, synth::FlowKind::kExpressLike, synth::Encoding::kOneHot);
+    EXPECT_GE(g.chars.clbs + 2, prev) << "n=" << n;  // small tolerance
+    prev = g.chars.clbs;
+  }
+}
+
+TEST(Generator, FmaxDecaysWithN) {
+  const GeneratedArbiter small = generate_round_robin(
+      2, synth::FlowKind::kExpressLike, synth::Encoding::kOneHot);
+  const GeneratedArbiter big = generate_round_robin(
+      10, synth::FlowKind::kExpressLike, synth::Encoding::kOneHot);
+  EXPECT_GT(small.chars.fmax_mhz, big.chars.fmax_mhz);
+  // The paper's band: a 10-input arbiter still clocks above a ~6 MHz
+  // design clock by a wide margin.
+  EXPECT_GT(big.chars.fmax_mhz, 10.0);
+}
+
+TEST(Generator, BehavioralModeIsLargerThanStructural) {
+  // The ablation the benches report: generic two-level synthesis of the
+  // Fig. 5 case statement costs more area than the factored chain.
+  const GeneratedArbiter s =
+      generate_round_robin(6, synth::FlowKind::kExpressLike,
+                           synth::Encoding::kOneHot, timing::xc4000e_speed3(),
+                           GeneratorMode::kStructural);
+  const GeneratedArbiter b =
+      generate_round_robin(6, synth::FlowKind::kExpressLike,
+                           synth::Encoding::kOneHot, timing::xc4000e_speed3(),
+                           GeneratorMode::kBehavioral);
+  EXPECT_LT(s.chars.clbs, b.chars.clbs);
+}
+
+TEST(PrecharCache, MemoizesBySize) {
+  PrecharCache cache;
+  const ArbiterCharacteristics& a = cache.get(4);
+  const ArbiterCharacteristics& b = cache.get(4);
+  EXPECT_EQ(&a, &b) << "same object must be returned from cache";
+  EXPECT_EQ(cache.get(6).n, 6);
+}
+
+TEST(PrecharCache, MatchesDirectGeneration) {
+  PrecharCache cache(synth::FlowKind::kExpressLike, synth::Encoding::kOneHot);
+  const GeneratedArbiter direct = generate_round_robin(
+      5, synth::FlowKind::kExpressLike, synth::Encoding::kOneHot);
+  EXPECT_EQ(cache.get(5).clbs, direct.chars.clbs);
+  EXPECT_DOUBLE_EQ(cache.get(5).fmax_mhz, direct.chars.fmax_mhz);
+}
+
+TEST(Generator, ToStringNames) {
+  EXPECT_STREQ(to_string(GeneratorMode::kStructural), "structural");
+  EXPECT_STREQ(to_string(GeneratorMode::kBehavioral), "behavioral");
+}
+
+}  // namespace
+}  // namespace rcarb::core

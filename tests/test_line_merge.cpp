@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include "core/line_merge.hpp"
+#include "support/check.hpp"
+
+namespace rcarb::core {
+namespace {
+
+TEST(LineMerge, StrategyRuleFollowsFig4) {
+  EXPECT_EQ(strategy_for(LineClass::kAddress), MergeStrategy::kTristate);
+  EXPECT_EQ(strategy_for(LineClass::kData), MergeStrategy::kTristate);
+  EXPECT_EQ(strategy_for(LineClass::kActiveHighControl),
+            MergeStrategy::kOrMerge);
+  EXPECT_EQ(strategy_for(LineClass::kActiveLowControl),
+            MergeStrategy::kAndMerge);
+}
+
+TEST(LineMerge, TristateSingleDriverWins) {
+  const Resolved r =
+      resolve_line(MergeStrategy::kTristate, {std::nullopt, true, std::nullopt});
+  EXPECT_FALSE(r.is_z);
+  EXPECT_FALSE(r.conflict);
+  EXPECT_TRUE(r.value);
+}
+
+TEST(LineMerge, TristateFloatsWhenNobodyDrives) {
+  // The Fig. 4a hazard: all drivers tristated leaves the line at Z.
+  const Resolved r =
+      resolve_line(MergeStrategy::kTristate, {std::nullopt, std::nullopt});
+  EXPECT_TRUE(r.is_z);
+}
+
+TEST(LineMerge, TristateDoubleDriveIsConflict) {
+  const Resolved r = resolve_line(MergeStrategy::kTristate, {true, false});
+  EXPECT_TRUE(r.conflict);
+}
+
+TEST(LineMerge, OrMergeIdleReadsZero) {
+  // The Fig. 4b fix: a memory's write-select is driven 0 by idle tasks, so
+  // no phantom write can occur while everyone is idle.
+  const Resolved r =
+      resolve_line(MergeStrategy::kOrMerge, {std::nullopt, std::nullopt});
+  EXPECT_FALSE(r.is_z);
+  EXPECT_FALSE(r.value);
+}
+
+TEST(LineMerge, OrMergeActiveDriverWins) {
+  EXPECT_TRUE(resolve_line(MergeStrategy::kOrMerge,
+                           {std::nullopt, true, std::nullopt})
+                  .value);
+  EXPECT_FALSE(
+      resolve_line(MergeStrategy::kOrMerge, {false, std::nullopt}).value);
+}
+
+TEST(LineMerge, AndMergeIdleReadsOne) {
+  // Fig. 4c: active-low enables idle at 1 (inactive).
+  const Resolved r =
+      resolve_line(MergeStrategy::kAndMerge, {std::nullopt, std::nullopt});
+  EXPECT_FALSE(r.is_z);
+  EXPECT_TRUE(r.value);
+}
+
+TEST(LineMerge, AndMergeActiveLowDriverWins) {
+  EXPECT_FALSE(
+      resolve_line(MergeStrategy::kAndMerge, {std::nullopt, false}).value);
+}
+
+TEST(LineMerge, MemoryPlanHasBusAndSelectLines) {
+  const auto plans = plan_memory_lines("MEM2", 6);
+  ASSERT_EQ(plans.size(), 3u);
+  EXPECT_EQ(plans[0].line_class, LineClass::kAddress);
+  EXPECT_EQ(plans[0].strategy, MergeStrategy::kTristate);
+  EXPECT_EQ(plans[2].line_class, LineClass::kActiveHighControl);
+  EXPECT_EQ(plans[2].strategy, MergeStrategy::kOrMerge);
+  for (const auto& p : plans) {
+    EXPECT_EQ(p.resource_name, "MEM2");
+    EXPECT_EQ(p.num_drivers, 6u);
+  }
+}
+
+TEST(LineMerge, ChannelPlanHasDataAndEnable) {
+  const auto plans = plan_channel_lines("c1_4", 2);
+  ASSERT_EQ(plans.size(), 2u);
+  EXPECT_EQ(plans[0].line_class, LineClass::kData);
+  EXPECT_EQ(plans[1].strategy, MergeStrategy::kOrMerge);
+}
+
+TEST(LineMerge, PlansRejectDegenerateDriverCounts) {
+  EXPECT_THROW(plan_memory_lines("m", 1), CheckError);
+  EXPECT_THROW(plan_channel_lines("c", 0), CheckError);
+}
+
+TEST(LineMerge, ToStringNames) {
+  EXPECT_STREQ(to_string(LineClass::kAddress), "address");
+  EXPECT_STREQ(to_string(MergeStrategy::kOrMerge), "or-merge");
+}
+
+}  // namespace
+}  // namespace rcarb::core

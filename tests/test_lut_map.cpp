@@ -1,0 +1,164 @@
+#include <gtest/gtest.h>
+
+#include "aig/aig.hpp"
+#include "netlist/simulator.hpp"
+#include "support/check.hpp"
+#include "support/rng.hpp"
+#include "synth/lut_map.hpp"
+
+namespace rcarb::synth {
+namespace {
+
+/// Builds a random AIG over `nvars` inputs with `nops` random operations,
+/// registering `nouts` of the produced literals as outputs.
+aig::Aig random_aig(Rng& rng, int nvars, int nops, int nouts) {
+  aig::Aig g;
+  std::vector<aig::Lit> pool;
+  for (int v = 0; v < nvars; ++v)
+    pool.push_back(g.add_input("x" + std::to_string(v)));
+  pool.push_back(aig::kConstTrue);
+  for (int i = 0; i < nops; ++i) {
+    aig::Lit a = pool[rng.next_below(pool.size())];
+    aig::Lit b = pool[rng.next_below(pool.size())];
+    if (rng.chance(1, 3)) a = aig::lit_not(a);
+    if (rng.chance(1, 3)) b = aig::lit_not(b);
+    pool.push_back(g.land(a, b));
+  }
+  for (int o = 0; o < nouts; ++o) {
+    aig::Lit d = pool[pool.size() - 1 - rng.next_below(pool.size() / 2)];
+    if (rng.chance(1, 4)) d = aig::lit_not(d);
+    g.add_output("y" + std::to_string(o), d);
+  }
+  return g;
+}
+
+/// Maps the AIG and checks input-output equivalence exhaustively.
+void check_mapping_equivalence(const aig::Aig& g, const MapOptions& options) {
+  netlist::Netlist nl;
+  std::vector<netlist::NetId> input_nets;
+  for (std::size_t i = 0; i < g.num_inputs(); ++i)
+    input_nets.push_back(nl.add_input(g.input_name(i)));
+  MapStats stats;
+  const auto out_nets = map_aig(g, options, nl, input_nets, "m_", &stats);
+  ASSERT_EQ(out_nets.size(), g.num_outputs());
+  netlist::Simulator sim(nl);
+  const std::uint64_t rows = 1ull << g.num_inputs();
+  for (std::uint64_t p = 0; p < rows; ++p) {
+    for (std::size_t i = 0; i < g.num_inputs(); ++i)
+      sim.set_input(input_nets[i], (p >> i) & 1);
+    sim.settle();
+    for (std::size_t o = 0; o < g.num_outputs(); ++o)
+      EXPECT_EQ(sim.get(out_nets[o]), g.eval_output(o, p))
+          << "output " << o << " pattern " << p;
+  }
+}
+
+TEST(LutMap, MapsSimpleFunctions) {
+  aig::Aig g;
+  const auto a = g.add_input("a");
+  const auto b = g.add_input("b");
+  const auto c = g.add_input("c");
+  g.add_output("f", g.lor(g.land(a, b), c));
+  check_mapping_equivalence(g, {});
+}
+
+TEST(LutMap, SingleLutForFourInputFunction) {
+  aig::Aig g;
+  std::vector<aig::Lit> ins;
+  for (int i = 0; i < 4; ++i) ins.push_back(g.add_input("i" + std::to_string(i)));
+  g.add_output("f", g.land_many(ins));
+  netlist::Netlist nl;
+  std::vector<netlist::NetId> nets;
+  for (int i = 0; i < 4; ++i) nets.push_back(nl.add_input("i" + std::to_string(i)));
+  MapStats stats;
+  map_aig(g, {}, nl, nets, "m_", &stats);
+  EXPECT_EQ(stats.luts, 1u) << "a 4-input AND fits one 4-LUT";
+  EXPECT_EQ(stats.depth, 1);
+}
+
+TEST(LutMap, ConstantAndPassthroughOutputs) {
+  aig::Aig g;
+  const auto a = g.add_input("a");
+  g.add_output("const0", aig::kConstFalse);
+  g.add_output("const1", aig::kConstTrue);
+  g.add_output("pass", a);
+  g.add_output("inv", aig::lit_not(a));
+  check_mapping_equivalence(g, {});
+}
+
+TEST(LutMap, ComplementedOutputGetsInverter) {
+  aig::Aig g;
+  const auto a = g.add_input("a");
+  const auto b = g.add_input("b");
+  const auto f = g.land(a, b);
+  g.add_output("nand", aig::lit_not(f));
+  check_mapping_equivalence(g, {});
+}
+
+struct MapParam {
+  std::uint64_t seed;
+  int nvars;
+  int nops;
+  MapObjective objective;
+};
+
+class LutMapRandom : public ::testing::TestWithParam<MapParam> {};
+
+TEST_P(LutMapRandom, MappingPreservesFunction) {
+  const MapParam param = GetParam();
+  Rng rng(param.seed);
+  const aig::Aig g = random_aig(rng, param.nvars, param.nops, 3);
+  MapOptions options;
+  options.objective = param.objective;
+  check_mapping_equivalence(g, options);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, LutMapRandom,
+    ::testing::Values(
+        MapParam{1, 4, 10, MapObjective::kDepth},
+        MapParam{2, 5, 20, MapObjective::kDepth},
+        MapParam{3, 6, 40, MapObjective::kDepth},
+        MapParam{4, 7, 60, MapObjective::kDepth},
+        MapParam{5, 8, 90, MapObjective::kDepth},
+        MapParam{6, 4, 10, MapObjective::kArea},
+        MapParam{7, 5, 20, MapObjective::kArea},
+        MapParam{8, 6, 40, MapObjective::kArea},
+        MapParam{9, 7, 60, MapObjective::kArea},
+        MapParam{10, 8, 90, MapObjective::kArea},
+        MapParam{11, 9, 120, MapObjective::kDepth},
+        MapParam{12, 10, 150, MapObjective::kArea}));
+
+TEST(LutMap, DepthObjectiveNeverDeeperThanAreaObjective) {
+  Rng rng(99);
+  for (int trial = 0; trial < 20; ++trial) {
+    const aig::Aig g = random_aig(rng, 8, 80, 2);
+    netlist::Netlist nl_d, nl_a;
+    std::vector<netlist::NetId> in_d, in_a;
+    for (std::size_t i = 0; i < g.num_inputs(); ++i) {
+      in_d.push_back(nl_d.add_input(g.input_name(i)));
+      in_a.push_back(nl_a.add_input(g.input_name(i)));
+    }
+    MapStats sd, sa;
+    MapOptions od, oa;
+    od.objective = MapObjective::kDepth;
+    oa.objective = MapObjective::kArea;
+    map_aig(g, od, nl_d, in_d, "m_", &sd);
+    map_aig(g, oa, nl_a, in_a, "m_", &sa);
+    EXPECT_LE(sd.depth, sa.depth);
+  }
+}
+
+TEST(LutMap, RejectsBadOptions) {
+  aig::Aig g;
+  g.add_input("a");
+  netlist::Netlist nl;
+  const auto a = nl.add_input("a");
+  MapOptions options;
+  options.cut_size = 7;
+  EXPECT_THROW(map_aig(g, options, nl, {a}, "m_"), rcarb::CheckError);
+  EXPECT_THROW(map_aig(g, {}, nl, {}, "m_"), rcarb::CheckError);
+}
+
+}  // namespace
+}  // namespace rcarb::synth

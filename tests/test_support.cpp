@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "support/check.hpp"
+#include "support/rng.hpp"
+#include "support/table.hpp"
+#include "support/text.hpp"
+
+namespace rcarb {
+namespace {
+
+TEST(Check, ThrowsCheckErrorWithContext) {
+  try {
+    RCARB_CHECK(1 == 2, "math is broken");
+    FAIL() << "expected a throw";
+  } catch (const CheckError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+    EXPECT_NE(what.find("math is broken"), std::string::npos);
+  }
+}
+
+TEST(Check, PassingCheckDoesNotThrow) {
+  EXPECT_NO_THROW(RCARB_CHECK(true, "fine"));
+}
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next_u64() == b.next_u64()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, NextBelowStaysInRange) {
+  Rng rng(7);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.next_below(bound), bound);
+  }
+}
+
+TEST(Rng, NextBelowCoversAllValues) {
+  Rng rng(3);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 400; ++i) seen.insert(rng.next_below(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, NextInIsInclusive) {
+  Rng rng(5);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 300; ++i) {
+    const std::int64_t v = rng.next_in(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 200; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, ChanceZeroAndCertain) {
+  Rng rng(13);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.chance(0, 10));
+    EXPECT_TRUE(rng.chance(10, 10));
+  }
+}
+
+TEST(Rng, RejectsBadArguments) {
+  Rng rng(1);
+  EXPECT_THROW(rng.next_below(0), CheckError);
+  EXPECT_THROW(rng.next_in(3, 2), CheckError);
+  EXPECT_THROW(rng.chance(3, 2), CheckError);
+}
+
+TEST(Table, RendersAlignedColumns) {
+  Table t("demo");
+  t.set_header({"N", "value"});
+  t.add_row({"2", "10"});
+  t.add_row({"10", "3"});
+  const std::string s = t.render();
+  EXPECT_NE(s.find("demo"), std::string::npos);
+  EXPECT_NE(s.find("| N  | value |"), std::string::npos);
+  EXPECT_NE(s.find("| 10 | 3     |"), std::string::npos);
+}
+
+TEST(Table, RejectsMismatchedRowArity) {
+  Table t("demo");
+  t.set_header({"a", "b"});
+  EXPECT_THROW(t.add_row({"only one"}), CheckError);
+}
+
+TEST(Table, FmtFixedFormatsDecimals) {
+  EXPECT_EQ(fmt_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_fixed(2.0, 1), "2.0");
+}
+
+TEST(Text, JoinEmptyAndNonEmpty) {
+  EXPECT_EQ(join({}, ", "), "");
+  EXPECT_EQ(join({"a"}, ", "), "a");
+  EXPECT_EQ(join({"a", "b", "c"}, "-"), "a-b-c");
+}
+
+TEST(Text, IsIdentifier) {
+  EXPECT_TRUE(is_identifier("req0"));
+  EXPECT_TRUE(is_identifier("Grant_1"));
+  EXPECT_FALSE(is_identifier(""));
+  EXPECT_FALSE(is_identifier("1abc"));
+  EXPECT_FALSE(is_identifier("a-b"));
+}
+
+TEST(Text, IndentPreservesEmptyLines) {
+  EXPECT_EQ(indent("a\n\nb\n", 2), "  a\n\n  b\n");
+}
+
+TEST(Text, SignalName) {
+  EXPECT_EQ(signal_name("req", 3), "req3");
+}
+
+}  // namespace
+}  // namespace rcarb

@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include "support/check.hpp"
+#include "taskgraph/taskgraph.hpp"
+
+namespace rcarb::tg {
+namespace {
+
+/// Diamond: a -> {b, c} -> d.
+TaskGraph diamond() {
+  TaskGraph g("diamond");
+  Program p;
+  p.compute(1);
+  const TaskId a = g.add_task("a", p, 10);
+  const TaskId b = g.add_task("b", p, 10);
+  const TaskId c = g.add_task("c", p, 10);
+  const TaskId d = g.add_task("d", p, 10);
+  g.add_control_dep(a, b);
+  g.add_control_dep(a, c);
+  g.add_control_dep(b, d);
+  g.add_control_dep(c, d);
+  return g;
+}
+
+TEST(TaskGraph, LevelsOfDiamond) {
+  const auto levels = diamond().levels();
+  EXPECT_EQ(levels, (std::vector<int>{0, 1, 1, 2}));
+}
+
+TEST(TaskGraph, PrecedesIsTransitive) {
+  const TaskGraph g = diamond();
+  EXPECT_TRUE(g.precedes(0, 3));
+  EXPECT_TRUE(g.precedes(0, 1));
+  EXPECT_FALSE(g.precedes(3, 0));
+  EXPECT_FALSE(g.precedes(1, 2));
+}
+
+TEST(TaskGraph, SerializedIsSymmetricClosure) {
+  const TaskGraph g = diamond();
+  EXPECT_TRUE(g.serialized(0, 3));
+  EXPECT_TRUE(g.serialized(3, 0));
+  EXPECT_FALSE(g.serialized(1, 2)) << "parallel branches may overlap";
+}
+
+TEST(TaskGraph, DetectsCycles) {
+  TaskGraph g("cycle");
+  Program p;
+  p.compute(1);
+  const TaskId a = g.add_task("a", p);
+  const TaskId b = g.add_task("b", p);
+  g.add_control_dep(a, b);
+  g.add_control_dep(b, a);
+  EXPECT_THROW(g.levels(), CheckError);
+  EXPECT_THROW(g.validate(), CheckError);
+}
+
+TEST(TaskGraph, PredecessorsAndSuccessors) {
+  const TaskGraph g = diamond();
+  EXPECT_EQ(g.successors(0), (std::vector<TaskId>{1, 2}));
+  EXPECT_EQ(g.predecessors(3), (std::vector<TaskId>{1, 2}));
+  EXPECT_TRUE(g.predecessors(0).empty());
+}
+
+TEST(TaskGraph, ValidateChecksSegmentReferences) {
+  TaskGraph g("badseg");
+  Program p;
+  p.load(0, /*segment=*/5, 0);
+  g.add_task("t", p);
+  EXPECT_THROW(g.validate(), CheckError);
+}
+
+TEST(TaskGraph, ValidateChecksChannelDirection) {
+  TaskGraph g("badchan");
+  Program sender;
+  sender.send(0, 0);
+  const TaskId a = g.add_task("a", sender);
+  Program idle;
+  idle.compute(1);
+  const TaskId b = g.add_task("b", idle);
+  // Channel declared with b as source, but a sends on it.
+  g.add_channel("c", 16, b, a);
+  EXPECT_THROW(g.validate(), CheckError);
+}
+
+TEST(TaskGraph, ValidChannelUsagePasses) {
+  TaskGraph g("okchan");
+  Program sender;
+  sender.send(0, 0);
+  Program receiver;
+  receiver.recv(0, 0);
+  const TaskId a = g.add_task("a", sender);
+  const TaskId b = g.add_task("b", receiver);
+  g.add_channel("c", 16, a, b);
+  EXPECT_NO_THROW(g.validate());
+}
+
+TEST(TaskGraph, TasksAccessingSegment) {
+  TaskGraph g("acc");
+  g.add_segment("s0", 16, 4);
+  g.add_segment("s1", 16, 4);
+  Program p0;
+  p0.load(0, 0, 0);
+  Program p1;
+  p1.store(1, 0, 0);
+  Program p01;
+  p01.load(0, 0, 0).store(1, 0, 0);
+  g.add_task("t0", p0);
+  g.add_task("t1", p1);
+  g.add_task("t01", p01);
+  EXPECT_EQ(g.tasks_accessing_segment(0), (std::vector<TaskId>{0, 2}));
+  EXPECT_EQ(g.tasks_accessing_segment(1), (std::vector<TaskId>{1, 2}));
+}
+
+TEST(TaskGraph, RejectsBadEdges) {
+  TaskGraph g("bad");
+  Program p;
+  p.compute(1);
+  const TaskId a = g.add_task("a", p);
+  EXPECT_THROW(g.add_control_dep(a, a), CheckError);
+  EXPECT_THROW(g.add_control_dep(a, 7), CheckError);
+  EXPECT_THROW(g.add_channel("c", 0, a, a), CheckError);
+  EXPECT_THROW(g.add_segment("s", 16, 0), CheckError);
+}
+
+TEST(TaskGraph, EmptyGraphInvalid) {
+  TaskGraph g("empty");
+  EXPECT_THROW(g.validate(), CheckError);
+}
+
+}  // namespace
+}  // namespace rcarb::tg

@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include "logic/truth_table.hpp"
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace rcarb::logic {
+namespace {
+
+TEST(TruthTable, ConstantsAndRows) {
+  const TruthTable f = TruthTable::constant(3, false);
+  const TruthTable t = TruthTable::constant(3, true);
+  EXPECT_EQ(f.num_rows(), 8u);
+  for (std::uint64_t r = 0; r < 8; ++r) {
+    EXPECT_FALSE(f.get(r));
+    EXPECT_TRUE(t.get(r));
+  }
+  EXPECT_TRUE(f.is_constant());
+  EXPECT_FALSE(f.constant_value());
+  EXPECT_TRUE(t.constant_value());
+}
+
+TEST(TruthTable, VariableProjection) {
+  const TruthTable v1 = TruthTable::variable(3, 1);
+  for (std::uint64_t r = 0; r < 8; ++r)
+    EXPECT_EQ(v1.get(r), ((r >> 1) & 1) != 0);
+}
+
+TEST(TruthTable, OperatorsMatchBitwiseSemantics) {
+  const TruthTable a = TruthTable::variable(2, 0);
+  const TruthTable b = TruthTable::variable(2, 1);
+  const TruthTable and_ = a & b;
+  const TruthTable or_ = a | b;
+  const TruthTable xor_ = a ^ b;
+  const TruthTable not_a = ~a;
+  for (std::uint64_t r = 0; r < 4; ++r) {
+    const bool av = (r >> 0) & 1, bv = (r >> 1) & 1;
+    EXPECT_EQ(and_.get(r), av && bv);
+    EXPECT_EQ(or_.get(r), av || bv);
+    EXPECT_EQ(xor_.get(r), av != bv);
+    EXPECT_EQ(not_a.get(r), !av);
+  }
+}
+
+TEST(TruthTable, NotIsInvolutionEvenWithPartialLastWord) {
+  // 3 vars -> 8 rows, well under one word: masking of the tail matters.
+  const TruthTable v = TruthTable::variable(3, 2);
+  EXPECT_EQ(~~v, v);
+}
+
+TEST(TruthTable, SupportAndDependsOn) {
+  const TruthTable a = TruthTable::variable(4, 0);
+  const TruthTable c = TruthTable::variable(4, 2);
+  const TruthTable f = a ^ c;
+  EXPECT_TRUE(f.depends_on(0));
+  EXPECT_FALSE(f.depends_on(1));
+  EXPECT_TRUE(f.depends_on(2));
+  EXPECT_FALSE(f.depends_on(3));
+  EXPECT_EQ(f.support(), (std::vector<int>{0, 2}));
+}
+
+TEST(TruthTable, FromCoverMatchesEval) {
+  Rng rng(53);
+  for (int trial = 0; trial < 100; ++trial) {
+    const int nvars = 1 + static_cast<int>(rng.next_below(6));
+    Cover f(nvars);
+    for (int i = 0; i < 4; ++i) {
+      const std::uint64_t mask = rng.next_below(1ull << nvars);
+      f.add(Cube(mask, rng.next_below(1ull << nvars) & mask));
+    }
+    const TruthTable tt = TruthTable::from_cover(f);
+    for (std::uint64_t r = 0; r < tt.num_rows(); ++r)
+      EXPECT_EQ(tt.get(r), f.eval(r));
+  }
+}
+
+TEST(TruthTable, Lut4Mask) {
+  // AND of two variables: rows 3 only (of 4) -> mask 0b1000.
+  const TruthTable a = TruthTable::variable(2, 0);
+  const TruthTable b = TruthTable::variable(2, 1);
+  EXPECT_EQ((a & b).lut4_mask(), 0b1000);
+  EXPECT_EQ((a | b).lut4_mask(), 0b1110);
+}
+
+TEST(TruthTable, ToHex) {
+  const TruthTable a = TruthTable::variable(3, 0);
+  EXPECT_EQ(a.to_hex(), "aa");
+}
+
+TEST(TruthTable, RejectsBadUsage) {
+  EXPECT_THROW(TruthTable(21), CheckError);
+  EXPECT_THROW(TruthTable::variable(3, 3), CheckError);
+  const TruthTable a = TruthTable::variable(5, 0);
+  EXPECT_THROW((void)a.lut4_mask(), CheckError);
+  EXPECT_THROW((void)a.get(32), CheckError);
+  const TruthTable b = TruthTable::variable(4, 0);
+  EXPECT_THROW((void)(a & b), CheckError);
+  EXPECT_THROW((void)a.constant_value(), CheckError);
+}
+
+}  // namespace
+}  // namespace rcarb::logic

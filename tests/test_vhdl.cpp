@@ -1,0 +1,68 @@
+#include <gtest/gtest.h>
+
+#include "core/vhdl.hpp"
+
+namespace rcarb::core {
+namespace {
+
+TEST(Vhdl, EntityAndPortsEmitted) {
+  const std::string v = emit_round_robin_vhdl(3, synth::Encoding::kOneHot);
+  EXPECT_NE(v.find("entity rr_arbiter3 is"), std::string::npos);
+  EXPECT_NE(v.find("clk : in std_logic"), std::string::npos);
+  EXPECT_NE(v.find("rst : in std_logic"), std::string::npos);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_NE(v.find("req" + std::to_string(i) + " : in std_logic"),
+              std::string::npos);
+    EXPECT_NE(v.find("grant" + std::to_string(i) + " : out std_logic"),
+              std::string::npos);
+  }
+  EXPECT_NE(v.find("end architecture rtl;"), std::string::npos);
+}
+
+TEST(Vhdl, StateTypeListsAllStates) {
+  const std::string v = emit_round_robin_vhdl(2, synth::Encoding::kOneHot);
+  EXPECT_NE(v.find("type state_t is (F0, F1, C0, C1);"), std::string::npos);
+  EXPECT_NE(v.find("signal state : state_t := F0;"), std::string::npos);
+}
+
+TEST(Vhdl, EncodingAttributeFollowsRequest) {
+  EXPECT_NE(emit_round_robin_vhdl(2, synth::Encoding::kOneHot).find("\"one-hot\""),
+            std::string::npos);
+  EXPECT_NE(
+      emit_round_robin_vhdl(2, synth::Encoding::kCompact).find("\"sequential\""),
+      std::string::npos);
+  EXPECT_NE(emit_round_robin_vhdl(2, synth::Encoding::kGray).find("\"gray\""),
+            std::string::npos);
+}
+
+TEST(Vhdl, Fig5ScanStructurePresent) {
+  const std::string v = emit_round_robin_vhdl(2, synth::Encoding::kOneHot);
+  // From F0: R0 wins, else not(R0) and R1.
+  EXPECT_NE(v.find("when F0 =>"), std::string::npos);
+  EXPECT_NE(v.find("if req0 = '0' and req1 = '0' then"), std::string::npos);
+  EXPECT_NE(v.find("elsif req0 = '1' then"), std::string::npos);
+  EXPECT_NE(v.find("elsif req0 = '0' and req1 = '1' then"), std::string::npos);
+  // Idle retirement from C0 goes to F1.
+  EXPECT_NE(v.find("when C0 =>"), std::string::npos);
+}
+
+TEST(Vhdl, MealyOutputEquations) {
+  const std::string v = emit_round_robin_vhdl(2, synth::Encoding::kOneHot);
+  EXPECT_NE(v.find("grant0 <= '1' when"), std::string::npos);
+  EXPECT_NE(v.find("grant1 <= '1' when"), std::string::npos);
+  EXPECT_NE(v.find("else '0';"), std::string::npos);
+}
+
+TEST(Vhdl, EveryStateHasCaseAlternative) {
+  const std::string v = emit_round_robin_vhdl(4, synth::Encoding::kOneHot);
+  for (const char* s : {"F0", "F1", "F2", "F3", "C0", "C1", "C2", "C3"})
+    EXPECT_NE(v.find(std::string("when ") + s + " =>"), std::string::npos);
+}
+
+TEST(Vhdl, GrowsWithN) {
+  EXPECT_LT(emit_round_robin_vhdl(2, synth::Encoding::kOneHot).size(),
+            emit_round_robin_vhdl(8, synth::Encoding::kOneHot).size());
+}
+
+}  // namespace
+}  // namespace rcarb::core
