@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_elision.dir/bench_elision.cpp.o"
+  "CMakeFiles/bench_elision.dir/bench_elision.cpp.o.d"
+  "bench_elision"
+  "bench_elision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_elision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

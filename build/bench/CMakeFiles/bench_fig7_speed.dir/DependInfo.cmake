@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig7_speed.cpp" "bench/CMakeFiles/bench_fig7_speed.dir/bench_fig7_speed.cpp.o" "gcc" "bench/CMakeFiles/bench_fig7_speed.dir/bench_fig7_speed.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/flow/CMakeFiles/rcarb_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/fft/CMakeFiles/rcarb_fft.dir/DependInfo.cmake"
+  "/root/repo/build/src/rcsim/CMakeFiles/rcarb_rcsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/partition/CMakeFiles/rcarb_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/rcarb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/board/CMakeFiles/rcarb_board.dir/DependInfo.cmake"
+  "/root/repo/build/src/taskgraph/CMakeFiles/rcarb_taskgraph.dir/DependInfo.cmake"
+  "/root/repo/build/src/timing/CMakeFiles/rcarb_timing.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/rcarb_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/rcarb_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/aig/CMakeFiles/rcarb_aig.dir/DependInfo.cmake"
+  "/root/repo/build/src/bdd/CMakeFiles/rcarb_bdd.dir/DependInfo.cmake"
+  "/root/repo/build/src/logic/CMakeFiles/rcarb_logic.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/rcarb_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_global_schedule.dir/bench_global_schedule.cpp.o"
+  "CMakeFiles/bench_global_schedule.dir/bench_global_schedule.cpp.o.d"
+  "bench_global_schedule"
+  "bench_global_schedule.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_global_schedule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

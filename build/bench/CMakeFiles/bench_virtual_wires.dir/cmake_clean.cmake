@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_virtual_wires.dir/bench_virtual_wires.cpp.o"
+  "CMakeFiles/bench_virtual_wires.dir/bench_virtual_wires.cpp.o.d"
+  "bench_virtual_wires"
+  "bench_virtual_wires.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_virtual_wires.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arbgen.dir/arbgen.cpp.o"
+  "CMakeFiles/arbgen.dir/arbgen.cpp.o.d"
+  "arbgen"
+  "arbgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arbgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/channel_sharing.dir/channel_sharing.cpp.o"
+  "CMakeFiles/channel_sharing.dir/channel_sharing.cpp.o.d"
+  "channel_sharing"
+  "channel_sharing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/channel_sharing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fft_flow.dir/fft_flow.cpp.o"
+  "CMakeFiles/fft_flow.dir/fft_flow.cpp.o.d"
+  "fft_flow"
+  "fft_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fft_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

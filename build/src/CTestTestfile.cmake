@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("logic")
+subdirs("bdd")
+subdirs("aig")
+subdirs("netlist")
+subdirs("synth")
+subdirs("timing")
+subdirs("taskgraph")
+subdirs("board")
+subdirs("core")
+subdirs("partition")
+subdirs("rcsim")
+subdirs("fft")
+subdirs("flow")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rcarb_aig.dir/aig.cpp.o"
+  "CMakeFiles/rcarb_aig.dir/aig.cpp.o.d"
+  "librcarb_aig.a"
+  "librcarb_aig.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rcarb_aig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

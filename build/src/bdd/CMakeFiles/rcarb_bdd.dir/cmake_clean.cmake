@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rcarb_bdd.dir/bdd.cpp.o"
+  "CMakeFiles/rcarb_bdd.dir/bdd.cpp.o.d"
+  "librcarb_bdd.a"
+  "librcarb_bdd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rcarb_bdd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rcarb_board.dir/board.cpp.o"
+  "CMakeFiles/rcarb_board.dir/board.cpp.o.d"
+  "librcarb_board.a"
+  "librcarb_board.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rcarb_board.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

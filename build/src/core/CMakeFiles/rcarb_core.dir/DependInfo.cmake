@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/generator.cpp" "src/core/CMakeFiles/rcarb_core.dir/generator.cpp.o" "gcc" "src/core/CMakeFiles/rcarb_core.dir/generator.cpp.o.d"
+  "/root/repo/src/core/insertion.cpp" "src/core/CMakeFiles/rcarb_core.dir/insertion.cpp.o" "gcc" "src/core/CMakeFiles/rcarb_core.dir/insertion.cpp.o.d"
+  "/root/repo/src/core/line_merge.cpp" "src/core/CMakeFiles/rcarb_core.dir/line_merge.cpp.o" "gcc" "src/core/CMakeFiles/rcarb_core.dir/line_merge.cpp.o.d"
+  "/root/repo/src/core/policy.cpp" "src/core/CMakeFiles/rcarb_core.dir/policy.cpp.o" "gcc" "src/core/CMakeFiles/rcarb_core.dir/policy.cpp.o.d"
+  "/root/repo/src/core/policy_fsms.cpp" "src/core/CMakeFiles/rcarb_core.dir/policy_fsms.cpp.o" "gcc" "src/core/CMakeFiles/rcarb_core.dir/policy_fsms.cpp.o.d"
+  "/root/repo/src/core/rr_fsm.cpp" "src/core/CMakeFiles/rcarb_core.dir/rr_fsm.cpp.o" "gcc" "src/core/CMakeFiles/rcarb_core.dir/rr_fsm.cpp.o.d"
+  "/root/repo/src/core/structural.cpp" "src/core/CMakeFiles/rcarb_core.dir/structural.cpp.o" "gcc" "src/core/CMakeFiles/rcarb_core.dir/structural.cpp.o.d"
+  "/root/repo/src/core/vhdl.cpp" "src/core/CMakeFiles/rcarb_core.dir/vhdl.cpp.o" "gcc" "src/core/CMakeFiles/rcarb_core.dir/vhdl.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/rcarb_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/logic/CMakeFiles/rcarb_logic.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/rcarb_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/timing/CMakeFiles/rcarb_timing.dir/DependInfo.cmake"
+  "/root/repo/build/src/taskgraph/CMakeFiles/rcarb_taskgraph.dir/DependInfo.cmake"
+  "/root/repo/build/src/aig/CMakeFiles/rcarb_aig.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/rcarb_netlist.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

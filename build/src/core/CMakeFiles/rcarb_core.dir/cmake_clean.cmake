@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rcarb_core.dir/generator.cpp.o"
+  "CMakeFiles/rcarb_core.dir/generator.cpp.o.d"
+  "CMakeFiles/rcarb_core.dir/insertion.cpp.o"
+  "CMakeFiles/rcarb_core.dir/insertion.cpp.o.d"
+  "CMakeFiles/rcarb_core.dir/line_merge.cpp.o"
+  "CMakeFiles/rcarb_core.dir/line_merge.cpp.o.d"
+  "CMakeFiles/rcarb_core.dir/policy.cpp.o"
+  "CMakeFiles/rcarb_core.dir/policy.cpp.o.d"
+  "CMakeFiles/rcarb_core.dir/policy_fsms.cpp.o"
+  "CMakeFiles/rcarb_core.dir/policy_fsms.cpp.o.d"
+  "CMakeFiles/rcarb_core.dir/rr_fsm.cpp.o"
+  "CMakeFiles/rcarb_core.dir/rr_fsm.cpp.o.d"
+  "CMakeFiles/rcarb_core.dir/structural.cpp.o"
+  "CMakeFiles/rcarb_core.dir/structural.cpp.o.d"
+  "CMakeFiles/rcarb_core.dir/vhdl.cpp.o"
+  "CMakeFiles/rcarb_core.dir/vhdl.cpp.o.d"
+  "librcarb_core.a"
+  "librcarb_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rcarb_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rcarb_fft.dir/fft_design.cpp.o"
+  "CMakeFiles/rcarb_fft.dir/fft_design.cpp.o.d"
+  "CMakeFiles/rcarb_fft.dir/reference.cpp.o"
+  "CMakeFiles/rcarb_fft.dir/reference.cpp.o.d"
+  "CMakeFiles/rcarb_fft.dir/workload.cpp.o"
+  "CMakeFiles/rcarb_fft.dir/workload.cpp.o.d"
+  "librcarb_fft.a"
+  "librcarb_fft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rcarb_fft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

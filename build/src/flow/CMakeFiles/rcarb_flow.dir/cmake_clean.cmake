@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rcarb_flow.dir/pin_report.cpp.o"
+  "CMakeFiles/rcarb_flow.dir/pin_report.cpp.o.d"
+  "CMakeFiles/rcarb_flow.dir/sparcs_flow.cpp.o"
+  "CMakeFiles/rcarb_flow.dir/sparcs_flow.cpp.o.d"
+  "librcarb_flow.a"
+  "librcarb_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rcarb_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

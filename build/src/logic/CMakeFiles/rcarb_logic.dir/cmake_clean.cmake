@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rcarb_logic.dir/cover.cpp.o"
+  "CMakeFiles/rcarb_logic.dir/cover.cpp.o.d"
+  "CMakeFiles/rcarb_logic.dir/cube.cpp.o"
+  "CMakeFiles/rcarb_logic.dir/cube.cpp.o.d"
+  "CMakeFiles/rcarb_logic.dir/truth_table.cpp.o"
+  "CMakeFiles/rcarb_logic.dir/truth_table.cpp.o.d"
+  "librcarb_logic.a"
+  "librcarb_logic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rcarb_logic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

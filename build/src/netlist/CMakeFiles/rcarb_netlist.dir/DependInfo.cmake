@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netlist/netlist.cpp" "src/netlist/CMakeFiles/rcarb_netlist.dir/netlist.cpp.o" "gcc" "src/netlist/CMakeFiles/rcarb_netlist.dir/netlist.cpp.o.d"
+  "/root/repo/src/netlist/simulator.cpp" "src/netlist/CMakeFiles/rcarb_netlist.dir/simulator.cpp.o" "gcc" "src/netlist/CMakeFiles/rcarb_netlist.dir/simulator.cpp.o.d"
+  "/root/repo/src/netlist/vhdl_emit.cpp" "src/netlist/CMakeFiles/rcarb_netlist.dir/vhdl_emit.cpp.o" "gcc" "src/netlist/CMakeFiles/rcarb_netlist.dir/vhdl_emit.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/rcarb_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/logic/CMakeFiles/rcarb_logic.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rcarb_netlist.dir/netlist.cpp.o"
+  "CMakeFiles/rcarb_netlist.dir/netlist.cpp.o.d"
+  "CMakeFiles/rcarb_netlist.dir/simulator.cpp.o"
+  "CMakeFiles/rcarb_netlist.dir/simulator.cpp.o.d"
+  "CMakeFiles/rcarb_netlist.dir/vhdl_emit.cpp.o"
+  "CMakeFiles/rcarb_netlist.dir/vhdl_emit.cpp.o.d"
+  "librcarb_netlist.a"
+  "librcarb_netlist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rcarb_netlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

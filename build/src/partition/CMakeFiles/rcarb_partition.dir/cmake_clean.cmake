@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rcarb_partition.dir/binding.cpp.o"
+  "CMakeFiles/rcarb_partition.dir/binding.cpp.o.d"
+  "CMakeFiles/rcarb_partition.dir/channel_map.cpp.o"
+  "CMakeFiles/rcarb_partition.dir/channel_map.cpp.o.d"
+  "CMakeFiles/rcarb_partition.dir/estimate.cpp.o"
+  "CMakeFiles/rcarb_partition.dir/estimate.cpp.o.d"
+  "CMakeFiles/rcarb_partition.dir/memory_map.cpp.o"
+  "CMakeFiles/rcarb_partition.dir/memory_map.cpp.o.d"
+  "CMakeFiles/rcarb_partition.dir/spatial.cpp.o"
+  "CMakeFiles/rcarb_partition.dir/spatial.cpp.o.d"
+  "CMakeFiles/rcarb_partition.dir/temporal.cpp.o"
+  "CMakeFiles/rcarb_partition.dir/temporal.cpp.o.d"
+  "librcarb_partition.a"
+  "librcarb_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rcarb_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rcarb_rcsim.dir/system_sim.cpp.o"
+  "CMakeFiles/rcarb_rcsim.dir/system_sim.cpp.o.d"
+  "librcarb_rcsim.a"
+  "librcarb_rcsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rcarb_rcsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for rcarb_rcsim.
+# This may be replaced when dependencies are built.

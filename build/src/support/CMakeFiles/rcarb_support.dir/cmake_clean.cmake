@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rcarb_support.dir/check.cpp.o"
+  "CMakeFiles/rcarb_support.dir/check.cpp.o.d"
+  "CMakeFiles/rcarb_support.dir/rng.cpp.o"
+  "CMakeFiles/rcarb_support.dir/rng.cpp.o.d"
+  "CMakeFiles/rcarb_support.dir/table.cpp.o"
+  "CMakeFiles/rcarb_support.dir/table.cpp.o.d"
+  "CMakeFiles/rcarb_support.dir/text.cpp.o"
+  "CMakeFiles/rcarb_support.dir/text.cpp.o.d"
+  "librcarb_support.a"
+  "librcarb_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rcarb_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

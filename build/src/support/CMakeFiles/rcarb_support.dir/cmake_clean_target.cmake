@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librcarb_support.a"
+)

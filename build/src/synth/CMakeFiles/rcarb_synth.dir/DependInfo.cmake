@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/synth/clb_pack.cpp" "src/synth/CMakeFiles/rcarb_synth.dir/clb_pack.cpp.o" "gcc" "src/synth/CMakeFiles/rcarb_synth.dir/clb_pack.cpp.o.d"
+  "/root/repo/src/synth/elaborate.cpp" "src/synth/CMakeFiles/rcarb_synth.dir/elaborate.cpp.o" "gcc" "src/synth/CMakeFiles/rcarb_synth.dir/elaborate.cpp.o.d"
+  "/root/repo/src/synth/encoding.cpp" "src/synth/CMakeFiles/rcarb_synth.dir/encoding.cpp.o" "gcc" "src/synth/CMakeFiles/rcarb_synth.dir/encoding.cpp.o.d"
+  "/root/repo/src/synth/flow.cpp" "src/synth/CMakeFiles/rcarb_synth.dir/flow.cpp.o" "gcc" "src/synth/CMakeFiles/rcarb_synth.dir/flow.cpp.o.d"
+  "/root/repo/src/synth/fsm.cpp" "src/synth/CMakeFiles/rcarb_synth.dir/fsm.cpp.o" "gcc" "src/synth/CMakeFiles/rcarb_synth.dir/fsm.cpp.o.d"
+  "/root/repo/src/synth/lut_map.cpp" "src/synth/CMakeFiles/rcarb_synth.dir/lut_map.cpp.o" "gcc" "src/synth/CMakeFiles/rcarb_synth.dir/lut_map.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/rcarb_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/logic/CMakeFiles/rcarb_logic.dir/DependInfo.cmake"
+  "/root/repo/build/src/aig/CMakeFiles/rcarb_aig.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/rcarb_netlist.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

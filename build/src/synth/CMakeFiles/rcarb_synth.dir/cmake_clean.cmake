@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rcarb_synth.dir/clb_pack.cpp.o"
+  "CMakeFiles/rcarb_synth.dir/clb_pack.cpp.o.d"
+  "CMakeFiles/rcarb_synth.dir/elaborate.cpp.o"
+  "CMakeFiles/rcarb_synth.dir/elaborate.cpp.o.d"
+  "CMakeFiles/rcarb_synth.dir/encoding.cpp.o"
+  "CMakeFiles/rcarb_synth.dir/encoding.cpp.o.d"
+  "CMakeFiles/rcarb_synth.dir/flow.cpp.o"
+  "CMakeFiles/rcarb_synth.dir/flow.cpp.o.d"
+  "CMakeFiles/rcarb_synth.dir/fsm.cpp.o"
+  "CMakeFiles/rcarb_synth.dir/fsm.cpp.o.d"
+  "CMakeFiles/rcarb_synth.dir/lut_map.cpp.o"
+  "CMakeFiles/rcarb_synth.dir/lut_map.cpp.o.d"
+  "librcarb_synth.a"
+  "librcarb_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rcarb_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

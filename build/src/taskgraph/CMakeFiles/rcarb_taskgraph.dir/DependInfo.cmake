@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/taskgraph/dot_export.cpp" "src/taskgraph/CMakeFiles/rcarb_taskgraph.dir/dot_export.cpp.o" "gcc" "src/taskgraph/CMakeFiles/rcarb_taskgraph.dir/dot_export.cpp.o.d"
+  "/root/repo/src/taskgraph/program.cpp" "src/taskgraph/CMakeFiles/rcarb_taskgraph.dir/program.cpp.o" "gcc" "src/taskgraph/CMakeFiles/rcarb_taskgraph.dir/program.cpp.o.d"
+  "/root/repo/src/taskgraph/taskgraph.cpp" "src/taskgraph/CMakeFiles/rcarb_taskgraph.dir/taskgraph.cpp.o" "gcc" "src/taskgraph/CMakeFiles/rcarb_taskgraph.dir/taskgraph.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/rcarb_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

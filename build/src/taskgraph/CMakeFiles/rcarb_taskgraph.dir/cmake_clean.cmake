@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rcarb_taskgraph.dir/dot_export.cpp.o"
+  "CMakeFiles/rcarb_taskgraph.dir/dot_export.cpp.o.d"
+  "CMakeFiles/rcarb_taskgraph.dir/program.cpp.o"
+  "CMakeFiles/rcarb_taskgraph.dir/program.cpp.o.d"
+  "CMakeFiles/rcarb_taskgraph.dir/taskgraph.cpp.o"
+  "CMakeFiles/rcarb_taskgraph.dir/taskgraph.cpp.o.d"
+  "librcarb_taskgraph.a"
+  "librcarb_taskgraph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rcarb_taskgraph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/timing/sta.cpp" "src/timing/CMakeFiles/rcarb_timing.dir/sta.cpp.o" "gcc" "src/timing/CMakeFiles/rcarb_timing.dir/sta.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/rcarb_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/rcarb_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/logic/CMakeFiles/rcarb_logic.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rcarb_timing.dir/sta.cpp.o"
+  "CMakeFiles/rcarb_timing.dir/sta.cpp.o.d"
+  "librcarb_timing.a"
+  "librcarb_timing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rcarb_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_emitters.dir/test_emitters.cpp.o"
+  "CMakeFiles/test_emitters.dir/test_emitters.cpp.o.d"
+  "test_emitters"
+  "test_emitters.pdb"
+  "test_emitters[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_emitters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

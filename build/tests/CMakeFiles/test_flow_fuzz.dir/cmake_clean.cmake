@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_flow_fuzz.dir/test_flow_fuzz.cpp.o"
+  "CMakeFiles/test_flow_fuzz.dir/test_flow_fuzz.cpp.o.d"
+  "test_flow_fuzz"
+  "test_flow_fuzz.pdb"
+  "test_flow_fuzz[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_flow_fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

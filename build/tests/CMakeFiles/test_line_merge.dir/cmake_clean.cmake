@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_line_merge.dir/test_line_merge.cpp.o"
+  "CMakeFiles/test_line_merge.dir/test_line_merge.cpp.o.d"
+  "test_line_merge"
+  "test_line_merge.pdb"
+  "test_line_merge[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_line_merge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lut_map.dir/test_lut_map.cpp.o"
+  "CMakeFiles/test_lut_map.dir/test_lut_map.cpp.o.d"
+  "test_lut_map"
+  "test_lut_map.pdb"
+  "test_lut_map[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lut_map.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pin_report.dir/test_pin_report.cpp.o"
+  "CMakeFiles/test_pin_report.dir/test_pin_report.cpp.o.d"
+  "test_pin_report"
+  "test_pin_report.pdb"
+  "test_pin_report[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pin_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

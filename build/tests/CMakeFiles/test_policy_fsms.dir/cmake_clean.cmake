@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_policy_fsms.dir/test_policy_fsms.cpp.o"
+  "CMakeFiles/test_policy_fsms.dir/test_policy_fsms.cpp.o.d"
+  "test_policy_fsms"
+  "test_policy_fsms.pdb"
+  "test_policy_fsms[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_policy_fsms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

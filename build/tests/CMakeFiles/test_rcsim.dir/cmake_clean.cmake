@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rcsim.dir/test_rcsim.cpp.o"
+  "CMakeFiles/test_rcsim.dir/test_rcsim.cpp.o.d"
+  "test_rcsim"
+  "test_rcsim.pdb"
+  "test_rcsim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rcsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rcsim_extras.dir/test_rcsim_extras.cpp.o"
+  "CMakeFiles/test_rcsim_extras.dir/test_rcsim_extras.cpp.o.d"
+  "test_rcsim_extras"
+  "test_rcsim_extras.pdb"
+  "test_rcsim_extras[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rcsim_extras.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

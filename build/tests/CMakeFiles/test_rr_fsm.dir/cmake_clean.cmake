@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rr_fsm.dir/test_rr_fsm.cpp.o"
+  "CMakeFiles/test_rr_fsm.dir/test_rr_fsm.cpp.o.d"
+  "test_rr_fsm"
+  "test_rr_fsm.pdb"
+  "test_rr_fsm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rr_fsm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

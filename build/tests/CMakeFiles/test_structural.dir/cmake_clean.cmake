@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_structural.dir/test_structural.cpp.o"
+  "CMakeFiles/test_structural.dir/test_structural.cpp.o.d"
+  "test_structural"
+  "test_structural.pdb"
+  "test_structural[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_structural.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

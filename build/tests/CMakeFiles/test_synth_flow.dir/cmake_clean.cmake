@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_synth_flow.dir/test_synth_flow.cpp.o"
+  "CMakeFiles/test_synth_flow.dir/test_synth_flow.cpp.o.d"
+  "test_synth_flow"
+  "test_synth_flow.pdb"
+  "test_synth_flow[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_synth_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vhdl.dir/test_vhdl.cpp.o"
+  "CMakeFiles/test_vhdl.dir/test_vhdl.cpp.o.d"
+  "test_vhdl"
+  "test_vhdl.pdb"
+  "test_vhdl[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vhdl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
