@@ -120,10 +120,15 @@ InsertionResult insert_arbitration(const tg::TaskGraph& graph,
                       binding.num_phys_channels,
               "binding resource names incomplete");
   RCARB_CHECK(options.batch_m >= 1, "batch_m must be at least 1");
+  RCARB_CHECK(options.retry_timeout >= 0, "negative retry_timeout");
+  RCARB_CHECK(options.retry_backoff_limit >= 1,
+              "retry_backoff_limit must be at least 1");
 
   InsertionResult result{graph, {}};
   ArbitrationPlan& plan = result.plan;
   plan.arbiters_of_resource.assign(binding.num_resources(), {});
+  plan.retry_timeout = options.retry_timeout;
+  plan.retry_backoff_limit = options.retry_backoff_limit;
 
   // ---- Plan arbiters per shared resource. ----
   // needs_port[task][resource]: accesses must follow the req/grant protocol.

@@ -73,6 +73,14 @@ struct InsertionOptions {
   /// A compute op longer than this many cycles ends a held burst (holding a
   /// grant across long computation starves peers).
   std::int64_t hold_compute_limit = 8;
+  /// Protocol-level retry (robustness extension of Fig. 8): a task whose
+  /// Req sees no Grant within this many cycles deasserts Req and re-asserts
+  /// after a bounded exponential backoff, instead of waiting forever on a
+  /// possibly-stuck line.  0 keeps the paper's wait-forever protocol.
+  int retry_timeout = 0;
+  /// Backoff cap in cycles (backoff doubles per consecutive retry of the
+  /// same burst, starting at 1, and never exceeds this).
+  int retry_backoff_limit = 64;
 };
 
 struct InsertionStats {
@@ -91,6 +99,10 @@ struct ArbitrationPlan {
   std::vector<LineMergePlan> line_merges;
   std::vector<std::vector<int>> arbiters_of_resource;  // per resource id
   InsertionStats stats;
+  /// Retry protocol parameters every rewritten task obeys (from
+  /// InsertionOptions; the simulator enforces them).  0 = wait forever.
+  int retry_timeout = 0;
+  int retry_backoff_limit = 64;
 
   /// The arbiter index and request-port of task `t` on `resource`, or
   /// {-1, -1} when the task's accesses are unarbitrated there.

@@ -27,53 +27,99 @@ RoundRobinArbiter::RoundRobinArbiter(int n, RoundRobinOptions options)
   RCARB_CHECK(options.max_hold_cycles >= 0, "negative max_hold_cycles");
 }
 
+RoundRobinArbiter::NextState RoundRobinArbiter::step_one_state(
+    int i, bool in_c, std::uint64_t requests, int* granted) const {
+  *granted = -1;
+  // Fig. 5: no requests — Fi stays, Ci retires to F(i+1).
+  if (requests == 0) return {in_c ? (i + 1) % n_ : i, false};
+  // Cyclic scan from the priority index i (identical for Ci and Fi).
+  for (int k = 0; k < n_; ++k) {
+    const int j = (i + k) % n_;
+    if ((requests >> j) & 1u) {
+      *granted = j;
+      return {j, true};
+    }
+  }
+  RCARB_ASSERT(false, "unreachable: requests were nonzero");
+  return {i, in_c};
+}
+
 int RoundRobinArbiter::step(std::uint64_t requests) {
   requests &= (n_ == 64) ? ~0ull : ((1ull << n_) - 1);
+  grant_mask_ = 0;
 
-  // Fig. 5: no requests — Fi stays, Ci retires to F(i+1).
-  if (requests == 0) {
-    if (in_c_) {
-      index_ = (index_ + 1) % n_;
-      in_c_ = false;
+  if (!state_legal()) {
+    if (options_.harden) {
+      // Hardened register bank: any non-one-hot code loads the reset state
+      // F0 — the safe all-free state — and arbitration resumes in the same
+      // step (recovery within one cycle, matching the hardened netlist).
+      f_bits_ = 1;
+      c_bits_ = 0;
+      held_cycles_ = 0;
+      ++recoveries_;
+    } else if (f_bits_ == 0 && c_bits_ == 0) {
+      // Zero-hot: no state recognizer fires; the machine is dead.
+      return -1;
+    } else {
+      // Multi-hot: every hot state's single-literal recognizer fires, so
+      // the register ORs all their successors and every scan winner is
+      // granted at once — mutual exclusion is gone.  Faithful to the
+      // unhardened one-hot netlist.
+      std::uint64_t next_f = 0, next_c = 0;
+      for (int b = 0; b < 2 * n_; ++b) {
+        const bool in_c = b >= n_;
+        const int i = in_c ? b - n_ : b;
+        if (!(((in_c ? c_bits_ : f_bits_) >> i) & 1u)) continue;
+        int g = -1;
+        const NextState ns = step_one_state(i, in_c, requests, &g);
+        (ns.in_c ? next_c : next_f) |= 1ull << ns.index;
+        if (g >= 0) grant_mask_ |= 1ull << g;
+      }
+      f_bits_ = next_f;
+      c_bits_ = next_c;
+      held_cycles_ = 0;
+      return grant_mask_ == 0 ? -1 : std::countr_zero(grant_mask_);
     }
-    held_cycles_ = 0;
-    return -1;
   }
+
+  const bool in_c = c_bits_ != 0;
+  const int index = std::countr_zero(in_c ? c_bits_ : f_bits_);
 
   // Future-work preemption: a saturated holder loses its turn when someone
   // else is waiting; the scan then starts past it.
-  if (in_c_ && options_.max_hold_cycles > 0 &&
+  if (in_c && requests != 0 && options_.max_hold_cycles > 0 &&
       held_cycles_ >= options_.max_hold_cycles &&
-      (requests & ~(1ull << index_)) != 0) {
-    const int start = (index_ + 1) % n_;
+      (requests & ~(1ull << index)) != 0) {
+    const int start = (index + 1) % n_;
     for (int k = 0; k < n_; ++k) {
       const int j = (start + k) % n_;
-      if (j != index_ && ((requests >> j) & 1u)) {
-        index_ = j;
-        in_c_ = true;
+      if (j != index && ((requests >> j) & 1u)) {
+        f_bits_ = 0;
+        c_bits_ = 1ull << j;
         held_cycles_ = 1;
+        grant_mask_ = 1ull << j;
         return j;
       }
     }
   }
 
-  // Cyclic scan from the priority index i (identical for Ci and Fi).
-  for (int k = 0; k < n_; ++k) {
-    const int j = (index_ + k) % n_;
-    if ((requests >> j) & 1u) {
-      held_cycles_ = (in_c_ && j == index_) ? held_cycles_ + 1 : 1;
-      index_ = j;
-      in_c_ = true;
-      return j;
-    }
+  int granted = -1;
+  const NextState next = step_one_state(index, in_c, requests, &granted);
+  if (granted < 0) {
+    held_cycles_ = 0;
+  } else {
+    held_cycles_ = (in_c && granted == index) ? held_cycles_ + 1 : 1;
+    grant_mask_ = 1ull << granted;
   }
-  RCARB_ASSERT(false, "unreachable: requests were nonzero");
-  return -1;
+  f_bits_ = next.in_c ? 0 : (1ull << next.index);
+  c_bits_ = next.in_c ? (1ull << next.index) : 0;
+  return granted;
 }
 
 void RoundRobinArbiter::reset() {
-  index_ = 0;
-  in_c_ = false;
+  f_bits_ = 1;
+  c_bits_ = 0;
+  grant_mask_ = 0;
   held_cycles_ = 0;
 }
 
@@ -82,7 +128,27 @@ std::string RoundRobinArbiter::describe() const {
 }
 
 std::string RoundRobinArbiter::state_name() const {
-  return (in_c_ ? "C" : "F") + std::to_string(index_);
+  RCARB_CHECK(state_legal(), "state_name on an illegal register");
+  const bool in_c = c_bits_ != 0;
+  return (in_c ? "C" : "F") +
+         std::to_string(std::countr_zero(in_c ? c_bits_ : f_bits_));
+}
+
+std::uint64_t RoundRobinArbiter::state_bits() const {
+  RCARB_CHECK(n_ <= 32, "state_bits requires 2n <= 64");
+  return f_bits_ | (c_bits_ << n_);
+}
+
+bool RoundRobinArbiter::state_legal() const {
+  return std::popcount(f_bits_) + std::popcount(c_bits_) == 1;
+}
+
+void RoundRobinArbiter::inject_bit_flip(int bit) {
+  RCARB_CHECK(bit >= 0 && bit < 2 * n_, "state bit out of range");
+  if (bit < n_)
+    f_bits_ ^= 1ull << bit;
+  else
+    c_bits_ ^= 1ull << (bit - n_);
 }
 
 // ---------------------------------------------------------------------- FIFO

@@ -64,9 +64,18 @@ struct RoundRobinOptions {
   /// cycles is preempted while other requests are pending (the paper's
   /// future-work extension, ensuring no task "never relinquishes").
   int max_hold_cycles = 0;
+  /// Illegal-state recovery.  The one-hot Fig. 5 register is SEU-exposed: a
+  /// single flip leaves it zero-hot (dead — no grants ever again) or
+  /// multi-hot (several states active at once — mutual exclusion breaks).
+  /// Hardened, step() detects a non-one-hot register and recovers to the
+  /// safe all-free reset state F0 within that same step.
+  bool harden = false;
 };
 
-/// Fig. 5 round-robin arbiter.  State: priority index i plus the C/F flag.
+/// Fig. 5 round-robin arbiter.  The 2N states Ci/Fi live in an explicit
+/// one-hot register (bit i = Fi, bit n+i = Ci) so single-event upsets can
+/// be injected and the hardened recovery modeled bit-exactly against the
+/// synthesized netlist.
 class RoundRobinArbiter final : public Arbiter {
  public:
   explicit RoundRobinArbiter(int n, RoundRobinOptions options = {});
@@ -75,12 +84,43 @@ class RoundRobinArbiter final : public Arbiter {
   [[nodiscard]] std::string describe() const override;
 
   /// Exposed for FSM-equivalence tests: current state as "Ci"/"Fi" text.
+  /// Requires a legal (exactly one-hot) register.
   [[nodiscard]] std::string state_name() const;
 
+  /// The one-hot state register: bit i = Fi, bit n+i = Ci.  Requires
+  /// n <= 32 (2n bits must fit one word).
+  [[nodiscard]] std::uint64_t state_bits() const;
+
+  /// True when the register holds exactly one hot bit.
+  [[nodiscard]] bool state_legal() const;
+
+  /// SEU injection: XOR one bit of the state register (0 <= bit < 2n).
+  void inject_bit_flip(int bit);
+
+  /// Every grant asserted by the last step().  Legal states assert at most
+  /// one; an unhardened multi-hot register can assert several (the
+  /// mutual-exclusion violation a fault campaign must surface).
+  [[nodiscard]] std::uint64_t last_grant_mask() const { return grant_mask_; }
+
+  /// Illegal-state recoveries performed so far (hardened mode only).
+  [[nodiscard]] std::uint64_t recoveries() const { return recoveries_; }
+
  private:
+  /// Fig. 5 transition from the single state (i, in_c): returns the
+  /// successor state and sets `granted` (-1 = none).
+  struct NextState {
+    int index;
+    bool in_c;
+  };
+  [[nodiscard]] NextState step_one_state(int i, bool in_c,
+                                         std::uint64_t requests,
+                                         int* granted) const;
+
   RoundRobinOptions options_;
-  int index_ = 0;     // the i of Ci / Fi
-  bool in_c_ = false; // true: state Ci, false: state Fi
+  std::uint64_t f_bits_ = 1;   // one-hot among F0..F(n-1); reset = F0
+  std::uint64_t c_bits_ = 0;   // one-hot among C0..C(n-1)
+  std::uint64_t grant_mask_ = 0;
+  std::uint64_t recoveries_ = 0;
   int held_cycles_ = 0;
 };
 

@@ -49,6 +49,19 @@ void Simulator::clock() {
   settle();
 }
 
+void Simulator::poke_register(NetId net, bool value) {
+  RCARB_CHECK(netlist_.driver_kind(net) == DriverKind::kDff,
+              "poke_register on a non-register net");
+  value_[net] = value ? 1 : 0;
+  settle();
+}
+
+void Simulator::poke_register(const std::string& name, bool value) {
+  const auto net = netlist_.find_net(name);
+  RCARB_CHECK(net.has_value(), "unknown register net: " + name);
+  poke_register(*net, value);
+}
+
 bool Simulator::get(NetId net) const {
   RCARB_CHECK(net < netlist_.num_nets(), "net out of range");
   return value_[net] != 0;

@@ -31,6 +31,11 @@ class Simulator {
   /// Rising clock edge: latches d into every q, then settles.
   void clock();
 
+  /// Fault injection: overwrites a DFF's q value (an SEU in the register)
+  /// and re-settles so downstream logic sees the corrupted state.
+  void poke_register(NetId net, bool value);
+  void poke_register(const std::string& name, bool value);
+
   [[nodiscard]] bool get(NetId net) const;
   [[nodiscard]] bool get(const std::string& name) const;
 

@@ -1,6 +1,7 @@
 #include "rcsim/system_sim.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <utility>
 
 #include "support/check.hpp"
@@ -33,7 +34,54 @@ struct LoopFrame {
   std::int64_t remaining = 0;
 };
 
+/// A stuck-at fault window over one arbiter line.
+struct StuckWindow {
+  fault::FaultKind kind = fault::FaultKind::kReqStuck0;
+  std::size_t arbiter = 0;
+  int port = 0;
+  std::uint64_t from = 0;
+  std::uint64_t until = 0;  // exclusive
+
+  [[nodiscard]] bool active(std::uint64_t cycle) const {
+    return cycle >= from && cycle < until;
+  }
+};
+
 }  // namespace
+
+const char* to_string(DiagKind k) {
+  switch (k) {
+    case DiagKind::kBankConflict: return "bank-conflict";
+    case DiagKind::kChannelConflict: return "channel-conflict";
+    case DiagKind::kProtocolViolation: return "protocol-violation";
+    case DiagKind::kOutOfBounds: return "out-of-bounds";
+    case DiagKind::kIllegalFsmState: return "illegal-fsm-state";
+    case DiagKind::kMultipleGrants: return "multiple-grants";
+    case DiagKind::kFsmRecovery: return "fsm-recovery";
+    case DiagKind::kHungGrant: return "hung-grant";
+    case DiagKind::kWatchdogRecovery: return "watchdog-recovery";
+    case DiagKind::kDataCorruption: return "data-corruption";
+    case DiagKind::kDeadlock: return "deadlock";
+    case DiagKind::kNoProgress: return "no-progress";
+    case DiagKind::kMaxCycles: return "max-cycles";
+  }
+  return "?";
+}
+
+std::string SimDiagnostic::format() const {
+  std::string s = std::string(to_string(kind)) + "@" + std::to_string(cycle);
+  if (task >= 0) s += " task=" + std::to_string(task);
+  if (resource >= 0) s += " resource=" + std::to_string(resource);
+  if (!detail.empty()) s += ": " + detail;
+  return s;
+}
+
+std::size_t SimResult::count(DiagKind k) const {
+  std::size_t n = 0;
+  for (const SimDiagnostic& d : diagnostics)
+    if (d.kind == k) ++n;
+  return n;
+}
 
 struct SystemSimulator::TaskCtx {
   TaskId id = 0;
@@ -50,6 +98,11 @@ struct SystemSimulator::TaskCtx {
   // (the sender re-arbitrates once the receiver register frees up).
   int dropped_request = -1;
   std::uint64_t request_since = 0;
+  // Protocol-level retry: after retry_timeout granless cycles the task
+  // deasserts Req and re-asserts once the bounded backoff expires.
+  int retry_resource = -1;
+  std::uint64_t retry_until = 0;
+  int retry_backoff = 1;
   TaskStats stats;
 };
 
@@ -87,12 +140,15 @@ SimResult SystemSimulator::run(const std::vector<TaskId>& tasks) {
 
   // ---- Instantiate behavioral arbiters from the plan. ----
   std::vector<std::unique_ptr<core::Arbiter>> arbiters;
+  std::vector<core::RoundRobinArbiter*> rr(plan_.arbiters.size(), nullptr);
   std::vector<int> grant_holder(plan_.arbiters.size(), -1);  // port index
   for (const core::ArbiterInstance& inst : plan_.arbiters) {
     const int n = static_cast<int>(inst.ports.size());
-    if (inst.policy == core::Policy::kRoundRobin && options_.rr_max_hold > 0) {
-      arbiters.push_back(std::make_unique<core::RoundRobinArbiter>(
-          n, core::RoundRobinOptions{options_.rr_max_hold}));
+    if (inst.policy == core::Policy::kRoundRobin) {
+      auto arb = std::make_unique<core::RoundRobinArbiter>(
+          n, core::RoundRobinOptions{options_.rr_max_hold, options_.harden});
+      rr[arbiters.size()] = arb.get();
+      arbiters.push_back(std::move(arb));
     } else {
       arbiters.push_back(core::make_arbiter(inst.policy, n, options_.seed));
     }
@@ -101,6 +157,46 @@ SimResult SystemSimulator::run(const std::vector<TaskId>& tasks) {
     st.ports = n;
     result.arbiters.push_back(st);
   }
+
+  // ---- Split the fault schedule by application point. ----
+  std::vector<fault::FaultEvent> flips;  // kFsmBitFlip, cycle-sorted
+  std::vector<StuckWindow> stucks;       // req/grant stuck-at windows
+  // Per physical channel: armed corruption masks, cycle-sorted.
+  std::vector<std::vector<std::pair<std::uint64_t, std::uint64_t>>>
+      chan_corrupt(binding_.num_phys_channels);
+  std::vector<std::size_t> chan_corrupt_next(binding_.num_phys_channels, 0);
+  for (const fault::FaultEvent& e : options_.faults) {
+    switch (e.kind) {
+      case fault::FaultKind::kFsmBitFlip:
+        if (e.arbiter >= 0 &&
+            static_cast<std::size_t>(e.arbiter) < arbiters.size())
+          flips.push_back(e);
+        break;
+      case fault::FaultKind::kReqStuck0:
+      case fault::FaultKind::kReqStuck1:
+      case fault::FaultKind::kGrantStuck0:
+      case fault::FaultKind::kGrantDrop:
+        if (e.arbiter >= 0 &&
+            static_cast<std::size_t>(e.arbiter) < arbiters.size() &&
+            e.port >= 0 && e.port < result.arbiters[static_cast<std::size_t>(
+                                        e.arbiter)].ports)
+          stucks.push_back({e.kind, static_cast<std::size_t>(e.arbiter),
+                            e.port, e.cycle, e.cycle + e.duration});
+        break;
+      case fault::FaultKind::kChannelCorrupt:
+        if (e.channel >= 0 &&
+            static_cast<std::size_t>(e.channel) < chan_corrupt.size())
+          chan_corrupt[static_cast<std::size_t>(e.channel)].push_back(
+              {e.cycle, e.xor_mask});
+        break;
+    }
+  }
+  std::stable_sort(flips.begin(), flips.end(),
+                   [](const fault::FaultEvent& a, const fault::FaultEvent& b) {
+                     return a.cycle < b.cycle;
+                   });
+  for (auto& q : chan_corrupt) std::stable_sort(q.begin(), q.end());
+  std::size_t flip_next = 0;
 
   // ---- Task contexts. ----
   std::vector<TaskCtx> ctx(graph_.num_tasks());
@@ -116,15 +212,16 @@ SimResult SystemSimulator::run(const std::vector<TaskId>& tasks) {
 
   // Request lines per arbiter port, rebuilt each cycle from task state.
   std::vector<std::uint64_t> requests(plan_.arbiters.size(), 0);
-  std::vector<std::uint64_t> wait_start(graph_.num_tasks(), 0);
 
-  auto fail = [&](const std::string& msg) {
-    result.diagnostics.push_back(msg);
-    if (options_.strict) RCARB_CHECK(false, msg);
+  auto diagnose = [&](DiagKind kind, std::uint64_t cyc, int task, int resource,
+                      std::string detail) {
+    result.diagnostics.push_back(
+        {kind, cyc, task, resource, std::move(detail)});
   };
-  auto protocol_fail = [&](const std::string& msg) {
-    ++result.protocol_violations;
-    fail(msg);
+  auto fail = [&](DiagKind kind, std::uint64_t cyc, int task, int resource,
+                  const std::string& msg) {
+    diagnose(kind, cyc, task, resource, msg);
+    if (options_.strict) RCARB_CHECK(false, msg);
   };
 
   // Maps a task+resource to the arbiter index and port, if arbitrated.
@@ -150,6 +247,133 @@ SimResult SystemSimulator::run(const std::vector<TaskId>& tasks) {
     }
   };
 
+  // ---- Watchdog / fault state per arbiter. ----
+  std::vector<std::uint64_t> grant_mask_vis(plan_.arbiters.size(), 0);
+  std::vector<int> hold_streak(plan_.arbiters.size(), 0);
+  std::vector<char> hung_reported(plan_.arbiters.size(), 0);
+  std::vector<char> was_illegal(plan_.arbiters.size(), 0);
+  std::vector<char> holder_accessed(plan_.arbiters.size(), 0);
+  std::vector<std::uint64_t> force_release(plan_.arbiters.size(), 0);
+  std::vector<std::uint64_t> prev_recoveries(plan_.arbiters.size(), 0);
+
+  // ---- Stall attribution: wait-for-graph over outstanding waits. ----
+  // Returns true when a cycle was found (deadlock); otherwise reports the
+  // stall as kNoProgress with the task-state dump.
+  auto attribute_stall = [&](std::uint64_t cyc) {
+    const auto num_tasks = graph_.num_tasks();
+    std::vector<int> waits_on(num_tasks, -1);
+    std::vector<std::string> why(num_tasks);
+    for (TaskId t : tasks) {
+      const TaskCtx& c = ctx[t];
+      if (c.finished) continue;
+      if (!c.started) {
+        for (TaskId p : graph_.predecessors(t))
+          if (ctx[p].in_run && !ctx[p].finished) {
+            waits_on[t] = static_cast<int>(p);
+            why[t] = "control dependence on " + graph_.task(p).name;
+            break;
+          }
+        continue;
+      }
+      const auto& ops = graph_.task(t).program.ops();
+      if (c.pc >= ops.size()) continue;
+      const Op& op = ops[c.pc];
+      int res = c.requesting;
+      if (res < 0) res = c.retry_resource;
+      if (res < 0) res = c.dropped_request;
+      if (res >= 0 &&
+          (op.code == OpCode::kLoad || op.code == OpCode::kStore ||
+           op.code == OpCode::kSend)) {
+        const auto [ai, port] = arbiter_port(t, res);
+        if (ai >= 0 && port >= 0) {
+          const int h = grant_holder[static_cast<std::size_t>(ai)];
+          if (h >= 0 && h != port) {
+            waits_on[t] = static_cast<int>(
+                plan_.arbiters[static_cast<std::size_t>(ai)]
+                    .ports[static_cast<std::size_t>(h)]);
+            why[t] = "awaits grant of " + binding_.resource_name(res);
+            continue;
+          }
+        }
+      }
+      if (op.code == OpCode::kRecv &&
+          !chan_reg[static_cast<std::size_t>(op.b)].valid) {
+        const tg::Channel& ch =
+            graph_.channel(static_cast<std::size_t>(op.b));
+        waits_on[t] = static_cast<int>(ch.source);
+        why[t] = "awaits a word on " + ch.name;
+        continue;
+      }
+      if (op.code == OpCode::kSend &&
+          !options_.naive_shared_channel_register &&
+          chan_reg[static_cast<std::size_t>(op.b)].valid) {
+        const tg::Channel& ch =
+            graph_.channel(static_cast<std::size_t>(op.b));
+        waits_on[t] = static_cast<int>(ch.target);
+        why[t] = "backpressured on " + ch.name;
+        continue;
+      }
+    }
+
+    // Walk every chain looking for a cycle (paths are functional: at most
+    // one outgoing wait edge per task).
+    std::vector<char> color(num_tasks, 0);  // 0 new, 1 on path, 2 done
+    for (TaskId start : tasks) {
+      std::vector<TaskId> path;
+      TaskId u = start;
+      while (true) {
+        if (color[u] == 2) break;
+        if (color[u] == 1) {
+          // Cycle found: report it from u around.
+          std::string detail = "wait-for cycle: ";
+          const auto at = std::find(path.begin(), path.end(), u);
+          for (auto it = at; it != path.end(); ++it)
+            detail += graph_.task(*it).name + " (" + why[*it] + ") -> ";
+          detail += graph_.task(u).name;
+          diagnose(DiagKind::kDeadlock, cyc, static_cast<int>(u),
+                   ctx[u].requesting, detail);
+          for (TaskId v : path) color[v] = 2;
+          return;
+        }
+        color[u] = 1;
+        path.push_back(u);
+        if (waits_on[u] < 0 ||
+            ctx[static_cast<std::size_t>(waits_on[u])].finished)
+          break;
+        u = static_cast<TaskId>(waits_on[u]);
+      }
+      for (TaskId v : path) color[v] = 2;
+    }
+
+    // No cycle: a hang (dead arbiter, sender that never sends, ...).
+    std::string detail = "no progress for " +
+                         std::to_string(options_.no_progress_window) +
+                         " cycles; task states:";
+    for (TaskId t : tasks) {
+      const TaskCtx& c = ctx[t];
+      if (c.finished) continue;
+      detail += "\n  " + graph_.task(t).name +
+                (c.started ? "" : " (not started)") +
+                " pc=" + std::to_string(c.pc);
+      if (c.started && c.pc < graph_.task(t).program.ops().size())
+        detail += std::string(" op=") +
+                  tg::to_string(graph_.task(t).program.ops()[c.pc].code) +
+                  " a=" +
+                  std::to_string(graph_.task(t).program.ops()[c.pc].a) +
+                  " b=" +
+                  std::to_string(graph_.task(t).program.ops()[c.pc].b);
+      detail += " requesting=" + std::to_string(c.requesting) +
+                " dropped=" + std::to_string(c.dropped_request);
+      if (!why[t].empty()) detail += " [" + why[t] + "]";
+    }
+    for (std::size_t a = 0; a < arbiters.size(); ++a)
+      if (rr[a] != nullptr && !rr[a]->state_legal())
+        detail += "\n  arbiter " + plan_.arbiters[a].resource_name +
+                  " register illegal (state=0x" +
+                  std::to_string(rr[a]->state_bits()) + ")";
+    diagnose(DiagKind::kNoProgress, cyc, -1, -1, detail);
+  };
+
   // ---- Main loop. ----
   std::uint64_t cycle = 0;
   std::uint64_t last_progress_cycle = 0;
@@ -161,37 +385,99 @@ SimResult SystemSimulator::run(const std::vector<TaskId>& tasks) {
   std::vector<int> chan_user(binding_.num_phys_channels);
 
   while (finished_count < to_finish) {
-    RCARB_CHECK(cycle < options_.max_cycles, "simulation exceeded max_cycles");
-    if (cycle - last_progress_cycle >= 100000) {
-      std::string detail = "simulation deadlocked (no progress for 100000 "
-                           "cycles); task states:";
-      for (TaskId t : tasks) {
-        const TaskCtx& c = ctx[t];
-        if (c.finished) continue;
-        detail += "\n  " + graph_.task(t).name +
-                  (c.started ? "" : " (not started)") +
-                  " pc=" + std::to_string(c.pc);
-        if (c.started && c.pc < graph_.task(t).program.ops().size())
-          detail += std::string(" op=") +
-                    tg::to_string(graph_.task(t).program.ops()[c.pc].code) +
-                    " a=" +
-                    std::to_string(graph_.task(t).program.ops()[c.pc].a) +
-                    " b=" +
-                    std::to_string(graph_.task(t).program.ops()[c.pc].b);
-        detail += " requesting=" + std::to_string(c.requesting) +
-                  " dropped=" + std::to_string(c.dropped_request);
-      }
-      RCARB_CHECK(false, detail);
+    if (cycle >= options_.max_cycles) {
+      result.deadlocked = true;
+      fail(DiagKind::kMaxCycles, cycle, -1, -1,
+           "simulation exceeded max_cycles");
+      break;
+    }
+    if (cycle - last_progress_cycle >= options_.no_progress_window) {
+      result.deadlocked = true;
+      attribute_stall(cycle);
+      if (options_.strict)
+        RCARB_CHECK(false, result.diagnostics.back().format());
+      break;
     }
 
-    // Phase 1: arbiters sample the request lines asserted in prior cycles.
-    std::vector<int> granted_port(plan_.arbiters.size(), -1);
+    // Phase 0: inject the state-register upsets scheduled for this cycle.
+    while (flip_next < flips.size() && flips[flip_next].cycle <= cycle) {
+      const fault::FaultEvent& e = flips[flip_next++];
+      const auto a = static_cast<std::size_t>(e.arbiter);
+      if (rr[a] != nullptr) {
+        const int bits = 2 * result.arbiters[a].ports;
+        rr[a]->inject_bit_flip(e.bit >= 0 ? e.bit % bits : 0);
+      }
+    }
+
+    // Phase 1: arbiters sample the request lines asserted in prior cycles,
+    // as seen through any active stuck-at faults.
     for (std::size_t a = 0; a < arbiters.size(); ++a) {
-      const int g = arbiters[a]->step(requests[a]);
-      granted_port[a] = g;
+      std::uint64_t eff = requests[a] & ~force_release[a];
+      force_release[a] = 0;
+      std::uint64_t grant_suppress = 0;
+      for (const StuckWindow& w : stucks) {
+        if (w.arbiter != a || !w.active(cycle)) continue;
+        const std::uint64_t bit = 1ull << w.port;
+        switch (w.kind) {
+          case fault::FaultKind::kReqStuck0: eff &= ~bit; break;
+          case fault::FaultKind::kReqStuck1: eff |= bit; break;
+          case fault::FaultKind::kGrantStuck0:
+          case fault::FaultKind::kGrantDrop: grant_suppress |= bit; break;
+          default: break;
+        }
+      }
+
+      // Unhardened illegal registers are reported when they appear.
+      if (rr[a] != nullptr) {
+        const bool illegal = !rr[a]->state_legal();
+        if (illegal && !was_illegal[a]) {
+          ++result.illegal_fsm_states;
+          diagnose(DiagKind::kIllegalFsmState, cycle, -1,
+                   plan_.arbiters[a].resource,
+                   "arbiter " + plan_.arbiters[a].resource_name +
+                       " state register left the one-hot set (state=0x" +
+                       std::to_string(rr[a]->state_bits()) + ")");
+        }
+        was_illegal[a] = illegal ? 1 : 0;
+      }
+
+      const int g = arbiters[a]->step(eff);
+      std::uint64_t mask =
+          rr[a] != nullptr ? rr[a]->last_grant_mask()
+                           : (g >= 0 ? (1ull << g) : 0);
+
+      if (rr[a] != nullptr) {
+        const std::uint64_t rec = rr[a]->recoveries();
+        if (rec != prev_recoveries[a]) {
+          result.fsm_recoveries += rec - prev_recoveries[a];
+          prev_recoveries[a] = rec;
+          diagnose(DiagKind::kFsmRecovery, cycle, -1,
+                   plan_.arbiters[a].resource,
+                   "hardened arbiter " + plan_.arbiters[a].resource_name +
+                       " recovered to the all-free reset state");
+        }
+        if (std::popcount(mask) > 1) {
+          ++result.multi_grant_cycles;
+          if (result.multi_grant_cycles == 1 ||
+              result.diagnostics.empty() ||
+              result.diagnostics.back().kind != DiagKind::kMultipleGrants)
+            diagnose(DiagKind::kMultipleGrants, cycle, -1,
+                     plan_.arbiters[a].resource,
+                     "arbiter " + plan_.arbiters[a].resource_name +
+                         " asserted " +
+                         std::to_string(std::popcount(mask)) +
+                         " grants at once (mutual exclusion violated)");
+        }
+      }
+      grant_mask_vis[a] = mask & ~grant_suppress;
+
       if (g >= 0) {
         ++result.arbiters[a].granted_cycles;
-        if (g != grant_holder[a]) ++result.arbiters[a].grants;
+        if (g != grant_holder[a]) {
+          ++result.arbiters[a].grants;
+          hold_streak[a] = 0;
+          hung_reported[a] = 0;
+        }
         // Wait accounting: the granted task's wait ends now.
         const TaskId t = plan_.arbiters[a].ports[static_cast<std::size_t>(g)];
         if (ctx[t].requesting >= 0) {
@@ -199,15 +485,26 @@ SimResult SystemSimulator::run(const std::vector<TaskId>& tasks) {
           result.arbiters[a].max_wait =
               std::max(result.arbiters[a].max_wait, waited);
         }
+      } else {
+        hold_streak[a] = 0;
+        hung_reported[a] = 0;
       }
       grant_holder[a] = g;
+      holder_accessed[a] = 0;
     }
 
     auto has_grant = [&](TaskId t, int resource) {
       const auto [ai, port] = arbiter_port(t, resource);
       if (ai < 0) return true;  // unarbitrated resource
       if (port < 0) return true;  // task elided from the arbiter
-      return granted_port[static_cast<std::size_t>(ai)] == port;
+      return ((grant_mask_vis[static_cast<std::size_t>(ai)] >> port) & 1u) !=
+             0;
+    };
+    auto note_access = [&](TaskId t, int resource) {
+      const auto [ai, port] = arbiter_port(t, resource);
+      if (ai >= 0 && port >= 0 &&
+          grant_holder[static_cast<std::size_t>(ai)] == port)
+        holder_accessed[static_cast<std::size_t>(ai)] = 1;
     };
 
     // Phase 2: start tasks whose in-run predecessors have finished.
@@ -243,6 +540,49 @@ SimResult SystemSimulator::run(const std::vector<TaskId>& tasks) {
         spent_cycle = true;  // zero-cost ops may still drain below
       }
 
+      // Protocol retry bookkeeping shared by the arbitrated access ops:
+      // returns true when the access must wait this cycle (stall, backoff,
+      // or the Req re-assertion cycle), false when it may proceed.
+      auto await_grant = [&](int resource) -> bool {
+        if (c.requesting != resource) {
+          // Backing off, or re-asserting after the backoff expired.
+          if (c.retry_resource == resource) {
+            if (cycle >= c.retry_until) {
+              c.requesting = resource;
+              c.retry_resource = -1;
+              c.request_since = cycle;
+              ++result.retries;
+            }
+            return true;
+          }
+          fail(DiagKind::kProtocolViolation, cycle, static_cast<int>(t),
+               resource,
+               "task " + graph_.task(t).name + " accesses arbitrated " +
+                   binding_.resource_name(resource) +
+                   " without requesting it");
+          ++result.protocol_violations;
+          return false;
+        }
+        if (has_grant(t, resource)) {
+          c.retry_backoff = 1;
+          return false;
+        }
+        // No grant.  With retry enabled, give the attempt up after the
+        // timeout and back off boundedly (Req:=0 for backoff cycles).
+        const int rt = plan_.retry_timeout;
+        if (rt > 0 && cycle - c.request_since >=
+                          static_cast<std::uint64_t>(rt)) {
+          c.requesting = -1;
+          c.retry_resource = resource;
+          c.retry_until = cycle + static_cast<std::uint64_t>(c.retry_backoff);
+          c.retry_backoff =
+              std::min(c.retry_backoff * 2, plan_.retry_backoff_limit);
+          return true;
+        }
+        ++c.stats.grant_wait_cycles;  // stall, request stays up
+        return true;
+      };
+
       // Retire zero-cost control ops freely; execute at most one costed op
       // per cycle, then keep draining zero-cost ops (so a task whose last
       // costed op retires this cycle also finishes this cycle).
@@ -253,9 +593,11 @@ SimResult SystemSimulator::run(const std::vector<TaskId>& tasks) {
           c.stats.finish_cycle = cycle;
           ++finished_count;
           if (c.requesting >= 0)
-            fail("task " + graph_.task(t).name +
-                 " finished while still requesting " +
-                 binding_.resource_name(c.requesting));
+            fail(DiagKind::kProtocolViolation, cycle, static_cast<int>(t),
+                 c.requesting,
+                 "task " + graph_.task(t).name +
+                     " finished while still requesting " +
+                     binding_.resource_name(c.requesting));
           break;
         }
         const Op& op = ops[c.pc];
@@ -321,11 +663,16 @@ SimResult SystemSimulator::run(const std::vector<TaskId>& tasks) {
             last_progress_cycle = cycle;
             break;
           case OpCode::kAcquire: {
-            if (c.requesting >= 0 && c.requesting != op.a)
-              protocol_fail("task " + graph_.task(t).name +
-                            " acquires a second resource while holding one");
+            if (c.requesting >= 0 && c.requesting != op.a) {
+              fail(DiagKind::kProtocolViolation, cycle, static_cast<int>(t),
+                   op.a,
+                   "task " + graph_.task(t).name +
+                       " acquires a second resource while holding one");
+              ++result.protocol_violations;
+            }
             c.requesting = op.a;
             c.request_since = cycle;
+            c.retry_resource = -1;
             ++c.stats.acquires;
             ++c.pc;
             ++c.stats.ops_retired;
@@ -334,10 +681,15 @@ SimResult SystemSimulator::run(const std::vector<TaskId>& tasks) {
             break;
           }
           case OpCode::kRelease: {
-            if (c.requesting != op.a)
-              protocol_fail("task " + graph_.task(t).name +
-                            " releases a resource it does not hold");
+            if (c.requesting != op.a) {
+              fail(DiagKind::kProtocolViolation, cycle, static_cast<int>(t),
+                   op.a,
+                   "task " + graph_.task(t).name +
+                       " releases a resource it does not hold");
+              ++result.protocol_violations;
+            }
             c.requesting = -1;
+            c.retry_resource = -1;
             ++c.pc;
             ++c.stats.ops_retired;
             spent_cycle = true;  // the Req:=0 cycle of Fig. 8
@@ -349,16 +701,11 @@ SimResult SystemSimulator::run(const std::vector<TaskId>& tasks) {
             const int resource = driven_resource(op);
             const auto [ai, port] = arbiter_port(t, resource);
             if (ai >= 0 && port >= 0) {
-              if (c.requesting != resource) {
-                protocol_fail("task " + graph_.task(t).name +
-                              " accesses arbitrated " +
-                              binding_.resource_name(resource) +
-                              " without requesting it");
-              } else if (!has_grant(t, resource)) {
-                ++c.stats.grant_wait_cycles;  // stall, request stays up
+              if (await_grant(resource)) {
                 spent_cycle = true;
                 break;
               }
+              note_access(t, resource);
             }
             // Single-port bank conflict detection.
             const int bank =
@@ -367,19 +714,24 @@ SimResult SystemSimulator::run(const std::vector<TaskId>& tasks) {
               int& user = bank_user[static_cast<std::size_t>(bank)];
               if (user >= 0 && user != static_cast<int>(t)) {
                 ++result.bank_conflicts;
-                fail("bank conflict on " +
-                     binding_.bank_names[static_cast<std::size_t>(bank)] +
-                     " between " + graph_.task(static_cast<TaskId>(user)).name +
-                     " and " + graph_.task(t).name);
+                fail(DiagKind::kBankConflict, cycle, static_cast<int>(t),
+                     binding_.bank_resource(bank),
+                     "bank conflict on " +
+                         binding_.bank_names[static_cast<std::size_t>(bank)] +
+                         " between " +
+                         graph_.task(static_cast<TaskId>(user)).name +
+                         " and " + graph_.task(t).name);
               }
               user = static_cast<int>(t);
             }
             auto& mem = memory_[static_cast<std::size_t>(op.b)];
             const std::int64_t addr = c.regs[op.c] + op.imm;
             if (addr < 0 || static_cast<std::size_t>(addr) >= mem.size()) {
-              fail("task " + graph_.task(t).name + " address " +
-                   std::to_string(addr) + " out of segment " +
-                   graph_.segment(static_cast<std::size_t>(op.b)).name);
+              fail(DiagKind::kOutOfBounds, cycle, static_cast<int>(t),
+                   resource,
+                   "task " + graph_.task(t).name + " address " +
+                       std::to_string(addr) + " out of segment " +
+                       graph_.segment(static_cast<std::size_t>(op.b)).name);
               // Non-strict mode: drop the access.
             } else if (op.code == OpCode::kLoad) {
               c.regs[op.a] = mem[static_cast<std::size_t>(addr)];
@@ -434,39 +786,68 @@ SimResult SystemSimulator::run(const std::vector<TaskId>& tasks) {
               break;
             }
             if (ai >= 0 && port >= 0) {
-              if (c.requesting != resource) {
-                protocol_fail("task " + graph_.task(t).name +
-                              " sends on arbitrated " +
-                              binding_.resource_name(resource) +
-                              " without requesting it");
-              } else if (!has_grant(t, resource)) {
-                ++c.stats.grant_wait_cycles;
+              if (await_grant(resource)) {
                 spent_cycle = true;
                 break;
               }
+              note_access(t, resource);
             }
             const int phys = binding_.channel_to_phys[ch];
+            std::int64_t value = c.regs[op.a];
             if (phys >= 0) {
               int& user = chan_user[static_cast<std::size_t>(phys)];
               if (user >= 0 && user != static_cast<int>(t)) {
                 ++result.channel_conflicts;
-                fail("channel conflict on " +
-                     binding_
-                         .phys_channel_names[static_cast<std::size_t>(phys)] +
-                     " between " + graph_.task(static_cast<TaskId>(user)).name +
-                     " and " + graph_.task(t).name);
+                fail(DiagKind::kChannelConflict, cycle, static_cast<int>(t),
+                     binding_.channel_resource(phys),
+                     "channel conflict on " +
+                         binding_.phys_channel_names[static_cast<std::size_t>(
+                             phys)] +
+                         " between " +
+                         graph_.task(static_cast<TaskId>(user)).name +
+                         " and " + graph_.task(t).name);
               }
               user = static_cast<int>(t);
+
+              // Armed corruption faults hit the next word on the wire.
+              auto& armed = chan_corrupt[static_cast<std::size_t>(phys)];
+              std::size_t& next = chan_corrupt_next[static_cast<std::size_t>(phys)];
+              if (next < armed.size() && armed[next].first <= cycle) {
+                const std::uint64_t mask = armed[next].second;
+                ++next;
+                if (options_.harden && std::popcount(mask) == 1) {
+                  // SECDED corrects the single-bit upset in place.
+                  ++result.corrected_words;
+                  diagnose(DiagKind::kDataCorruption, cycle,
+                           static_cast<int>(t),
+                           binding_.channel_resource(phys),
+                           "single-bit corruption on " +
+                               binding_.phys_channel_names[
+                                   static_cast<std::size_t>(phys)] +
+                               " corrected by SECDED");
+                } else {
+                  value = static_cast<std::int64_t>(
+                      static_cast<std::uint64_t>(value) ^ mask);
+                  ++result.corrupted_words;
+                  diagnose(DiagKind::kDataCorruption, cycle,
+                           static_cast<int>(t),
+                           binding_.channel_resource(phys),
+                           "corrupted word on " +
+                               binding_.phys_channel_names[
+                                   static_cast<std::size_t>(phys)] +
+                               " delivered (parity detected, no ECC)");
+                }
+              }
             }
             if (naive) {
               // The broken baseline clobbers silently (that is its point).
               NaiveReg& reg = naive_reg[static_cast<std::size_t>(phys)];
               reg.valid = true;
-              reg.value = c.regs[op.a];
+              reg.value = value;
               reg.writer = op.b;
             } else {
               chan_reg[ch].valid = true;
-              chan_reg[ch].value = c.regs[op.a];
+              chan_reg[ch].value = value;
             }
             ++c.stats.channel_ops;
             ++c.pc;
@@ -542,6 +923,48 @@ SimResult SystemSimulator::run(const std::vector<TaskId>& tasks) {
       const auto [ai, port] = arbiter_port(t, c.requesting);
       if (ai >= 0 && port >= 0)
         requests[static_cast<std::size_t>(ai)] |= 1ull << port;
+    }
+
+    // Phase 5: hung-grant watchdog.  A holder that keeps the grant without
+    // retiring a single access while peers wait is hung (stuck grant line,
+    // phantom stuck-1 requester, crashed holder...).
+    if (options_.watchdog_timeout > 0) {
+      for (std::size_t a = 0; a < arbiters.size(); ++a) {
+        const int h = grant_holder[a];
+        if (h < 0) continue;
+        const bool others_waiting =
+            (requests[a] & ~(1ull << h)) != 0;
+        if (holder_accessed[a] || !others_waiting) {
+          hold_streak[a] = 0;
+          hung_reported[a] = 0;
+          continue;
+        }
+        if (++hold_streak[a] < options_.watchdog_timeout) continue;
+        const TaskId holder_task =
+            plan_.arbiters[a].ports[static_cast<std::size_t>(h)];
+        if (!hung_reported[a]) {
+          hung_reported[a] = 1;
+          ++result.hung_grants;
+          diagnose(DiagKind::kHungGrant, cycle,
+                   static_cast<int>(holder_task), plan_.arbiters[a].resource,
+                   "grant on " + plan_.arbiters[a].resource_name +
+                       " pinned on idle " + graph_.task(holder_task).name +
+                       " for " + std::to_string(hold_streak[a]) +
+                       " cycles while peers wait");
+        }
+        if (options_.harden) {
+          // Force-release: suppress the hung holder's request for one
+          // sample so the round-robin scan moves past it.
+          force_release[a] = 1ull << h;
+          ++result.watchdog_releases;
+          diagnose(DiagKind::kWatchdogRecovery, cycle,
+                   static_cast<int>(holder_task), plan_.arbiters[a].resource,
+                   "watchdog force-released " + graph_.task(holder_task).name +
+                       " on " + plan_.arbiters[a].resource_name);
+          hold_streak[a] = 0;
+          hung_reported[a] = 0;
+        }
+      }
     }
 
     ++cycle;

@@ -18,6 +18,7 @@
 
 #include "core/insertion.hpp"
 #include "core/policy.hpp"
+#include "fault/fault.hpp"
 #include "taskgraph/taskgraph.hpp"
 
 namespace rcarb::rcsim {
@@ -28,6 +29,8 @@ struct SimOptions {
   int rr_max_hold = 0;
   std::uint64_t seed = 1;  // random-policy arbiters
   /// Throw on protocol violations / conflicts instead of recording them.
+  /// Non-strict, every violation class lands in SimResult::diagnostics and
+  /// the run continues (or stops cleanly on deadlock / max_cycles).
   bool strict = true;
   /// Model the *broken* alternative to Fig. 3's receiver-side registers:
   /// one register per physical channel, so merged transfers can clobber
@@ -38,6 +41,54 @@ struct SimOptions {
   /// wait until cycle % period == slot; no arbiter is involved.  Empty =
   /// arbitrated sharing as in the paper.
   std::vector<std::pair<int, int>> tdm_slots;  // per ChannelId; period 0=off
+
+  // ---- Resilience (fault model & hardening). ----
+  /// Cycles without any task progress before the simulator attributes the
+  /// stall (wait-for-graph deadlock analysis) and stops.
+  std::uint64_t no_progress_window = 100'000;
+  /// Hung-grant watchdog: a holder that keeps a grant this many consecutive
+  /// cycles without retiring an access while peers wait is *reported*
+  /// (kHungGrant); with `harden` it is also force-released.  0 = off.
+  int watchdog_timeout = 0;
+  /// Master hardening switch: round-robin arbiters recover from illegal
+  /// (SEU-flipped) states, the watchdog force-releases hung holders, and
+  /// channel words are SECDED-protected (single-bit corruptions corrected).
+  /// Off, the same faults are detected and reported but not repaired.
+  bool harden = false;
+  /// Deterministic fault schedule (see fault::plan_faults), applied against
+  /// this run's arbiters and physical channels.
+  std::vector<fault::FaultEvent> faults;
+};
+
+/// What went wrong (or was repaired), as a machine-checkable record.
+enum class DiagKind : std::uint8_t {
+  kBankConflict,      // two simultaneous drivers of a single-port bank
+  kChannelConflict,   // two simultaneous drivers of a physical channel
+  kProtocolViolation, // Fig. 8 protocol broken (access without Req, ...)
+  kOutOfBounds,       // address outside the segment
+  kIllegalFsmState,   // arbiter register left the legal one-hot set
+  kMultipleGrants,    // mutual exclusion violated (multi-hot register)
+  kFsmRecovery,       // hardened arbiter recovered to the reset state
+  kHungGrant,         // grant pinned on an idle holder past the watchdog
+  kWatchdogRecovery,  // watchdog force-released the hung holder
+  kDataCorruption,    // channel word corrupted (detected or corrected)
+  kDeadlock,          // wait-for-graph cycle over requests/grants/channels
+  kNoProgress,        // stall with no wait-for cycle (hang / livelock)
+  kMaxCycles,         // simulation exceeded max_cycles
+};
+
+[[nodiscard]] const char* to_string(DiagKind k);
+
+/// One attributed diagnostic.  `task` / `resource` are -1 when the event is
+/// not tied to one task / one shared resource.
+struct SimDiagnostic {
+  DiagKind kind = DiagKind::kNoProgress;
+  std::uint64_t cycle = 0;
+  int task = -1;      // tg::TaskId
+  int resource = -1;  // unified Binding resource id
+  std::string detail;
+
+  [[nodiscard]] std::string format() const;
 };
 
 struct TaskStats {
@@ -68,7 +119,24 @@ struct SimResult {
   std::uint64_t channel_conflicts = 0;
   std::uint64_t protocol_violations = 0;
   std::uint64_t clobbered_reads = 0;  // naive shared-register corruption
-  std::vector<std::string> diagnostics;
+
+  // ---- Resilience accounting. ----
+  std::uint64_t illegal_fsm_states = 0;   // illegal-register episodes seen
+  std::uint64_t fsm_recoveries = 0;       // hardened arbiter resets
+  std::uint64_t multi_grant_cycles = 0;   // cycles with >1 grant asserted
+  std::uint64_t hung_grants = 0;          // watchdog detections
+  std::uint64_t watchdog_releases = 0;    // watchdog force-releases
+  std::uint64_t corrupted_words = 0;      // delivered corrupted (detected)
+  std::uint64_t corrected_words = 0;      // repaired by SECDED
+  std::uint64_t retries = 0;              // protocol-level Req re-assertions
+  /// True when the run stopped on a deadlock / no-progress attribution
+  /// instead of finishing every task.
+  bool deadlocked = false;
+
+  std::vector<SimDiagnostic> diagnostics;
+
+  /// Diagnostics of one kind (campaign reporting helper).
+  [[nodiscard]] std::size_t count(DiagKind k) const;
 };
 
 /// Simulates one temporal partition of a bound, arbitration-planned design.

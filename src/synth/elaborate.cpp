@@ -7,7 +7,8 @@
 
 namespace rcarb::synth {
 
-ElaboratedFsm elaborate(const Fsm& fsm, const StateCodes& codes) {
+ElaboratedFsm elaborate(const Fsm& fsm, const StateCodes& codes,
+                        bool harden) {
   RCARB_CHECK(codes.code.size() == fsm.num_states(),
               "state codes do not match the FSM");
   ElaboratedFsm e;
@@ -25,7 +26,8 @@ ElaboratedFsm elaborate(const Fsm& fsm, const StateCodes& codes) {
 
   for (const Transition& t : fsm.transitions()) {
     // Guard variables are already [0, I); state recognizer sits at [I, I+B).
-    const logic::Cube state_cube = codes.state_cube(t.from, e.num_inputs);
+    const logic::Cube state_cube =
+        codes.state_cube(t.from, e.num_inputs, harden);
     const logic::Cube full = t.guard.intersect(state_cube);
     const std::uint64_t to_code = codes.code[t.to];
     for (int b = 0; b < codes.num_bits; ++b)
@@ -36,9 +38,34 @@ ElaboratedFsm elaborate(const Fsm& fsm, const StateCodes& codes) {
         e.outputs[static_cast<std::size_t>(o)].add(full);
   }
 
-  // Don't-care set: dense encodings may leave unused codes.  (One-hot uses
-  // single-literal recognizers instead, so no DC cover is produced.)
-  if (codes.encoding != Encoding::kOneHot) {
+  // Recovery terms load the reset code whenever the register holds an
+  // illegal state; they are disjoint from every (full-recognizer) legal
+  // transition, so determinism is preserved.
+  auto add_recovery = [&](const logic::Cube& illegal) {
+    for (int b = 0; b < codes.num_bits; ++b)
+      if ((e.reset_code >> b) & 1u)
+        e.next_state[static_cast<std::size_t>(b)].add(illegal);
+  };
+
+  if (codes.encoding == Encoding::kOneHot) {
+    // One-hot: the legal set is "exactly one bit hot".  (Unhardened, code
+    // validity is an assumed register-bank invariant and illegal states are
+    // simply never recognized.)
+    if (harden) {
+      logic::Cube zero_hot;
+      for (int b = 0; b < codes.num_bits; ++b)
+        zero_hot = zero_hot.with_literal(e.num_inputs + b, false);
+      add_recovery(zero_hot);
+      for (int i = 0; i < codes.num_bits; ++i)
+        for (int j = i + 1; j < codes.num_bits; ++j) {
+          const logic::Cube pair = logic::Cube::literal(e.num_inputs + i, true)
+                                       .with_literal(e.num_inputs + j, true);
+          add_recovery(pair);
+        }
+    }
+  } else {
+    // Dense encodings may leave unused codes: don't-cares for the
+    // minimizer, or recovery transitions when hardened.
     const std::uint64_t num_codes = 1ull << codes.num_bits;
     logic::Cover dc(nvars);
     for (std::uint64_t c = 0; c < num_codes; ++c) {
@@ -48,7 +75,10 @@ ElaboratedFsm elaborate(const Fsm& fsm, const StateCodes& codes) {
       logic::Cube cube;
       for (int b = 0; b < codes.num_bits; ++b)
         cube = cube.with_literal(e.num_inputs + b, ((c >> b) & 1u) != 0);
-      dc.add(cube);
+      if (harden)
+        add_recovery(cube);
+      else
+        dc.add(cube);
     }
     if (!dc.empty()) e.dc = std::move(dc);
   }

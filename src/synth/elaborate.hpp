@@ -35,6 +35,17 @@ struct ElaboratedFsm {
 };
 
 /// Elaborates a validated FSM under the given state codes.
-[[nodiscard]] ElaboratedFsm elaborate(const Fsm& fsm, const StateCodes& codes);
+///
+/// `harden` makes the produced logic recover from illegal register states
+/// (SEUs) instead of treating them as can't-happen:
+///   * one-hot — every transition uses the full-code recognizer (so a
+///     zero-hot or multi-hot register fires no transition and asserts no
+///     output), and recovery cubes load the reset code from any illegal
+///     register within one cycle: a zero-hot term plus one term per pair of
+///     simultaneously-hot bits.
+///   * dense — unused codes become recovery transitions to the reset code
+///     instead of don't-cares.
+[[nodiscard]] ElaboratedFsm elaborate(const Fsm& fsm, const StateCodes& codes,
+                                      bool harden = false);
 
 }  // namespace rcarb::synth

@@ -18,10 +18,11 @@ const char* to_string(Encoding e) {
   return "?";
 }
 
-logic::Cube StateCodes::state_cube(StateId s, int first_var) const {
+logic::Cube StateCodes::state_cube(StateId s, int first_var,
+                                   bool full_recognizer) const {
   RCARB_CHECK(s < code.size(), "state out of range");
   logic::Cube c;
-  if (encoding == Encoding::kOneHot) {
+  if (encoding == Encoding::kOneHot && !full_recognizer) {
     const int bit = std::countr_zero(code[s]);
     return c.with_literal(first_var + bit, true);
   }

@@ -34,8 +34,11 @@ struct StateCodes {
   /// Recognizer cube for a state over variables [first_var, first_var +
   /// num_bits).  One-hot uses the standard single-literal recognizer (code
   /// validity is an invariant of the register bank); dense codes use the
-  /// full code.
-  [[nodiscard]] logic::Cube state_cube(StateId s, int first_var) const;
+  /// full code.  `full_recognizer` forces the full code even for one-hot —
+  /// the hardened elaboration uses it so illegal (non-one-hot) registers
+  /// drive no transition and fall into the recovery logic instead.
+  [[nodiscard]] logic::Cube state_cube(StateId s, int first_var,
+                                       bool full_recognizer = false) const;
 
   /// The state whose code equals `code_bits`, or npos if invalid.
   [[nodiscard]] std::size_t decode(std::uint64_t code_bits) const;

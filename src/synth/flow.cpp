@@ -69,7 +69,7 @@ SynthResult synthesize_fsm(const Fsm& fsm, const FlowOptions& options) {
                             ? Encoding::kOneHot
                             : options.encoding;
   const StateCodes codes = encode_states(fsm, used);
-  ElaboratedFsm elab = elaborate(fsm, codes);
+  ElaboratedFsm elab = elaborate(fsm, codes, options.harden);
 
   // Two-level minimization of every next-state / output cover.
   std::size_t sop_cubes = 0;

@@ -38,6 +38,9 @@ struct FlowOptions {
   /// Covers with more cubes than this also skip the full loop (espresso's
   /// inner passes are quadratic in the cube count).
   std::size_t minimize_cube_limit = 256;
+  /// SEU hardening: elaborate with illegal-state recovery logic (see
+  /// synth::elaborate).  Costs area; Fig. 6-style figures stay unhardened.
+  bool harden = false;
 };
 
 struct SynthResult {
