@@ -13,6 +13,7 @@
 #include "core/insertion.hpp"
 #include "fft/fft_design.hpp"
 #include "flow/sparcs_flow.hpp"
+#include "obs/bench_report.hpp"
 #include "rcsim/system_sim.hpp"
 #include "support/rng.hpp"
 #include "support/table.hpp"
@@ -46,9 +47,16 @@ std::string arbiter_sizes(const flow::FlowReport& report, std::size_t tp) {
   return sizes.empty() ? "none" : join(sizes, "+");
 }
 
-void print_elision() {
+void print_elision(obs::BenchReporter& rep) {
   const flow::FlowReport base = run_fft(false);
   const flow::FlowReport elided = run_fft(true);
+  rep.metric("base_arbiter_clbs",
+             static_cast<double>(base.total_arbiter_clbs), "clbs");
+  rep.metric("elided_arbiter_clbs",
+             static_cast<double>(elided.total_arbiter_clbs), "clbs");
+  rep.metric("base_cycles", static_cast<double>(base.total_cycles), "cycles");
+  rep.metric("elided_cycles", static_cast<double>(elided.total_cycles),
+             "cycles");
 
   Table table(
       "Sec. 5 optimization — dependency-aware arbiter elision on the FFT "
@@ -107,6 +115,8 @@ void print_elision() {
     pipe.add_row({elide ? "with elision" : "base",
                   std::to_string(ins.plan.arbiters.size()),
                   std::to_string(r.cycles)});
+    rep.metric(elide ? "pipeline_elided_cycles" : "pipeline_base_cycles",
+               static_cast<double>(r.cycles), "cycles");
   }
   pipe.print();
   std::puts(
@@ -131,8 +141,15 @@ BENCHMARK(BM_InsertionWithElision)->Arg(0)->Arg(1);
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_elision();
+  rcarb::obs::BenchReporter rep("elision");
+  print_elision(rep);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  const std::string path = rep.write();
+  if (path.empty()) {
+    std::fputs("bench report write failed\n", stderr);
+    return 1;
+  }
+  std::printf("bench report: %s\n", path.c_str());
   return 0;
 }

@@ -12,6 +12,7 @@
 #include <cstdio>
 
 #include "core/generator.hpp"
+#include "obs/bench_report.hpp"
 #include "support/table.hpp"
 
 namespace {
@@ -21,7 +22,7 @@ using core::GeneratorMode;
 using synth::Encoding;
 using synth::FlowKind;
 
-void print_encodings() {
+void print_encodings(obs::BenchReporter& rep) {
   Table table("encoding ablation — area and speed by state encoding "
               "(structural generation, express-like mapping)");
   table.set_header({"N", "one-hot CLBs", "compact CLBs", "gray CLBs",
@@ -42,6 +43,13 @@ void print_encodings() {
                    fmt_fixed(gr.chars.fmax_mhz, 1),
                    std::to_string(oh.chars.ffs) + "/" +
                        std::to_string(cp.chars.ffs)});
+    if (n == 10) {
+      rep.metric("onehot_clbs_n10", static_cast<double>(oh.chars.clbs),
+                 "clbs");
+      rep.metric("compact_clbs_n10", static_cast<double>(cp.chars.clbs),
+                 "clbs");
+      rep.metric("gray_clbs_n10", static_cast<double>(gr.chars.clbs), "clbs");
+    }
   }
   table.print();
   std::puts(
@@ -60,6 +68,12 @@ void print_encodings() {
     const auto b = core::generate_round_robin(
         n, FlowKind::kExpressLike, Encoding::kOneHot,
         timing::xc4000e_speed3(), GeneratorMode::kBehavioral);
+    if (n == 10) {
+      rep.metric("structural_clbs_n10", static_cast<double>(s.chars.clbs),
+                 "clbs");
+      rep.metric("behavioral_clbs_n10", static_cast<double>(b.chars.clbs),
+                 "clbs");
+    }
     modes.add_row(
         {std::to_string(n), std::to_string(s.chars.clbs),
          std::to_string(b.chars.clbs),
@@ -92,8 +106,15 @@ BENCHMARK(BM_StructuralVsBehavioral)->Arg(0)->Arg(1);
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_encodings();
+  rcarb::obs::BenchReporter rep("encoding_ablation");
+  print_encodings(rep);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  const std::string path = rep.write();
+  if (path.empty()) {
+    std::fputs("bench report write failed\n", stderr);
+    return 1;
+  }
+  std::printf("bench report: %s\n", path.c_str());
   return 0;
 }

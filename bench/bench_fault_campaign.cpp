@@ -13,6 +13,7 @@
 
 #include "core/insertion.hpp"
 #include "fault/fault.hpp"
+#include "obs/bench_report.hpp"
 #include "rcsim/system_sim.hpp"
 #include "support/table.hpp"
 
@@ -111,6 +112,9 @@ CellResult run_cell(const Workload& w, Policy policy, fault::FaultKind kind,
 
   rcsim::SimOptions so;
   so.strict = false;
+  // The campaign only counts diagnostic kinds; skip the per-event string
+  // formatting across the ~200-cell sweep.
+  so.diag_detail = false;
   so.harden = harden;
   so.watchdog_timeout = kWatchdog;
   so.no_progress_window = kWindow;
@@ -133,7 +137,7 @@ CellResult run_cell(const Workload& w, Policy policy, fault::FaultKind kind,
   return cell;
 }
 
-void print_campaign() {
+void print_campaign(obs::BenchReporter& rep) {
   const Workload w;
   Table table(
       "Fault campaign — kind x rate x policy x hardening (seed 42, horizon "
@@ -216,6 +220,10 @@ void print_campaign() {
                    std::to_string(r.retries), verdict});
   }
 
+  rep.metric("hardened_cells", hardened_cells, "cells");
+  rep.metric("hardened_survived", hardened_ok, "cells");
+  rep.metric("unhardened_deaths", dead_cells, "cells");
+  rep.metric("deaths_attributed", dead_attributed, "cells");
   table.print();
   std::printf(
       "hardened: %d/%d cells survived with zero uncorrected corruptions\n"
@@ -251,8 +259,15 @@ BENCHMARK(BM_CampaignCell)->Arg(0)->Arg(1);
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_campaign();
+  rcarb::obs::BenchReporter rep("fault_campaign");
+  print_campaign(rep);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  const std::string path = rep.write();
+  if (path.empty()) {
+    std::fputs("bench report write failed\n", stderr);
+    return 1;
+  }
+  std::printf("bench report: %s\n", path.c_str());
   return 0;
 }

@@ -15,6 +15,7 @@
 #include "fft/fft_design.hpp"
 #include "fft/workload.hpp"
 #include "flow/sparcs_flow.hpp"
+#include "obs/bench_report.hpp"
 #include "support/rng.hpp"
 #include "support/table.hpp"
 #include "support/text.hpp"
@@ -85,7 +86,7 @@ void print_flow(const char* title, const flow::FlowReport& report,
               spectrum_ok(report, d, block) ? "bit-exact" : "WRONG");
 }
 
-void print_section5() {
+void print_section5(obs::BenchReporter& rep) {
   const fft::FftDesign d = fft::build_fft_design();
   const fft::Block block = sample_block();
   const board::Board wf = board::wildforce();
@@ -130,6 +131,15 @@ void print_section5() {
   wall.add_row({"software (Pentium-150 model)",
                 fmt_fixed(cpu.cycles_per_block(), 0), "150.0 MHz",
                 fmt_fixed(cpu.seconds(image), 2), "6.8 s"});
+  rep.metric("pinned_cycles_per_block",
+             static_cast<double>(paper_flow.total_cycles), "cycles");
+  rep.metric("auto_cycles_per_block",
+             static_cast<double>(auto_flow.total_cycles), "cycles");
+  rep.metric("design_clock_mhz", paper_flow.design_clock_mhz, "mhz");
+  rep.metric("hw_seconds", hw.seconds(image, paper_flow.total_cycles), "s");
+  rep.metric("sw_seconds", cpu.seconds(image), "s");
+  rep.note("spectrum", spectrum_ok(paper_flow, d, block) ? "bit-exact"
+                                                         : "WRONG");
   wall.print();
   std::puts(
       "the low-end multi-FPGA board at 6 MHz beats the 150 MHz CPU by\n"
@@ -167,8 +177,15 @@ BENCHMARK(BM_FullAutomaticFlow);
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_section5();
+  rcarb::obs::BenchReporter rep("fft_section5");
+  print_section5(rep);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  const std::string path = rep.write();
+  if (path.empty()) {
+    std::fputs("bench report write failed\n", stderr);
+    return 1;
+  }
+  std::printf("bench report: %s\n", path.c_str());
   return 0;
 }

@@ -9,6 +9,7 @@
 #include <cstdio>
 
 #include "core/generator.hpp"
+#include "obs/bench_report.hpp"
 #include "support/table.hpp"
 
 namespace {
@@ -17,7 +18,7 @@ using rcarb::core::generate_round_robin;
 using rcarb::synth::Encoding;
 using rcarb::synth::FlowKind;
 
-void print_fig6() {
+void print_fig6(rcarb::obs::BenchReporter& rep) {
   rcarb::Table table(
       "Fig. 6 — N-input arbiter area (CLBs), XC4000e model "
       "[paper: one-hot ~40 CLBs at N=10, all series monotone]");
@@ -36,6 +37,14 @@ void print_fig6() {
                    std::to_string(so.chars.clbs),
                    std::to_string(eo.chars.luts),
                    std::to_string(eo.chars.ffs)});
+    if (n == 10) {
+      rep.metric("clbs_onehot_n10", static_cast<double>(eo.chars.clbs),
+                 "clbs");
+      rep.metric("clbs_compact_n10", static_cast<double>(ec.chars.clbs),
+                 "clbs");
+      rep.metric("clbs_synplify_n10", static_cast<double>(so.chars.clbs),
+                 "clbs");
+    }
   }
   table.print();
   std::puts(
@@ -66,8 +75,15 @@ BENCHMARK(BM_GenerateArbiterCompact)->DenseRange(2, 10, 4);
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_fig6();
+  rcarb::obs::BenchReporter rep("fig6_area");
+  print_fig6(rep);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  const std::string path = rep.write();
+  if (path.empty()) {
+    std::fputs("bench report write failed\n", stderr);
+    return 1;
+  }
+  std::printf("bench report: %s\n", path.c_str());
   return 0;
 }

@@ -9,6 +9,7 @@
 #include <cstdio>
 
 #include "core/generator.hpp"
+#include "obs/bench_report.hpp"
 #include "support/table.hpp"
 #include "timing/sta.hpp"
 
@@ -18,7 +19,7 @@ using rcarb::core::generate_round_robin;
 using rcarb::synth::Encoding;
 using rcarb::synth::FlowKind;
 
-void print_fig7() {
+void print_fig7(rcarb::obs::BenchReporter& rep) {
   rcarb::Table table(
       "Fig. 7 — N-input arbiter clock speed (MHz), XC4000e-3 model "
       "[paper: ~85 MHz at N=2 decaying to ~26 MHz at N=10]");
@@ -35,6 +36,8 @@ void print_fig7() {
                    rcarb::fmt_fixed(ec.chars.fmax_mhz, 1),
                    rcarb::fmt_fixed(so.chars.fmax_mhz, 1),
                    std::to_string(eo.chars.lut_depth)});
+    if (n == 2) rep.metric("fmax_onehot_n2_mhz", eo.chars.fmax_mhz, "mhz");
+    if (n == 10) rep.metric("fmax_onehot_n10_mhz", eo.chars.fmax_mhz, "mhz");
   }
   table.print();
   std::puts(
@@ -57,8 +60,15 @@ BENCHMARK(BM_StaticTimingAnalysis)->DenseRange(2, 10, 4);
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_fig7();
+  rcarb::obs::BenchReporter rep("fig7_speed");
+  print_fig7(rep);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  const std::string path = rep.write();
+  if (path.empty()) {
+    std::fputs("bench report write failed\n", stderr);
+    return 1;
+  }
+  std::printf("bench report: %s\n", path.c_str());
   return 0;
 }

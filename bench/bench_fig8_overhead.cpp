@@ -8,8 +8,12 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 
 #include "core/insertion.hpp"
+#include "obs/bench_report.hpp"
+#include "obs/trace.hpp"
 #include "rcsim/system_sim.hpp"
 #include "support/table.hpp"
 
@@ -60,7 +64,31 @@ std::uint64_t max_wait(const Workload& w, int batch_m) {
   return worst;
 }
 
-void print_fig8() {
+// Records one contended M=4 run into a Chrome trace_event file so the
+// protocol timeline (wait / hold spans per arbiter port) can be inspected
+// in Perfetto or chrome://tracing.
+void export_trace(const Workload& w) {
+  core::InsertionOptions options;
+  options.batch_m = 4;
+  const auto ins = core::insert_arbitration(w.graph, w.binding, options);
+  rcsim::SimOptions so;
+  obs::TraceBuffer buf;
+  so.trace_sink = &buf;
+  rcsim::SystemSimulator sim(ins.graph, w.binding, ins.plan, so);
+  sim.run({0, 1});
+
+  const char* dir = std::getenv("RCARB_BENCH_DIR");
+  const std::string path =
+      (dir != nullptr && *dir != '\0' ? std::string(dir) + "/" : std::string())
+      + "TRACE_fig8_overhead.json";
+  std::ofstream out(path);
+  if (!out) return;
+  obs::write_chrome_trace(out, buf.events(), sim.trace_meta());
+  std::printf("chrome trace: %s (%zu events)\n", path.c_str(),
+              buf.events().size());
+}
+
+void print_fig8(rcarb::obs::BenchReporter& rep) {
   // Unarbitrated baseline: 1 + kAccesses cycles.
   Workload w(kAccesses);
   const std::uint64_t solo_base = 1 + kAccesses;
@@ -74,6 +102,11 @@ void print_fig8() {
     const std::uint64_t solo = run_cycles(w, m, {0});
     const int bursts = (kAccesses + m - 1) / m;
     const std::uint64_t contended = run_cycles(w, m, {0, 1});
+    const std::string suffix = "_m" + std::to_string(m);
+    rep.metric("solo_overhead" + suffix,
+               static_cast<double>(solo - solo_base), "cycles");
+    rep.metric("peer_max_wait" + suffix,
+               static_cast<double>(max_wait(w, m)), "cycles");
     table.add_row({std::to_string(m), std::to_string(bursts),
                    std::to_string(solo),
                    "+" + std::to_string(solo - solo_base),
@@ -101,8 +134,16 @@ BENCHMARK(BM_RewriteAndSimulate)->Arg(1)->Arg(2)->Arg(8);
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_fig8();
+  rcarb::obs::BenchReporter rep("fig8_overhead");
+  print_fig8(rep);
+  export_trace(Workload(kAccesses));
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  const std::string path = rep.write();
+  if (path.empty()) {
+    std::fputs("bench report write failed\n", stderr);
+    return 1;
+  }
+  std::printf("bench report: %s\n", path.c_str());
   return 0;
 }

@@ -16,6 +16,7 @@
 #include <cstdio>
 
 #include "core/insertion.hpp"
+#include "obs/bench_report.hpp"
 #include "rcsim/system_sim.hpp"
 #include "support/table.hpp"
 
@@ -75,7 +76,7 @@ std::uint64_t arbitrated_cycles(std::int64_t trip_a, std::int64_t trip_b) {
   return sim.run({0, 1}).cycles;
 }
 
-void print_comparison() {
+void print_comparison(obs::BenchReporter& rep) {
   // A global static schedule is fixed at synthesis time: both tasks get
   // their worst-case windows, laid end to end (no interleaving can be
   // proven safe when the trip counts are unknown).
@@ -88,8 +89,13 @@ void print_comparison() {
                     "speedup"});
   const std::array<std::pair<std::int64_t, std::int64_t>, 4> cases{
       {{24, 24}, {24, 4}, {4, 4}, {1, 16}}};
+  rep.metric("static_schedule_cycles", static_cast<double>(static_len),
+             "cycles");
   for (const auto& [a, b] : cases) {
     const std::uint64_t dynamic = arbitrated_cycles(a, b);
+    rep.metric("arbitrated_cycles_" + std::to_string(a) + "_" +
+                   std::to_string(b),
+               static_cast<double>(dynamic), "cycles");
     table.add_row({"(" + std::to_string(a) + ", " + std::to_string(b) + ")",
                    std::to_string(static_len), std::to_string(dynamic),
                    fmt_fixed(static_cast<double>(static_len) /
@@ -114,8 +120,15 @@ BENCHMARK(BM_ArbitratedRun);
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_comparison();
+  rcarb::obs::BenchReporter rep("global_schedule");
+  print_comparison(rep);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  const std::string path = rep.write();
+  if (path.empty()) {
+    std::fputs("bench report write failed\n", stderr);
+    return 1;
+  }
+  std::printf("bench report: %s\n", path.c_str());
   return 0;
 }

@@ -15,6 +15,7 @@
 #include "core/policy.hpp"
 #include "core/policy_fsms.hpp"
 #include "core/rr_fsm.hpp"
+#include "obs/bench_report.hpp"
 #include "support/rng.hpp"
 #include "support/table.hpp"
 
@@ -94,7 +95,7 @@ std::string synthesized_cost(Policy policy, int n) {
   return "?";
 }
 
-void print_ablation() {
+void print_ablation(obs::BenchReporter& rep) {
   constexpr int kCycles = 20000;
   constexpr int kHold = 3;
 
@@ -113,6 +114,12 @@ void print_ablation() {
                          std::to_string(r.grants_max),
                      std::to_string(r.worst_wait),
                      r.starvation ? "YES" : "no", hw});
+      if (n == 10) {
+        const std::string p = core::to_string(policy);
+        rep.metric(p + "_worst_wait_n10",
+                   static_cast<double>(r.worst_wait), "cycles");
+        rep.metric(p + "_starved_n10", r.starvation ? 1.0 : 0.0);
+      }
     }
   }
   table.print();
@@ -142,8 +149,15 @@ BENCHMARK(BM_PolicyStep)
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_ablation();
+  rcarb::obs::BenchReporter rep("policy_ablation");
+  print_ablation(rep);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  const std::string path = rep.write();
+  if (path.empty()) {
+    std::fputs("bench report write failed\n", stderr);
+    return 1;
+  }
+  std::printf("bench report: %s\n", path.c_str());
   return 0;
 }

@@ -10,6 +10,7 @@
 #include <cstdio>
 
 #include "core/insertion.hpp"
+#include "obs/bench_report.hpp"
 #include "rcsim/system_sim.hpp"
 #include "support/table.hpp"
 
@@ -53,7 +54,7 @@ Scenario build_scenario() {
   return s;
 }
 
-void print_table1() {
+void print_table1(obs::BenchReporter& rep) {
   Table schedule("Table 1 — shared channel example (c1, c4 merged as c1_4)");
   schedule.set_header({"Time Step", "Task 1", "Task 2", "Task 3", "Task 4"});
   schedule.add_row({"1", "c1 := 10", "...", "...", "..."});
@@ -75,6 +76,8 @@ void print_table1() {
                      std::to_string(r.clobbered_reads),
                      std::to_string(r.channel_conflicts),
                      sim.segment_data(s.out)[0] == 10 ? "correct" : "WRONG"});
+    rep.metric("fig3_t2_read", static_cast<double>(sim.segment_data(s.out)[0]));
+    rep.metric("fig3_clobbered_reads", static_cast<double>(r.clobbered_reads));
   }
   {
     Scenario s = build_scenario();
@@ -90,6 +93,10 @@ void print_table1() {
                      std::to_string(r.channel_conflicts),
                      sim.segment_data(s.out)[0] == 10 ? "correct"
                                                       : "DATA LOSS"});
+    rep.metric("naive_t2_read",
+               static_cast<double>(sim.segment_data(s.out)[0]));
+    rep.metric("naive_clobbered_reads",
+               static_cast<double>(r.clobbered_reads));
   }
   results.print();
   std::puts(
@@ -120,8 +127,15 @@ BENCHMARK(BM_ArbiterInsertionPass);
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_table1();
+  rcarb::obs::BenchReporter rep("table1_channel");
+  print_table1(rep);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  const std::string path = rep.write();
+  if (path.empty()) {
+    std::fputs("bench report write failed\n", stderr);
+    return 1;
+  }
+  std::printf("bench report: %s\n", path.c_str());
   return 0;
 }

@@ -11,6 +11,7 @@
 #include <cstdio>
 
 #include "core/insertion.hpp"
+#include "obs/bench_report.hpp"
 #include "rcsim/system_sim.hpp"
 #include "support/table.hpp"
 
@@ -98,7 +99,7 @@ Outcome run_tdm(const std::array<int, kProducers>& gaps,
   return out;
 }
 
-void print_comparison() {
+void print_comparison(obs::BenchReporter& rep) {
   Table table(
       "virtual-wires baseline — one shared channel, 3 producers x 8 "
       "transfers [paper Sec. 1.2: static scheduling vs arbitration]");
@@ -115,13 +116,19 @@ void print_comparison() {
       {"one hot sender (16/1/1 msgs, no gaps)", {0, 0, 0}, {16, 1, 1}},
       {"two quiet peers (12/2/2, gap 0/9/9)", {0, 9, 9}, {12, 2, 2}},
   };
-  for (const Case& c : cases) {
+  const char* keys[] = {"uniform", "skewed", "hot_sender", "quiet_peers"};
+  for (std::size_t i = 0; i < std::size(cases); ++i) {
+    const Case& c = cases[i];
     const Outcome arb = run_arbitrated(c.gaps, c.counts);
     const Outcome tdm = run_tdm(c.gaps, c.counts, kProducers + 1);
     table.add_row({c.name, "round-robin arbiter",
                    std::to_string(arb.cycles), std::to_string(arb.wait)});
     table.add_row({c.name, "static TDM slots", std::to_string(tdm.cycles),
                    std::to_string(tdm.wait)});
+    rep.metric(std::string(keys[i]) + "_arbitrated_cycles",
+               static_cast<double>(arb.cycles), "cycles");
+    rep.metric(std::string(keys[i]) + "_tdm_cycles",
+               static_cast<double>(tdm.cycles), "cycles");
   }
   table.print();
   std::puts(
@@ -150,8 +157,15 @@ BENCHMARK(BM_Tdm);
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_comparison();
+  rcarb::obs::BenchReporter rep("virtual_wires");
+  print_comparison(rep);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  const std::string path = rep.write();
+  if (path.empty()) {
+    std::fputs("bench report write failed\n", stderr);
+    return 1;
+  }
+  std::printf("bench report: %s\n", path.c_str());
   return 0;
 }

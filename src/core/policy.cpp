@@ -44,8 +44,7 @@ RoundRobinArbiter::NextState RoundRobinArbiter::step_one_state(
   return {i, in_c};
 }
 
-int RoundRobinArbiter::step(std::uint64_t requests) {
-  requests &= (n_ == 64) ? ~0ull : ((1ull << n_) - 1);
+int RoundRobinArbiter::do_step(std::uint64_t requests) {
   grant_mask_ = 0;
 
   if (!state_legal()) {
@@ -155,9 +154,7 @@ void RoundRobinArbiter::inject_bit_flip(int bit) {
 
 FifoArbiter::FifoArbiter(int n) : Arbiter(n) {}
 
-int FifoArbiter::step(std::uint64_t requests) {
-  requests &= (n_ == 64) ? ~0ull : ((1ull << n_) - 1);
-
+int FifoArbiter::do_step(std::uint64_t requests) {
   // Newly asserted requests join the queue in index order (simultaneous
   // arrivals tie-break by index, as a hardware FIFO arbiter would).
   for (int t = 0; t < n_; ++t) {
@@ -199,8 +196,7 @@ std::string FifoArbiter::describe() const {
 
 PriorityArbiter::PriorityArbiter(int n) : Arbiter(n) {}
 
-int PriorityArbiter::step(std::uint64_t requests) {
-  requests &= (n_ == 64) ? ~0ull : ((1ull << n_) - 1);
+int PriorityArbiter::do_step(std::uint64_t requests) {
   if (holder_ >= 0 && ((requests >> holder_) & 1u)) return holder_;
   holder_ = -1;
   if (requests == 0) return -1;
@@ -219,8 +215,7 @@ std::string PriorityArbiter::describe() const {
 RandomArbiter::RandomArbiter(int n, std::uint64_t seed)
     : Arbiter(n), seed_(seed), rng_(seed) {}
 
-int RandomArbiter::step(std::uint64_t requests) {
-  requests &= (n_ == 64) ? ~0ull : ((1ull << n_) - 1);
+int RandomArbiter::do_step(std::uint64_t requests) {
   if (holder_ >= 0 && ((requests >> holder_) & 1u)) return holder_;
   holder_ = -1;
   const int waiting = std::popcount(requests);

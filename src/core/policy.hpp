@@ -36,6 +36,17 @@ enum class Policy : std::uint8_t {
 /// deassert Req) when the grant is immediate.
 inline constexpr int kProtocolOverheadCycles = 2;
 
+/// Observation hook over the request/grant wire traffic of one arbiter.
+/// Implementations (src/obs) derive wait/hold/fairness metrics from the raw
+/// stream without the arbiter knowing what is measured.
+class ArbiterObserver {
+ public:
+  virtual ~ArbiterObserver() = default;
+  /// Called once per step() with the sampled request vector (masked to the
+  /// arbiter's width) and the resulting grant (-1 = none).
+  virtual void on_step(std::uint64_t requests, int grant) = 0;
+};
+
 /// Cycle-level behavioral arbiter.
 class Arbiter {
  public:
@@ -43,8 +54,17 @@ class Arbiter {
 
   /// One clock cycle: presents the request vector (bit i = task i) and
   /// returns the granted task index, or -1 when no grant is issued.  At
-  /// most one task is ever granted (mutual exclusion).
-  virtual int step(std::uint64_t requests) = 0;
+  /// most one task is ever granted (mutual exclusion).  With no observer
+  /// attached the hook costs one pointer test.
+  int step(std::uint64_t requests) {
+    requests &= (n_ == 64) ? ~0ull : ((1ull << n_) - 1);
+    const int granted = do_step(requests);
+    if (observer_ != nullptr) observer_->on_step(requests, granted);
+    return granted;
+  }
+
+  /// Attaches (or detaches, with nullptr) a borrowed observer.
+  void set_observer(ArbiterObserver* observer) { observer_ = observer; }
 
   /// Returns to the reset state.
   virtual void reset() = 0;
@@ -54,7 +74,12 @@ class Arbiter {
 
  protected:
   explicit Arbiter(int n);
+  /// Policy-specific transition; `requests` is already width-masked.
+  virtual int do_step(std::uint64_t requests) = 0;
   int n_;
+
+ private:
+  ArbiterObserver* observer_ = nullptr;
 };
 
 /// Options for the round-robin model.
@@ -79,7 +104,6 @@ struct RoundRobinOptions {
 class RoundRobinArbiter final : public Arbiter {
  public:
   explicit RoundRobinArbiter(int n, RoundRobinOptions options = {});
-  int step(std::uint64_t requests) override;
   void reset() override;
   [[nodiscard]] std::string describe() const override;
 
@@ -105,6 +129,9 @@ class RoundRobinArbiter final : public Arbiter {
   /// Illegal-state recoveries performed so far (hardened mode only).
   [[nodiscard]] std::uint64_t recoveries() const { return recoveries_; }
 
+ protected:
+  int do_step(std::uint64_t requests) override;
+
  private:
   /// Fig. 5 transition from the single state (i, in_c): returns the
   /// successor state and sets `granted` (-1 = none).
@@ -128,9 +155,11 @@ class RoundRobinArbiter final : public Arbiter {
 class FifoArbiter final : public Arbiter {
  public:
   explicit FifoArbiter(int n);
-  int step(std::uint64_t requests) override;
   void reset() override;
   [[nodiscard]] std::string describe() const override;
+
+ protected:
+  int do_step(std::uint64_t requests) override;
 
  private:
   std::deque<int> queue_;
@@ -142,9 +171,11 @@ class FifoArbiter final : public Arbiter {
 class PriorityArbiter final : public Arbiter {
  public:
   explicit PriorityArbiter(int n);
-  int step(std::uint64_t requests) override;
   void reset() override;
   [[nodiscard]] std::string describe() const override;
+
+ protected:
+  int do_step(std::uint64_t requests) override;
 
  private:
   int holder_ = -1;
@@ -154,9 +185,11 @@ class PriorityArbiter final : public Arbiter {
 class RandomArbiter final : public Arbiter {
  public:
   RandomArbiter(int n, std::uint64_t seed);
-  int step(std::uint64_t requests) override;
   void reset() override;
   [[nodiscard]] std::string describe() const override;
+
+ protected:
+  int do_step(std::uint64_t requests) override;
 
  private:
   std::uint64_t seed_;

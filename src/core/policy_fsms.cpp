@@ -110,8 +110,7 @@ synth::Fsm build_lfsr_random_fsm(int n) {
 
 LfsrRandomArbiter::LfsrRandomArbiter(int n) : Arbiter(n) {}
 
-int LfsrRandomArbiter::step(std::uint64_t requests) {
-  requests &= (1ull << n_) - 1;
+int LfsrRandomArbiter::do_step(std::uint64_t requests) {
   const int next_l = lfsr3_next(lfsr_);
   const int offset = lfsr_ % n_;
   int granted = -1;

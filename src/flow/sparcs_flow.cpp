@@ -128,6 +128,8 @@ std::string FlowReport::summary() const {
     os << "]";
     if (pr.sim.cycles > 0) os << ", " << pr.sim.cycles << " cycles";
     os << '\n';
+    for (const obs::ArbiterMetrics& m : pr.sim.arbiter_obs)
+      os << "    " << m.summarize() << '\n';
   }
   os << "total arbiter area: " << total_arbiter_clbs << " CLBs\n";
   os << "design clock: " << design_clock_mhz << " MHz";

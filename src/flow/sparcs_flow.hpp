@@ -31,7 +31,14 @@ struct FlowOptions {
   part::SpatialOptions spatial;
   part::MemoryMapOptions memory;
   core::InsertionOptions insertion;
-  rcsim::SimOptions sim;
+  /// The flow enables per-arbiter metrics by default so FlowReport::summary
+  /// can print fairness/latency lines; simulation-bound callers may turn
+  /// them back off.
+  rcsim::SimOptions sim = [] {
+    rcsim::SimOptions s;
+    s.arbiter_metrics = true;
+    return s;
+  }();
   synth::FlowKind synth_flow = synth::FlowKind::kExpressLike;
   synth::Encoding encoding = synth::Encoding::kOneHot;
 

@@ -1,0 +1,56 @@
+// Machine-readable bench reports.
+//
+// Every bench/bench_*.cpp routes its headline numbers through a
+// BenchReporter, which writes BENCH_<name>.json next to the binary (or into
+// $RCARB_BENCH_DIR).  The reports seed the repo's perf trajectory: CI
+// uploads them per commit, so fairness or overhead regressions show up as a
+// diff in numbers rather than a tripped assertion months later.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rcarb::obs {
+
+/// Collects named metrics for one bench run and serializes them as
+/// BENCH_<name>.json (schema "rcarb-bench-v1").
+class BenchReporter {
+ public:
+  /// `name` is the bench identifier, e.g. "fig8_overhead".
+  explicit BenchReporter(std::string name);
+
+  /// Records one scalar metric.  `unit` is free-form ("cycles", "ratio",
+  /// "luts"); metrics keep insertion order in the report.
+  void metric(const std::string& key, double value,
+              const std::string& unit = "");
+  /// Records a free-form string annotation (config, policy names, notes).
+  void note(const std::string& key, const std::string& value);
+
+  /// Writes BENCH_<name>.json into `dir` (default: $RCARB_BENCH_DIR, else
+  /// the current directory).  Adds wall time since construction, the
+  /// schema tag, a UTC timestamp, and the git commit (from
+  /// $RCARB_GIT_COMMIT / $GITHUB_SHA, falling back to `git rev-parse`).
+  /// Returns the path written, or "" on I/O failure.
+  std::string write(const std::string& dir = "");
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+ private:
+  struct Metric {
+    std::string key;
+    double value;
+    std::string unit;
+  };
+
+  std::string name_;
+  std::int64_t start_ns_;
+  std::vector<Metric> metrics_;
+  std::vector<std::pair<std::string, std::string>> notes_;
+};
+
+/// Commit id for report metadata: $RCARB_GIT_COMMIT, else $GITHUB_SHA, else
+/// `git rev-parse HEAD`, else "unknown".
+[[nodiscard]] std::string bench_commit_id();
+
+}  // namespace rcarb::obs

@@ -1,0 +1,163 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+
+namespace rcarb::obs {
+
+namespace {
+
+/// Bucket index of `value`: 0 -> 0, otherwise 1 + floor(log2(value)).
+int bucket_of(std::uint64_t value) {
+  if (value == 0) return 0;
+  return 1 + (63 - std::countl_zero(value));
+}
+
+}  // namespace
+
+void Histogram::record(std::uint64_t value) {
+  buckets_[static_cast<std::size_t>(bucket_of(value))] += 1;
+  count_ += 1;
+  sum_ += value;
+  max_ = std::max(max_, value);
+}
+
+double Histogram::mean() const {
+  return count_ == 0 ? 0.0
+                     : static_cast<double>(sum_) / static_cast<double>(count_);
+}
+
+std::uint64_t Histogram::bucket(int i) const {
+  return buckets_[static_cast<std::size_t>(i)];
+}
+
+std::pair<std::uint64_t, std::uint64_t> Histogram::bucket_range(int i) {
+  if (i == 0) return {0, 0};
+  const std::uint64_t lo = 1ull << (i - 1);
+  return {lo, lo * 2 - 1};
+}
+
+std::uint64_t Histogram::percentile(double p) const {
+  if (count_ == 0) return 0;
+  p = std::clamp(p, 0.0, 1.0);
+  const auto target = static_cast<std::uint64_t>(
+      p * static_cast<double>(count_ - 1));  // 0-based rank
+  std::uint64_t seen = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    seen += buckets_[static_cast<std::size_t>(i)];
+    if (seen > target) return bucket_range(i).second;
+  }
+  return max_;
+}
+
+std::string Histogram::summarize() const {
+  if (count_ == 0) return "n=0";
+  char buf[128];
+  std::snprintf(buf, sizeof buf,
+                "n=%llu mean=%.2f max=%llu p50<=%llu p99<=%llu",
+                static_cast<unsigned long long>(count_), mean(),
+                static_cast<unsigned long long>(max_),
+                static_cast<unsigned long long>(percentile(0.50)),
+                static_cast<unsigned long long>(percentile(0.99)));
+  return buf;
+}
+
+double ArbiterMetrics::fairness_jain() const {
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  int active = 0;
+  for (const auto& p : port) {
+    if (p.grants == 0 && p.wait_cycles == 0) continue;  // never requested
+    const auto share = static_cast<double>(p.granted_cycles);
+    sum += share;
+    sum_sq += share * share;
+    ++active;
+  }
+  if (active == 0 || sum_sq == 0.0) return 1.0;
+  return (sum * sum) / (static_cast<double>(active) * sum_sq);
+}
+
+std::uint64_t ArbiterMetrics::worst_turns_waited() const {
+  std::uint64_t worst = 0;
+  for (const auto& p : port) worst = std::max(worst, p.max_turns_waited);
+  return worst;
+}
+
+bool ArbiterMetrics::within_n_minus_1_bound() const {
+  return worst_turns_waited() + 1 <= static_cast<std::uint64_t>(ports);
+}
+
+std::string ArbiterMetrics::summarize() const {
+  char buf[256];
+  std::snprintf(
+      buf, sizeof buf,
+      "%s[%d]: latency{%s} hold{%s} jain=%.3f turns<=%llu%s wd=%llu "
+      "backoff=%llu",
+      name.c_str(), ports, grant_latency.summarize().c_str(),
+      hold_length.summarize().c_str(), fairness_jain(),
+      static_cast<unsigned long long>(worst_turns_waited()),
+      within_n_minus_1_bound() ? "" : "(!)",
+      static_cast<unsigned long long>(watchdog_fires),
+      static_cast<unsigned long long>(backoffs));
+  return buf;
+}
+
+ArbiterProbe::ArbiterProbe(ArbiterMetrics* metrics) : m_(metrics) {
+  const auto n = static_cast<std::size_t>(m_->ports);
+  m_->port.assign(n, PortMetrics{});
+  wait_.assign(n, 0);
+  turns_.assign(n, 0);
+}
+
+void ArbiterProbe::on_step(std::uint64_t requests, int grant) {
+  // Hold tracking: close the previous interval on any hand-off.
+  if (grant != holder_) {
+    if (holder_ >= 0) {
+      m_->hold_length.record(hold_len_);
+      m_->port[static_cast<std::size_t>(holder_)].granted_cycles += hold_len_;
+    }
+    if (grant >= 0) {
+      const auto g = static_cast<std::size_t>(grant);
+      m_->port[g].grants += 1;
+      m_->grant_latency.record(wait_[g]);
+      m_->port[g].max_wait = std::max(m_->port[g].max_wait, wait_[g]);
+      m_->port[g].max_turns_waited =
+          std::max(m_->port[g].max_turns_waited, turns_[g]);
+      wait_[g] = 0;
+      turns_[g] = 0;
+      m_->queue_depth.record(
+          static_cast<std::uint64_t>(std::popcount(requests)));
+      // Every other in-flight waiter saw one more grant go elsewhere.
+      for (std::size_t i = 0; i < turns_.size(); ++i)
+        if (i != g && (requests >> i & 1) != 0) turns_[i] += 1;
+    }
+    holder_ = grant;
+    hold_len_ = 0;
+  }
+  if (holder_ >= 0) hold_len_ += 1;
+
+  for (std::size_t i = 0; i < wait_.size(); ++i) {
+    if ((requests >> i & 1) == 0) {
+      // Req dropped without a grant (release-less backoff): the wait
+      // resumes from zero when it re-asserts, matching the protocol's view.
+      if (static_cast<int>(i) != holder_) wait_[i] = 0;
+      continue;
+    }
+    if (static_cast<int>(i) != holder_) {
+      wait_[i] += 1;
+      m_->port[i].wait_cycles += 1;
+    }
+  }
+}
+
+void ArbiterProbe::finish() {
+  if (holder_ >= 0) {
+    m_->hold_length.record(hold_len_);
+    m_->port[static_cast<std::size_t>(holder_)].granted_cycles += hold_len_;
+  }
+  holder_ = -1;
+  hold_len_ = 0;
+}
+
+}  // namespace rcarb::obs

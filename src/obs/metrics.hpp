@@ -1,0 +1,112 @@
+// Per-arbiter observability counters and histograms.
+//
+// The paper's arbitration claims are quantitative — the N-1 worst-case wait
+// bound (Sec. 4), the 2-cycle protocol overhead per burst (Fig. 8), and the
+// fairness of the round-robin rotation — so the simulator must expose them
+// as machine-readable numbers, not just pass/fail diagnostics.  ArbiterProbe
+// implements the core::ArbiterObserver hook and derives wait, hold, queue
+// depth and per-port fairness metrics from the raw request/grant wire
+// stream; nothing here formats strings on the simulation hot path.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/policy.hpp"
+
+namespace rcarb::obs {
+
+/// Power-of-two-bucketed histogram of non-negative cycle counts.
+/// Bucket 0 holds value 0; bucket i >= 1 holds [2^(i-1), 2^i - 1].
+class Histogram {
+ public:
+  static constexpr int kBuckets = 33;
+
+  void record(std::uint64_t value);
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] std::uint64_t sum() const { return sum_; }
+  [[nodiscard]] std::uint64_t max() const { return max_; }
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] std::uint64_t bucket(int i) const;
+  /// Inclusive value range covered by bucket i.
+  [[nodiscard]] static std::pair<std::uint64_t, std::uint64_t> bucket_range(
+      int i);
+  /// Upper bound of the bucket holding the p-quantile (p in [0, 1]);
+  /// 0 when the histogram is empty.
+  [[nodiscard]] std::uint64_t percentile(double p) const;
+  /// "n=12 mean=3.4 max=9 p50<=4 p99<=16" (empty: "n=0").
+  [[nodiscard]] std::string summarize() const;
+
+ private:
+  std::array<std::uint64_t, kBuckets> buckets_{};
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t max_ = 0;
+};
+
+/// Fairness / wait accounting for one request port of one arbiter.
+struct PortMetrics {
+  std::uint64_t grants = 0;          // bursts granted to this port
+  std::uint64_t granted_cycles = 0;  // cycles holding the grant (share)
+  std::uint64_t wait_cycles = 0;     // cycles requesting without the grant
+  std::uint64_t max_wait = 0;        // longest request-to-grant wait
+  /// Most grants handed to *other* ports during one wait of this port.
+  /// The paper's bound: a round-robin requester is served after at most
+  /// N-1 other grants.
+  std::uint64_t max_turns_waited = 0;
+};
+
+/// Counters and histograms for one arbiter instance.
+struct ArbiterMetrics {
+  std::string name;   // guarded resource
+  int ports = 0;
+
+  Histogram grant_latency;  // request-to-grant, cycles
+  Histogram hold_length;    // grant-to-release, cycles
+  Histogram queue_depth;    // requesters pending at each grant hand-off
+
+  std::vector<PortMetrics> port;  // size == ports
+
+  // Protocol robustness events (filled by the simulator).
+  std::uint64_t watchdog_fires = 0;     // hung-grant detections
+  std::uint64_t watchdog_releases = 0;  // hardened force-releases
+  std::uint64_t backoffs = 0;           // retry-timeout Req drops
+  std::uint64_t retries = 0;            // Req re-assertions after backoff
+
+  /// Jain fairness index over the per-port granted-cycle shares:
+  /// 1.0 = perfectly even, 1/ports = one port monopolizes.  Ports that
+  /// never requested are excluded; 1.0 when nothing was granted.
+  [[nodiscard]] double fairness_jain() const;
+  /// Worst max_turns_waited over all ports (paper bound: <= ports - 1).
+  [[nodiscard]] std::uint64_t worst_turns_waited() const;
+  /// True when every observed wait respected the N-1 grant-turn bound.
+  [[nodiscard]] bool within_n_minus_1_bound() const;
+  /// One-line human summary (flow reports, bench tables).
+  [[nodiscard]] std::string summarize() const;
+};
+
+/// core::ArbiterObserver that feeds an ArbiterMetrics from the request /
+/// grant stream.  Attach with Arbiter::set_observer; the probe borrows the
+/// metrics object and must outlive the attachment.
+class ArbiterProbe final : public core::ArbiterObserver {
+ public:
+  /// `metrics` must have `ports` set; `port` is resized here.
+  explicit ArbiterProbe(ArbiterMetrics* metrics);
+
+  void on_step(std::uint64_t requests, int grant) override;
+
+  /// Flushes the in-flight hold interval (call once, after the last step).
+  void finish();
+
+ private:
+  ArbiterMetrics* m_;
+  int holder_ = -1;
+  std::uint64_t hold_len_ = 0;
+  std::vector<std::uint64_t> wait_;   // per-port in-flight wait
+  std::vector<std::uint64_t> turns_;  // per-port other-grants while waiting
+};
+
+}  // namespace rcarb::obs

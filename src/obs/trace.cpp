@@ -1,0 +1,208 @@
+#include "obs/trace.hpp"
+
+#include <cstdio>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace rcarb::obs {
+
+const char* to_string(TraceKind k) {
+  switch (k) {
+    case TraceKind::kTaskStart: return "task_start";
+    case TraceKind::kTaskFinish: return "task_finish";
+    case TraceKind::kRequest: return "request";
+    case TraceKind::kRelease: return "release";
+    case TraceKind::kGrant: return "grant";
+    case TraceKind::kGrantEnd: return "grant_end";
+    case TraceKind::kBackoff: return "backoff";
+    case TraceKind::kRetry: return "retry";
+    case TraceKind::kFault: return "fault";
+    case TraceKind::kDiagnostic: return "diagnostic";
+  }
+  return "unknown";
+}
+
+namespace {
+
+void json_escape(std::ostream& os, const std::string& s) {
+  for (const char ch : s) {
+    switch (ch) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", ch);
+          os << buf;
+        } else {
+          os << ch;
+        }
+    }
+  }
+}
+
+const std::string* name_of(const std::vector<std::string>& names, int id) {
+  if (id < 0 || static_cast<std::size_t>(id) >= names.size()) return nullptr;
+  return &names[static_cast<std::size_t>(id)];
+}
+
+void put_name(std::ostream& os, const char* key,
+              const std::vector<std::string>& names, int id) {
+  if (const std::string* n = name_of(names, id)) {
+    os << ",\"" << key << "\":\"";
+    json_escape(os, *n);
+    os << '"';
+  }
+}
+
+}  // namespace
+
+void write_jsonl(std::ostream& os, const std::vector<TraceEvent>& events,
+                 const TraceMeta& meta) {
+  for (const TraceEvent& e : events) {
+    os << "{\"cycle\":" << e.cycle << ",\"kind\":\"" << to_string(e.kind)
+       << "\",\"task\":" << e.task;
+    put_name(os, "task_name", meta.task_names, e.task);
+    os << ",\"arbiter\":" << e.arbiter;
+    put_name(os, "arbiter_name", meta.arbiter_names, e.arbiter);
+    os << ",\"resource\":" << e.resource;
+    put_name(os, "resource_name", meta.resource_names, e.resource);
+    os << ",\"value\":" << e.value << "}\n";
+  }
+}
+
+namespace {
+
+/// Emits one trace_event object.  `ph` is the Chrome phase letter; `dur` is
+/// only written for "X" (complete) events.
+class ChromeWriter {
+ public:
+  explicit ChromeWriter(std::ostream& os) : os_(os) {}
+
+  void begin() { os_ << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n"; }
+  void end() { os_ << "\n]}\n"; }
+
+  void meta(int pid, int tid, const char* what, const std::string& name) {
+    sep();
+    os_ << "{\"name\":\"" << what << "\",\"ph\":\"M\",\"pid\":" << pid;
+    if (tid >= 0) os_ << ",\"tid\":" << tid;
+    os_ << ",\"args\":{\"name\":\"";
+    json_escape(os_, name);
+    os_ << "\"}}";
+  }
+
+  void span(int pid, int tid, const std::string& name, std::uint64_t ts,
+            std::uint64_t dur) {
+    sep();
+    os_ << "{\"name\":\"";
+    json_escape(os_, name);
+    os_ << "\",\"ph\":\"X\",\"ts\":" << ts << ",\"dur\":" << dur
+        << ",\"pid\":" << pid << ",\"tid\":" << tid << "}";
+  }
+
+  void instant(int pid, int tid, const std::string& name, std::uint64_t ts) {
+    sep();
+    os_ << "{\"name\":\"";
+    json_escape(os_, name);
+    os_ << "\",\"ph\":\"i\",\"s\":\"t\",\"ts\":" << ts << ",\"pid\":" << pid
+        << ",\"tid\":" << tid << "}";
+  }
+
+ private:
+  void sep() {
+    if (!first_) os_ << ",\n";
+    first_ = false;
+  }
+
+  std::ostream& os_;
+  bool first_ = true;
+};
+
+std::string label(const char* prefix, const std::vector<std::string>& names,
+                  int id, const char* fallback) {
+  std::string out = prefix;
+  if (const std::string* n = name_of(names, id)) {
+    out += *n;
+  } else {
+    out += fallback;
+  }
+  return out;
+}
+
+}  // namespace
+
+void write_chrome_trace(std::ostream& os,
+                        const std::vector<TraceEvent>& events,
+                        const TraceMeta& meta) {
+  ChromeWriter w(os);
+  w.begin();
+
+  // Row naming: pid 0 = tasks (tid = task id), pid 1+a = arbiter a
+  // (tid = task id of the port's owner).  1 cycle = 1 us.
+  w.meta(0, -1, "process_name", "tasks");
+  for (std::size_t t = 0; t < meta.task_names.size(); ++t)
+    w.meta(0, static_cast<int>(t), "thread_name", meta.task_names[t]);
+  for (std::size_t a = 0; a < meta.arbiter_names.size(); ++a) {
+    w.meta(1 + static_cast<int>(a), -1, "process_name",
+           "arbiter " + meta.arbiter_names[a]);
+    for (std::size_t t = 0; t < meta.task_names.size(); ++t)
+      w.meta(1 + static_cast<int>(a), static_cast<int>(t), "thread_name",
+             meta.task_names[t]);
+  }
+
+  std::vector<std::uint64_t> task_start(meta.task_names.size(), 0);
+  for (const TraceEvent& e : events) {
+    const int apid = 1 + e.arbiter;
+    switch (e.kind) {
+      case TraceKind::kTaskStart:
+        if (e.task >= 0 &&
+            static_cast<std::size_t>(e.task) < task_start.size())
+          task_start[static_cast<std::size_t>(e.task)] = e.cycle;
+        break;
+      case TraceKind::kTaskFinish:
+        if (e.task >= 0 &&
+            static_cast<std::size_t>(e.task) < task_start.size()) {
+          const auto ts = task_start[static_cast<std::size_t>(e.task)];
+          w.span(0, e.task, label("run ", meta.task_names, e.task, "?"), ts,
+                 e.cycle - ts);
+        }
+        break;
+      case TraceKind::kGrant:
+        // value = cycles waited; render the wait leading up to the grant.
+        if (e.value > 0)
+          w.span(apid, e.task,
+                 label("wait ", meta.arbiter_names, e.arbiter, "?"),
+                 e.cycle - static_cast<std::uint64_t>(e.value),
+                 static_cast<std::uint64_t>(e.value));
+        break;
+      case TraceKind::kGrantEnd:
+        // value = cycles held.
+        w.span(apid, e.task,
+               label("hold ", meta.arbiter_names, e.arbiter, "?"),
+               e.cycle - static_cast<std::uint64_t>(e.value),
+               static_cast<std::uint64_t>(e.value));
+        break;
+      case TraceKind::kRequest:
+      case TraceKind::kRelease:
+      case TraceKind::kBackoff:
+      case TraceKind::kRetry:
+        w.instant(apid >= 1 ? apid : 0, e.task >= 0 ? e.task : 0,
+                  to_string(e.kind), e.cycle);
+        break;
+      case TraceKind::kFault:
+      case TraceKind::kDiagnostic:
+        w.instant(apid >= 1 ? apid : 0, e.task >= 0 ? e.task : 0,
+                  std::string(to_string(e.kind)) + " #" +
+                      std::to_string(e.value),
+                  e.cycle);
+        break;
+    }
+  }
+
+  w.end();
+}
+
+}  // namespace rcarb::obs

@@ -1,0 +1,94 @@
+// Structured trace-event sink for the arbitration simulator.
+//
+// The simulator emits one TraceEvent per protocol action (request, grant,
+// release, backoff, retry, fault, diagnostic) with its cycle stamp.  Events
+// are plain integers — no strings are built at emission time, so an
+// attached sink costs a bounds-checked push_back and a detached sink costs
+// one pointer test (see rcsim::SystemSimulator).  Exporters turn a recorded
+// buffer into JSON Lines (one event per line, diff- and grep-friendly) or
+// the Chrome trace_event format that chrome://tracing and Perfetto load.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace rcarb::obs {
+
+/// What happened (values are part of the on-disk schema; append only).
+enum class TraceKind : std::uint8_t {
+  kTaskStart = 0,   // task begins execution
+  kTaskFinish = 1,  // task halts
+  kRequest = 2,     // Req asserted for a resource
+  kRelease = 3,     // Req deasserted after a completed burst
+  kGrant = 4,       // grant acquired; value = cycles waited
+  kGrantEnd = 5,    // grant relinquished; value = cycles held
+  kBackoff = 6,     // retry timeout hit, Req dropped; value = backoff length
+  kRetry = 7,       // Req re-asserted after a backoff
+  kFault = 8,       // fault injected; value = fault kind
+  kDiagnostic = 9,  // simulator diagnostic; value = rcsim::DiagKind
+};
+
+[[nodiscard]] const char* to_string(TraceKind k);
+
+/// One cycle-stamped protocol event.  All fields are integral so emission
+/// never allocates; names are resolved at export time via TraceMeta.
+struct TraceEvent {
+  std::uint64_t cycle = 0;
+  TraceKind kind = TraceKind::kTaskStart;
+  std::int32_t task = -1;      // task id, -1 = none
+  std::int32_t arbiter = -1;   // arbiter index in the plan, -1 = none
+  std::int32_t resource = -1;  // binding resource id, -1 = none
+  std::int64_t value = 0;      // kind-specific payload (see TraceKind)
+
+  friend bool operator==(const TraceEvent&, const TraceEvent&) = default;
+};
+
+/// Abstract sink.  The simulator calls emit() for every event; recording
+/// implementations buffer, streaming ones may write through.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void emit(const TraceEvent& e) = 0;
+};
+
+/// Id -> name tables captured from the simulated system, so exports carry
+/// human-readable labels without the hot path touching strings.
+struct TraceMeta {
+  std::vector<std::string> task_names;
+  std::vector<std::string> arbiter_names;   // guarded resource per arbiter
+  std::vector<std::string> resource_names;  // banks then physical channels
+};
+
+/// In-memory recording sink.
+class TraceBuffer final : public TraceSink {
+ public:
+  void emit(const TraceEvent& e) override { events_.push_back(e); }
+
+  [[nodiscard]] const std::vector<TraceEvent>& events() const {
+    return events_;
+  }
+  [[nodiscard]] std::size_t size() const { return events_.size(); }
+  void clear() { events_.clear(); }
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+/// JSON Lines export: one {"cycle":..,"kind":"grant",..} object per line.
+/// Deterministic (insertion order, fixed key order) so identically-seeded
+/// runs produce byte-identical streams.
+void write_jsonl(std::ostream& os, const std::vector<TraceEvent>& events,
+                 const TraceMeta& meta);
+
+/// Chrome trace_event ("Trace Event Format") export, loadable in
+/// chrome://tracing and https://ui.perfetto.dev.  One simulated cycle maps
+/// to 1 us.  Rows: pid 0 = tasks (tid = task id, "X" spans for task
+/// lifetime and grant holds, instant events for protocol actions); pid 1+a
+/// = arbiter a (tid = port, spans for waits and holds).
+void write_chrome_trace(std::ostream& os,
+                        const std::vector<TraceEvent>& events,
+                        const TraceMeta& meta);
+
+}  // namespace rcarb::obs

@@ -134,6 +134,21 @@ const std::vector<std::int64_t>& SystemSimulator::segment_data(
   return memory_[s];
 }
 
+obs::TraceMeta SystemSimulator::trace_meta() const {
+  obs::TraceMeta m;
+  m.task_names.reserve(graph_.num_tasks());
+  for (TaskId t = 0; t < graph_.num_tasks(); ++t)
+    m.task_names.push_back(graph_.task(t).name);
+  m.arbiter_names.reserve(plan_.arbiters.size());
+  for (const core::ArbiterInstance& a : plan_.arbiters)
+    m.arbiter_names.push_back(a.resource_name);
+  const int n_res = static_cast<int>(binding_.num_resources());
+  m.resource_names.reserve(static_cast<std::size_t>(n_res));
+  for (int r = 0; r < n_res; ++r)
+    m.resource_names.push_back(binding_.resource_name(r));
+  return m;
+}
+
 SimResult SystemSimulator::run(const std::vector<TaskId>& tasks) {
   SimResult result;
   result.tasks.resize(graph_.num_tasks());
@@ -157,6 +172,27 @@ SimResult SystemSimulator::run(const std::vector<TaskId>& tasks) {
     st.ports = n;
     result.arbiters.push_back(st);
   }
+
+  // ---- Observability: metric probes and the trace sink. ----
+  // arbiter_obs is sized once, before any probe borrows an element, so the
+  // probes' pointers stay valid for the whole run.
+  std::vector<std::unique_ptr<obs::ArbiterProbe>> probes;
+  if (options_.arbiter_metrics) {
+    result.arbiter_obs.resize(plan_.arbiters.size());
+    probes.reserve(plan_.arbiters.size());
+    for (std::size_t a = 0; a < arbiters.size(); ++a) {
+      obs::ArbiterMetrics& m = result.arbiter_obs[a];
+      m.name = plan_.arbiters[a].resource_name;
+      m.ports = result.arbiters[a].ports;
+      probes.push_back(std::make_unique<obs::ArbiterProbe>(&m));
+      arbiters[a]->set_observer(probes.back().get());
+    }
+  }
+  obs::TraceSink* const sink = options_.trace_sink;
+  auto trace = [&](obs::TraceKind kind, std::uint64_t cyc, int task,
+                   int arbiter, int resource, std::int64_t value) {
+    if (sink != nullptr) sink->emit({cyc, kind, task, arbiter, resource, value});
+  };
 
   // ---- Split the fault schedule by application point. ----
   std::vector<fault::FaultEvent> flips;  // kFsmBitFlip, cycle-sorted
@@ -213,15 +249,24 @@ SimResult SystemSimulator::run(const std::vector<TaskId>& tasks) {
   // Request lines per arbiter port, rebuilt each cycle from task state.
   std::vector<std::uint64_t> requests(plan_.arbiters.size(), 0);
 
+  // Diagnostic emission.  `make_detail` is a lazy builder: the detail
+  // string is only formatted when someone will read it (diag_detail on, or
+  // a strict run about to throw) — non-strict sweeps that merely count
+  // diagnostic kinds never pay for string construction.
+  const bool want_detail = options_.diag_detail || options_.strict;
   auto diagnose = [&](DiagKind kind, std::uint64_t cyc, int task, int resource,
-                      std::string detail) {
+                      auto&& make_detail) {
     result.diagnostics.push_back(
-        {kind, cyc, task, resource, std::move(detail)});
+        {kind, cyc, task, resource,
+         want_detail ? make_detail() : std::string()});
+    trace(obs::TraceKind::kDiagnostic, cyc, task, -1, resource,
+          static_cast<std::int64_t>(kind));
   };
   auto fail = [&](DiagKind kind, std::uint64_t cyc, int task, int resource,
-                  const std::string& msg) {
-    diagnose(kind, cyc, task, resource, msg);
-    if (options_.strict) RCARB_CHECK(false, msg);
+                  auto&& make_detail) {
+    diagnose(kind, cyc, task, resource, make_detail);
+    if (options_.strict)
+      RCARB_CHECK(false, result.diagnostics.back().detail);
   };
 
   // Maps a task+resource to the arbiter index and port, if arbitrated.
@@ -255,6 +300,12 @@ SimResult SystemSimulator::run(const std::vector<TaskId>& tasks) {
   std::vector<char> holder_accessed(plan_.arbiters.size(), 0);
   std::vector<std::uint64_t> force_release(plan_.arbiters.size(), 0);
   std::vector<std::uint64_t> prev_recoveries(plan_.arbiters.size(), 0);
+  std::vector<std::uint64_t> hold_since(plan_.arbiters.size(), 0);
+  // Ports starved behind the holder, whether their Req is up (requests) or
+  // temporarily dropped for a bounded retry backoff.  The watchdog counts
+  // these; the wire-level `requests` alone would let every backoff zero the
+  // hold streak and hide a hung holder.
+  std::vector<std::uint64_t> pending(plan_.arbiters.size(), 0);
 
   // ---- Stall attribution: wait-for-graph over outstanding waits. ----
   // Returns true when a cycle was found (deadlock); otherwise reports the
@@ -331,7 +382,7 @@ SimResult SystemSimulator::run(const std::vector<TaskId>& tasks) {
             detail += graph_.task(*it).name + " (" + why[*it] + ") -> ";
           detail += graph_.task(u).name;
           diagnose(DiagKind::kDeadlock, cyc, static_cast<int>(u),
-                   ctx[u].requesting, detail);
+                   ctx[u].requesting, [&] { return detail; });
           for (TaskId v : path) color[v] = 2;
           return;
         }
@@ -371,7 +422,7 @@ SimResult SystemSimulator::run(const std::vector<TaskId>& tasks) {
         detail += "\n  arbiter " + plan_.arbiters[a].resource_name +
                   " register illegal (state=0x" +
                   std::to_string(rr[a]->state_bits()) + ")";
-    diagnose(DiagKind::kNoProgress, cyc, -1, -1, detail);
+    diagnose(DiagKind::kNoProgress, cyc, -1, -1, [&] { return detail; });
   };
 
   // ---- Main loop. ----
@@ -388,7 +439,7 @@ SimResult SystemSimulator::run(const std::vector<TaskId>& tasks) {
     if (cycle >= options_.max_cycles) {
       result.deadlocked = true;
       fail(DiagKind::kMaxCycles, cycle, -1, -1,
-           "simulation exceeded max_cycles");
+           [] { return std::string("simulation exceeded max_cycles"); });
       break;
     }
     if (cycle - last_progress_cycle >= options_.no_progress_window) {
@@ -406,17 +457,25 @@ SimResult SystemSimulator::run(const std::vector<TaskId>& tasks) {
       if (rr[a] != nullptr) {
         const int bits = 2 * result.arbiters[a].ports;
         rr[a]->inject_bit_flip(e.bit >= 0 ? e.bit % bits : 0);
+        trace(obs::TraceKind::kFault, cycle, -1, static_cast<int>(a),
+              plan_.arbiters[a].resource,
+              static_cast<std::int64_t>(e.kind));
       }
     }
 
     // Phase 1: arbiters sample the request lines asserted in prior cycles,
     // as seen through any active stuck-at faults.
     for (std::size_t a = 0; a < arbiters.size(); ++a) {
-      std::uint64_t eff = requests[a] & ~force_release[a];
-      force_release[a] = 0;
+      std::uint64_t eff = requests[a];
       std::uint64_t grant_suppress = 0;
       for (const StuckWindow& w : stucks) {
         if (w.arbiter != a || !w.active(cycle)) continue;
+        if (sink != nullptr && cycle == w.from)
+          trace(obs::TraceKind::kFault, cycle,
+                static_cast<int>(plan_.arbiters[a]
+                                     .ports[static_cast<std::size_t>(w.port)]),
+                static_cast<int>(a), plan_.arbiters[a].resource,
+                static_cast<std::int64_t>(w.kind));
         const std::uint64_t bit = 1ull << w.port;
         switch (w.kind) {
           case fault::FaultKind::kReqStuck0: eff &= ~bit; break;
@@ -426,6 +485,12 @@ SimResult SystemSimulator::run(const std::vector<TaskId>& tasks) {
           default: break;
         }
       }
+      // The watchdog's force-release masks the request *inside* the
+      // arbiter, downstream of any stuck-at fault on the physical Req line
+      // — applied before the stuck-1 OR, a phantom stuck-1 holder could
+      // never be evicted.
+      eff &= ~force_release[a];
+      force_release[a] = 0;
 
       // Unhardened illegal registers are reported when they appear.
       if (rr[a] != nullptr) {
@@ -433,10 +498,11 @@ SimResult SystemSimulator::run(const std::vector<TaskId>& tasks) {
         if (illegal && !was_illegal[a]) {
           ++result.illegal_fsm_states;
           diagnose(DiagKind::kIllegalFsmState, cycle, -1,
-                   plan_.arbiters[a].resource,
-                   "arbiter " + plan_.arbiters[a].resource_name +
-                       " state register left the one-hot set (state=0x" +
-                       std::to_string(rr[a]->state_bits()) + ")");
+                   plan_.arbiters[a].resource, [&] {
+                     return "arbiter " + plan_.arbiters[a].resource_name +
+                            " state register left the one-hot set (state=0x" +
+                            std::to_string(rr[a]->state_bits()) + ")";
+                   });
         }
         was_illegal[a] = illegal ? 1 : 0;
       }
@@ -452,9 +518,11 @@ SimResult SystemSimulator::run(const std::vector<TaskId>& tasks) {
           result.fsm_recoveries += rec - prev_recoveries[a];
           prev_recoveries[a] = rec;
           diagnose(DiagKind::kFsmRecovery, cycle, -1,
-                   plan_.arbiters[a].resource,
-                   "hardened arbiter " + plan_.arbiters[a].resource_name +
-                       " recovered to the all-free reset state");
+                   plan_.arbiters[a].resource, [&] {
+                     return "hardened arbiter " +
+                            plan_.arbiters[a].resource_name +
+                            " recovered to the all-free reset state";
+                   });
         }
         if (std::popcount(mask) > 1) {
           ++result.multi_grant_cycles;
@@ -462,29 +530,43 @@ SimResult SystemSimulator::run(const std::vector<TaskId>& tasks) {
               result.diagnostics.empty() ||
               result.diagnostics.back().kind != DiagKind::kMultipleGrants)
             diagnose(DiagKind::kMultipleGrants, cycle, -1,
-                     plan_.arbiters[a].resource,
-                     "arbiter " + plan_.arbiters[a].resource_name +
-                         " asserted " +
-                         std::to_string(std::popcount(mask)) +
-                         " grants at once (mutual exclusion violated)");
+                     plan_.arbiters[a].resource, [&] {
+                       return "arbiter " + plan_.arbiters[a].resource_name +
+                              " asserted " +
+                              std::to_string(std::popcount(mask)) +
+                              " grants at once (mutual exclusion violated)";
+                     });
         }
       }
       grant_mask_vis[a] = mask & ~grant_suppress;
 
+      const int prev = grant_holder[a];
+      if (sink != nullptr && g != prev && prev >= 0)
+        trace(obs::TraceKind::kGrantEnd, cycle,
+              static_cast<int>(
+                  plan_.arbiters[a].ports[static_cast<std::size_t>(prev)]),
+              static_cast<int>(a), plan_.arbiters[a].resource,
+              static_cast<std::int64_t>(cycle - hold_since[a]));
       if (g >= 0) {
         ++result.arbiters[a].granted_cycles;
-        if (g != grant_holder[a]) {
+        if (g != prev) {
           ++result.arbiters[a].grants;
           hold_streak[a] = 0;
           hung_reported[a] = 0;
+          hold_since[a] = cycle;
         }
         // Wait accounting: the granted task's wait ends now.
         const TaskId t = plan_.arbiters[a].ports[static_cast<std::size_t>(g)];
+        std::uint64_t waited = 0;
         if (ctx[t].requesting >= 0) {
-          const std::uint64_t waited = cycle - ctx[t].request_since;
+          waited = cycle - ctx[t].request_since;
           result.arbiters[a].max_wait =
               std::max(result.arbiters[a].max_wait, waited);
         }
+        if (sink != nullptr && g != prev)
+          trace(obs::TraceKind::kGrant, cycle, static_cast<int>(t),
+                static_cast<int>(a), plan_.arbiters[a].resource,
+                static_cast<std::int64_t>(waited));
       } else {
         hold_streak[a] = 0;
         hung_reported[a] = 0;
@@ -518,6 +600,8 @@ SimResult SystemSimulator::run(const std::vector<TaskId>& tasks) {
         c.started = true;
         c.stats.ran = true;
         c.stats.start_cycle = cycle;
+        trace(obs::TraceKind::kTaskStart, cycle, static_cast<int>(t), -1, -1,
+              0);
       }
     }
 
@@ -552,14 +636,24 @@ SimResult SystemSimulator::run(const std::vector<TaskId>& tasks) {
               c.retry_resource = -1;
               c.request_since = cycle;
               ++result.retries;
+              const auto [ai, port] = arbiter_port(t, resource);
+              (void)port;
+              if (ai >= 0) {
+                if (!result.arbiter_obs.empty())
+                  ++result.arbiter_obs[static_cast<std::size_t>(ai)].retries;
+                trace(obs::TraceKind::kRetry, cycle, static_cast<int>(t), ai,
+                      resource, 0);
+              }
             }
             return true;
           }
           fail(DiagKind::kProtocolViolation, cycle, static_cast<int>(t),
-               resource,
-               "task " + graph_.task(t).name + " accesses arbitrated " +
-                   binding_.resource_name(resource) +
-                   " without requesting it");
+               resource, [&] {
+                 return "task " + graph_.task(t).name +
+                        " accesses arbitrated " +
+                        binding_.resource_name(resource) +
+                        " without requesting it";
+               });
           ++result.protocol_violations;
           return false;
         }
@@ -575,6 +669,14 @@ SimResult SystemSimulator::run(const std::vector<TaskId>& tasks) {
           c.requesting = -1;
           c.retry_resource = resource;
           c.retry_until = cycle + static_cast<std::uint64_t>(c.retry_backoff);
+          const auto [ai, port] = arbiter_port(t, resource);
+          (void)port;
+          if (ai >= 0) {
+            if (!result.arbiter_obs.empty())
+              ++result.arbiter_obs[static_cast<std::size_t>(ai)].backoffs;
+            trace(obs::TraceKind::kBackoff, cycle, static_cast<int>(t), ai,
+                  resource, c.retry_backoff);
+          }
           c.retry_backoff =
               std::min(c.retry_backoff * 2, plan_.retry_backoff_limit);
           return true;
@@ -592,12 +694,15 @@ SimResult SystemSimulator::run(const std::vector<TaskId>& tasks) {
           c.finished = true;
           c.stats.finish_cycle = cycle;
           ++finished_count;
+          trace(obs::TraceKind::kTaskFinish, cycle, static_cast<int>(t), -1,
+                -1, 0);
           if (c.requesting >= 0)
             fail(DiagKind::kProtocolViolation, cycle, static_cast<int>(t),
-                 c.requesting,
-                 "task " + graph_.task(t).name +
-                     " finished while still requesting " +
-                     binding_.resource_name(c.requesting));
+                 c.requesting, [&] {
+                   return "task " + graph_.task(t).name +
+                          " finished while still requesting " +
+                          binding_.resource_name(c.requesting);
+                 });
           break;
         }
         const Op& op = ops[c.pc];
@@ -665,15 +770,22 @@ SimResult SystemSimulator::run(const std::vector<TaskId>& tasks) {
           case OpCode::kAcquire: {
             if (c.requesting >= 0 && c.requesting != op.a) {
               fail(DiagKind::kProtocolViolation, cycle, static_cast<int>(t),
-                   op.a,
-                   "task " + graph_.task(t).name +
-                       " acquires a second resource while holding one");
+                   op.a, [&] {
+                     return "task " + graph_.task(t).name +
+                            " acquires a second resource while holding one";
+                   });
               ++result.protocol_violations;
             }
             c.requesting = op.a;
             c.request_since = cycle;
             c.retry_resource = -1;
             ++c.stats.acquires;
+            if (sink != nullptr) {
+              const auto [ai, port] = arbiter_port(t, op.a);
+              (void)port;
+              trace(obs::TraceKind::kRequest, cycle, static_cast<int>(t), ai,
+                    op.a, 0);
+            }
             ++c.pc;
             ++c.stats.ops_retired;
             spent_cycle = true;  // the Req:=1 cycle of Fig. 8
@@ -683,13 +795,20 @@ SimResult SystemSimulator::run(const std::vector<TaskId>& tasks) {
           case OpCode::kRelease: {
             if (c.requesting != op.a) {
               fail(DiagKind::kProtocolViolation, cycle, static_cast<int>(t),
-                   op.a,
-                   "task " + graph_.task(t).name +
-                       " releases a resource it does not hold");
+                   op.a, [&] {
+                     return "task " + graph_.task(t).name +
+                            " releases a resource it does not hold";
+                   });
               ++result.protocol_violations;
             }
             c.requesting = -1;
             c.retry_resource = -1;
+            if (sink != nullptr) {
+              const auto [ai, port] = arbiter_port(t, op.a);
+              (void)port;
+              trace(obs::TraceKind::kRelease, cycle, static_cast<int>(t), ai,
+                    op.a, 0);
+            }
             ++c.pc;
             ++c.stats.ops_retired;
             spent_cycle = true;  // the Req:=0 cycle of Fig. 8
@@ -715,12 +834,14 @@ SimResult SystemSimulator::run(const std::vector<TaskId>& tasks) {
               if (user >= 0 && user != static_cast<int>(t)) {
                 ++result.bank_conflicts;
                 fail(DiagKind::kBankConflict, cycle, static_cast<int>(t),
-                     binding_.bank_resource(bank),
-                     "bank conflict on " +
-                         binding_.bank_names[static_cast<std::size_t>(bank)] +
-                         " between " +
-                         graph_.task(static_cast<TaskId>(user)).name +
-                         " and " + graph_.task(t).name);
+                     binding_.bank_resource(bank), [&] {
+                       return "bank conflict on " +
+                              binding_
+                                  .bank_names[static_cast<std::size_t>(bank)] +
+                              " between " +
+                              graph_.task(static_cast<TaskId>(user)).name +
+                              " and " + graph_.task(t).name;
+                     });
               }
               user = static_cast<int>(t);
             }
@@ -728,10 +849,12 @@ SimResult SystemSimulator::run(const std::vector<TaskId>& tasks) {
             const std::int64_t addr = c.regs[op.c] + op.imm;
             if (addr < 0 || static_cast<std::size_t>(addr) >= mem.size()) {
               fail(DiagKind::kOutOfBounds, cycle, static_cast<int>(t),
-                   resource,
-                   "task " + graph_.task(t).name + " address " +
-                       std::to_string(addr) + " out of segment " +
-                       graph_.segment(static_cast<std::size_t>(op.b)).name);
+                   resource, [&] {
+                     return "task " + graph_.task(t).name + " address " +
+                            std::to_string(addr) + " out of segment " +
+                            graph_.segment(static_cast<std::size_t>(op.b))
+                                .name;
+                   });
               // Non-strict mode: drop the access.
             } else if (op.code == OpCode::kLoad) {
               c.regs[op.a] = mem[static_cast<std::size_t>(addr)];
@@ -799,13 +922,14 @@ SimResult SystemSimulator::run(const std::vector<TaskId>& tasks) {
               if (user >= 0 && user != static_cast<int>(t)) {
                 ++result.channel_conflicts;
                 fail(DiagKind::kChannelConflict, cycle, static_cast<int>(t),
-                     binding_.channel_resource(phys),
-                     "channel conflict on " +
-                         binding_.phys_channel_names[static_cast<std::size_t>(
-                             phys)] +
-                         " between " +
-                         graph_.task(static_cast<TaskId>(user)).name +
-                         " and " + graph_.task(t).name);
+                     binding_.channel_resource(phys), [&] {
+                       return "channel conflict on " +
+                              binding_.phys_channel_names
+                                  [static_cast<std::size_t>(phys)] +
+                              " between " +
+                              graph_.task(static_cast<TaskId>(user)).name +
+                              " and " + graph_.task(t).name;
+                     });
               }
               user = static_cast<int>(t);
 
@@ -820,22 +944,24 @@ SimResult SystemSimulator::run(const std::vector<TaskId>& tasks) {
                   ++result.corrected_words;
                   diagnose(DiagKind::kDataCorruption, cycle,
                            static_cast<int>(t),
-                           binding_.channel_resource(phys),
-                           "single-bit corruption on " +
-                               binding_.phys_channel_names[
-                                   static_cast<std::size_t>(phys)] +
-                               " corrected by SECDED");
+                           binding_.channel_resource(phys), [&] {
+                             return "single-bit corruption on " +
+                                    binding_.phys_channel_names
+                                        [static_cast<std::size_t>(phys)] +
+                                    " corrected by SECDED";
+                           });
                 } else {
                   value = static_cast<std::int64_t>(
                       static_cast<std::uint64_t>(value) ^ mask);
                   ++result.corrupted_words;
                   diagnose(DiagKind::kDataCorruption, cycle,
                            static_cast<int>(t),
-                           binding_.channel_resource(phys),
-                           "corrupted word on " +
-                               binding_.phys_channel_names[
-                                   static_cast<std::size_t>(phys)] +
-                               " delivered (parity detected, no ECC)");
+                           binding_.channel_resource(phys), [&] {
+                             return "corrupted word on " +
+                                    binding_.phys_channel_names
+                                        [static_cast<std::size_t>(phys)] +
+                                    " delivered (parity detected, no ECC)";
+                           });
                 }
               }
             }
@@ -916,13 +1042,26 @@ SimResult SystemSimulator::run(const std::vector<TaskId>& tasks) {
     }
 
     // Phase 4: rebuild the request lines from the tasks' protocol state.
+    // `pending` additionally counts waiters in a retry backoff: their Req
+    // wire is down, but they are still starved behind the holder.  (Senders
+    // that dropped their request under receiver backpressure are *not*
+    // pending — they could not proceed even with the grant.)
     std::fill(requests.begin(), requests.end(), 0);
+    std::fill(pending.begin(), pending.end(), 0);
     for (TaskId t : tasks) {
       const TaskCtx& c = ctx[t];
-      if (c.finished || c.requesting < 0) continue;
-      const auto [ai, port] = arbiter_port(t, c.requesting);
-      if (ai >= 0 && port >= 0)
-        requests[static_cast<std::size_t>(ai)] |= 1ull << port;
+      if (c.finished) continue;
+      if (c.requesting >= 0) {
+        const auto [ai, port] = arbiter_port(t, c.requesting);
+        if (ai >= 0 && port >= 0) {
+          requests[static_cast<std::size_t>(ai)] |= 1ull << port;
+          pending[static_cast<std::size_t>(ai)] |= 1ull << port;
+        }
+      } else if (c.retry_resource >= 0) {
+        const auto [ai, port] = arbiter_port(t, c.retry_resource);
+        if (ai >= 0 && port >= 0)
+          pending[static_cast<std::size_t>(ai)] |= 1ull << port;
+      }
     }
 
     // Phase 5: hung-grant watchdog.  A holder that keeps the grant without
@@ -933,7 +1072,7 @@ SimResult SystemSimulator::run(const std::vector<TaskId>& tasks) {
         const int h = grant_holder[a];
         if (h < 0) continue;
         const bool others_waiting =
-            (requests[a] & ~(1ull << h)) != 0;
+            (pending[a] & ~(1ull << h)) != 0;
         if (holder_accessed[a] || !others_waiting) {
           hold_streak[a] = 0;
           hung_reported[a] = 0;
@@ -945,22 +1084,32 @@ SimResult SystemSimulator::run(const std::vector<TaskId>& tasks) {
         if (!hung_reported[a]) {
           hung_reported[a] = 1;
           ++result.hung_grants;
+          if (!result.arbiter_obs.empty())
+            ++result.arbiter_obs[a].watchdog_fires;
           diagnose(DiagKind::kHungGrant, cycle,
                    static_cast<int>(holder_task), plan_.arbiters[a].resource,
-                   "grant on " + plan_.arbiters[a].resource_name +
-                       " pinned on idle " + graph_.task(holder_task).name +
-                       " for " + std::to_string(hold_streak[a]) +
-                       " cycles while peers wait");
+                   [&] {
+                     return "grant on " + plan_.arbiters[a].resource_name +
+                            " pinned on idle " +
+                            graph_.task(holder_task).name + " for " +
+                            std::to_string(hold_streak[a]) +
+                            " cycles while peers wait";
+                   });
         }
         if (options_.harden) {
           // Force-release: suppress the hung holder's request for one
           // sample so the round-robin scan moves past it.
           force_release[a] = 1ull << h;
           ++result.watchdog_releases;
+          if (!result.arbiter_obs.empty())
+            ++result.arbiter_obs[a].watchdog_releases;
           diagnose(DiagKind::kWatchdogRecovery, cycle,
                    static_cast<int>(holder_task), plan_.arbiters[a].resource,
-                   "watchdog force-released " + graph_.task(holder_task).name +
-                       " on " + plan_.arbiters[a].resource_name);
+                   [&] {
+                     return "watchdog force-released " +
+                            graph_.task(holder_task).name + " on " +
+                            plan_.arbiters[a].resource_name;
+                   });
           hold_streak[a] = 0;
           hung_reported[a] = 0;
         }
@@ -973,6 +1122,10 @@ SimResult SystemSimulator::run(const std::vector<TaskId>& tasks) {
   result.cycles = cycle;
   for (TaskId t = 0; t < graph_.num_tasks(); ++t)
     result.tasks[t] = ctx[t].stats;
+  for (std::size_t a = 0; a < probes.size(); ++a) {
+    probes[a]->finish();
+    arbiters[a]->set_observer(nullptr);
+  }
   return result;
 }
 

@@ -19,6 +19,8 @@
 #include "core/insertion.hpp"
 #include "core/policy.hpp"
 #include "fault/fault.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "taskgraph/taskgraph.hpp"
 
 namespace rcarb::rcsim {
@@ -58,6 +60,22 @@ struct SimOptions {
   /// Deterministic fault schedule (see fault::plan_faults), applied against
   /// this run's arbiters and physical channels.
   std::vector<fault::FaultEvent> faults;
+
+  // ---- Observability. ----
+  /// Borrowed trace-event sink.  nullptr (the default) disables emission
+  /// entirely: every candidate event costs one pointer test, and no names
+  /// or strings are formatted on the simulation path.
+  obs::TraceSink* trace_sink = nullptr;
+  /// Attach per-arbiter metric probes; results land in
+  /// SimResult::arbiter_obs.  Off by default: the probes cost ~5-10% on
+  /// simulation-bound workloads (the flow turns them on for its summary).
+  bool arbiter_metrics = false;
+  /// Build the human-readable `detail` string of each diagnostic.  Off,
+  /// diagnostics still carry kind/cycle/task/resource (count() and kind
+  /// filters keep working) but `detail` stays empty, so non-strict fault
+  /// sweeps do not pay string formatting per event.  Strict runs always
+  /// build details — the thrown message needs them.
+  bool diag_detail = true;
 };
 
 /// What went wrong (or was repaired), as a machine-checkable record.
@@ -135,6 +153,10 @@ struct SimResult {
 
   std::vector<SimDiagnostic> diagnostics;
 
+  /// Per-arbiter counters and histograms (empty when
+  /// SimOptions::arbiter_metrics is off).  Indexed like `arbiters`.
+  std::vector<obs::ArbiterMetrics> arbiter_obs;
+
   /// Diagnostics of one kind (campaign reporting helper).
   [[nodiscard]] std::size_t count(DiagKind k) const;
 };
@@ -158,6 +180,9 @@ class SystemSimulator {
   /// Tasks outside `tasks` are treated as already finished for control
   /// dependencies.  May be called repeatedly; memory persists across runs.
   SimResult run(const std::vector<tg::TaskId>& tasks);
+
+  /// Id -> name tables for exporting traces recorded from this system.
+  [[nodiscard]] obs::TraceMeta trace_meta() const;
 
  private:
   struct TaskCtx;

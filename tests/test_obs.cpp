@@ -1,0 +1,403 @@
+// Observability layer: histograms, per-arbiter metric probes, the trace
+// sink with its JSONL / Chrome exporters, BenchReporter, degenerate
+// arbiter sizes (N=1 elided, N=2 smallest real) through generator ->
+// insertion -> simulation, and run-to-run determinism of the diagnostic
+// and trace streams.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "core/generator.hpp"
+#include "core/insertion.hpp"
+#include "fault/fault.hpp"
+#include "obs/bench_report.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "rcsim/system_sim.hpp"
+
+namespace rcarb {
+namespace {
+
+using core::Binding;
+using core::InsertionResult;
+using obs::Histogram;
+using obs::TraceBuffer;
+using obs::TraceEvent;
+using obs::TraceKind;
+using rcsim::SimOptions;
+using rcsim::SimResult;
+using rcsim::SystemSimulator;
+using tg::Program;
+using tg::TaskGraph;
+
+Binding single_bank_binding(const TaskGraph& g, std::size_t num_tasks) {
+  Binding b;
+  b.task_to_pe.assign(num_tasks, 0);
+  b.segment_to_bank.assign(g.num_segments(), 0);
+  b.channel_to_phys.assign(g.num_channels(), -1);
+  b.num_banks = 1;
+  b.bank_names = {"BANK"};
+  return b;
+}
+
+/// `num_tasks` tasks each storing `accesses` words into one shared bank.
+TaskGraph contention_graph(int num_tasks, int accesses) {
+  TaskGraph g{"obs"};
+  g.add_segment("s0", 64, 16);
+  for (int t = 0; t < num_tasks; ++t) {
+    Program p;
+    p.load_imm(0, 0);
+    for (int i = 0; i < accesses; ++i)
+      p.store(0, 0, 0, (t * accesses + i) % 16);
+    p.halt();
+    g.add_task("t" + std::to_string(t), p, 1);
+  }
+  return g;
+}
+
+// ----------------------------------------------------------------- histogram
+
+TEST(ObsHistogram, BucketsPowersOfTwo) {
+  Histogram h;
+  for (std::uint64_t v : {0ull, 1ull, 2ull, 3ull, 4ull, 7ull, 8ull, 100ull})
+    h.record(v);
+  EXPECT_EQ(h.count(), 8u);
+  EXPECT_EQ(h.sum(), 125u);
+  EXPECT_EQ(h.max(), 100u);
+  EXPECT_EQ(h.bucket(0), 1u);  // {0}
+  EXPECT_EQ(h.bucket(1), 1u);  // {1}
+  EXPECT_EQ(h.bucket(2), 2u);  // {2,3}
+  EXPECT_EQ(h.bucket(3), 2u);  // {4..7}
+  EXPECT_EQ(h.bucket(4), 1u);  // {8..15}
+  EXPECT_EQ(h.bucket(7), 1u);  // {64..127}
+  EXPECT_EQ(Histogram::bucket_range(3).first, 4u);
+  EXPECT_EQ(Histogram::bucket_range(3).second, 7u);
+}
+
+TEST(ObsHistogram, PercentileReturnsBucketUpperBound) {
+  Histogram h;
+  for (int i = 0; i < 99; ++i) h.record(1);
+  h.record(64);
+  EXPECT_EQ(h.percentile(0.5), 1u);
+  EXPECT_EQ(h.percentile(0.99), 1u);  // rank 98 of 100 is still a 1
+  EXPECT_EQ(h.percentile(1.0), 127u);  // upper bound of 64's bucket
+  EXPECT_EQ(h.percentile(0.0), 1u);
+  Histogram empty;
+  EXPECT_EQ(empty.percentile(0.5), 0u);
+  EXPECT_EQ(empty.summarize(), "n=0");
+}
+
+// ------------------------------------------------------------ metric probes
+
+TEST(ObsMetrics, ProbeAgreesWithArbiterStats) {
+  TaskGraph g = contention_graph(3, 5);
+  Binding b = single_bank_binding(g, 3);
+  const InsertionResult ins = core::insert_arbitration(g, b, {});
+  SimOptions so;
+  so.arbiter_metrics = true;
+  SystemSimulator sim(ins.graph, b, ins.plan, so);
+  const SimResult r = sim.run({0, 1, 2});
+  ASSERT_EQ(r.arbiter_obs.size(), 1u);
+  const obs::ArbiterMetrics& m = r.arbiter_obs[0];
+  EXPECT_EQ(m.name, "BANK");
+  EXPECT_EQ(m.ports, 3);
+  // The probe observes the same wire stream the simulator accounts.
+  EXPECT_EQ(m.grant_latency.count(), r.arbiters[0].grants);
+  std::uint64_t probe_granted = 0;
+  std::uint64_t probe_grants = 0;
+  for (const auto& p : m.port) {
+    probe_granted += p.granted_cycles;
+    probe_grants += p.grants;
+  }
+  EXPECT_EQ(probe_grants, r.arbiters[0].grants);
+  EXPECT_EQ(probe_granted, r.arbiters[0].granted_cycles);
+  EXPECT_LE(m.grant_latency.max(), r.arbiters[0].max_wait);
+  // Round-robin obeys the paper's N-1 grant-turn bound, and saturated
+  // symmetric contention is near-perfectly fair.
+  EXPECT_TRUE(m.within_n_minus_1_bound());
+  EXPECT_LE(m.worst_turns_waited(), 2u);
+  EXPECT_GT(m.fairness_jain(), 0.9);
+  EXPECT_LE(m.fairness_jain(), 1.0);
+  EXPECT_FALSE(m.summarize().empty());
+}
+
+TEST(ObsMetrics, DisabledLeavesNoProbesAndSameSimulation) {
+  TaskGraph g = contention_graph(3, 5);
+  Binding b = single_bank_binding(g, 3);
+  const InsertionResult ins = core::insert_arbitration(g, b, {});
+  const SimOptions off;  // metrics are opt-in; the default attaches nothing
+  SimOptions on;
+  on.arbiter_metrics = true;
+  SystemSimulator sim_off(ins.graph, b, ins.plan, off);
+  SystemSimulator sim_on(ins.graph, b, ins.plan, on);
+  const SimResult a = sim_off.run({0, 1, 2});
+  const SimResult c = sim_on.run({0, 1, 2});
+  EXPECT_TRUE(a.arbiter_obs.empty());
+  EXPECT_EQ(a.cycles, c.cycles);
+  EXPECT_EQ(a.arbiters[0].grants, c.arbiters[0].grants);
+}
+
+// ------------------------------------------------------------- trace events
+
+TEST(ObsTrace, ProtocolEventsAreRecorded) {
+  TaskGraph g = contention_graph(2, 4);
+  Binding b = single_bank_binding(g, 2);
+  const InsertionResult ins = core::insert_arbitration(g, b, {});
+  TraceBuffer buf;
+  SimOptions so;
+  so.trace_sink = &buf;
+  SystemSimulator sim(ins.graph, b, ins.plan, so);
+  const SimResult r = sim.run({0, 1});
+  EXPECT_GT(buf.size(), 0u);
+
+  std::size_t starts = 0, finishes = 0, requests = 0, releases = 0,
+              grants = 0, grant_ends = 0;
+  std::uint64_t prev_cycle = 0;
+  for (const TraceEvent& e : buf.events()) {
+    EXPECT_GE(e.cycle, prev_cycle) << "trace must be cycle-ordered";
+    prev_cycle = e.cycle;
+    switch (e.kind) {
+      case TraceKind::kTaskStart: ++starts; break;
+      case TraceKind::kTaskFinish: ++finishes; break;
+      case TraceKind::kRequest: ++requests; break;
+      case TraceKind::kRelease: ++releases; break;
+      case TraceKind::kGrant: ++grants; break;
+      case TraceKind::kGrantEnd: ++grant_ends; break;
+      default: break;
+    }
+  }
+  EXPECT_EQ(starts, 2u);
+  EXPECT_EQ(finishes, 2u);
+  EXPECT_EQ(requests, r.tasks[0].acquires + r.tasks[1].acquires);
+  EXPECT_EQ(requests, releases) << "every burst opens and closes";
+  EXPECT_EQ(grants, r.arbiters[0].grants);
+  // Every grant hand-off that happened has a matching end; at most the
+  // final in-flight hold is unclosed.
+  EXPECT_GE(grants, grant_ends);
+  EXPECT_LE(grants - grant_ends, 1u);
+}
+
+TEST(ObsTrace, JsonlExportIsOneObjectPerLine) {
+  TaskGraph g = contention_graph(2, 3);
+  Binding b = single_bank_binding(g, 2);
+  const InsertionResult ins = core::insert_arbitration(g, b, {});
+  TraceBuffer buf;
+  SimOptions so;
+  so.trace_sink = &buf;
+  SystemSimulator sim(ins.graph, b, ins.plan, so);
+  sim.run({0, 1});
+
+  std::ostringstream os;
+  obs::write_jsonl(os, buf.events(), sim.trace_meta());
+  std::istringstream is(os.str());
+  std::string line;
+  std::size_t lines = 0;
+  while (std::getline(is, line)) {
+    ++lines;
+    ASSERT_FALSE(line.empty());
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+    EXPECT_NE(line.find("\"cycle\":"), std::string::npos);
+    EXPECT_NE(line.find("\"kind\":\""), std::string::npos);
+  }
+  EXPECT_EQ(lines, buf.size());
+  EXPECT_NE(os.str().find("\"task_name\":\"t0\""), std::string::npos);
+  EXPECT_NE(os.str().find("\"arbiter_name\":\"BANK\""), std::string::npos);
+}
+
+TEST(ObsTrace, ChromeTraceExportIsBalancedJson) {
+  TaskGraph g = contention_graph(2, 3);
+  Binding b = single_bank_binding(g, 2);
+  const InsertionResult ins = core::insert_arbitration(g, b, {});
+  TraceBuffer buf;
+  SimOptions so;
+  so.trace_sink = &buf;
+  SystemSimulator sim(ins.graph, b, ins.plan, so);
+  sim.run({0, 1});
+
+  std::ostringstream os;
+  obs::write_chrome_trace(os, buf.events(), sim.trace_meta());
+  const std::string out = os.str();
+  EXPECT_EQ(out.rfind("{\"displayTimeUnit\"", 0), 0u);
+  EXPECT_NE(out.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(out.find("\"ph\":\"M\""), std::string::npos);  // metadata rows
+  EXPECT_NE(out.find("\"ph\":\"X\""), std::string::npos);  // spans
+  EXPECT_NE(out.find("\"thread_name\""), std::string::npos);
+  EXPECT_NE(out.find("run t0"), std::string::npos);
+  EXPECT_NE(out.find("hold BANK"), std::string::npos);
+  // Crude structural validity: braces and brackets balance, no trailing
+  // comma before the closing bracket.
+  std::ptrdiff_t braces = 0, brackets = 0;
+  for (char ch : out) {
+    if (ch == '{') ++braces;
+    if (ch == '}') --braces;
+    if (ch == '[') ++brackets;
+    if (ch == ']') --brackets;
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+  EXPECT_EQ(out.find(",]"), std::string::npos);
+  EXPECT_EQ(out.find(",\n]"), std::string::npos);
+}
+
+TEST(ObsTrace, NoSinkMeansNoEmissionAndSameResult) {
+  TaskGraph g = contention_graph(3, 6);
+  Binding b = single_bank_binding(g, 3);
+  const InsertionResult ins = core::insert_arbitration(g, b, {});
+  TraceBuffer buf;
+  SimOptions with;
+  with.trace_sink = &buf;
+  SystemSimulator sim_with(ins.graph, b, ins.plan, with);
+  SystemSimulator sim_without(ins.graph, b, ins.plan, {});
+  const SimResult a = sim_with.run({0, 1, 2});
+  const SimResult c = sim_without.run({0, 1, 2});
+  EXPECT_GT(buf.size(), 0u);
+  EXPECT_EQ(a.cycles, c.cycles) << "tracing must not perturb the simulation";
+  EXPECT_EQ(a.arbiters[0].grants, c.arbiters[0].grants);
+  EXPECT_EQ(a.tasks[2].finish_cycle, c.tasks[2].finish_cycle);
+}
+
+// -------------------------------------------------------------- determinism
+
+TEST(ObsTrace, IdenticallySeededRunsProduceByteIdenticalStreams) {
+  auto run_once = [](std::string* diag_stream, std::string* trace_stream) {
+    TaskGraph g = contention_graph(3, 6);
+    Binding b = single_bank_binding(g, 3);
+    core::InsertionOptions io;
+    io.retry_timeout = 6;
+    const InsertionResult ins = core::insert_arbitration(g, b, io);
+    fault::FaultTargets targets;
+    targets.arbiter_ports = {3};
+    targets.arbiter_state_bits = {6};
+    fault::FaultPlanOptions fo;
+    fo.seed = 11;
+    fo.rate = 1e-3;
+    TraceBuffer buf;
+    SimOptions so;
+    so.strict = false;
+    so.seed = 42;
+    so.watchdog_timeout = 16;
+    so.faults = fault::plan_faults(targets, fo);
+    so.trace_sink = &buf;
+    SystemSimulator sim(ins.graph, b, ins.plan, so);
+    const SimResult r = sim.run({0, 1, 2});
+    std::string ds;
+    for (const auto& d : r.diagnostics) ds += d.format() + "\n";
+    *diag_stream = ds;
+    std::ostringstream os;
+    obs::write_jsonl(os, buf.events(), sim.trace_meta());
+    *trace_stream = os.str();
+  };
+  std::string diag_a, trace_a, diag_b, trace_b;
+  run_once(&diag_a, &trace_a);
+  run_once(&diag_b, &trace_b);
+  EXPECT_EQ(diag_a, diag_b);
+  EXPECT_EQ(trace_a, trace_b);
+}
+
+TEST(ObsDiagnostics, DetailSuppressedKeepsKindsAndDropsStrings) {
+  TaskGraph g = contention_graph(2, 4);
+  Binding b = single_bank_binding(g, 2);
+  // No plan: unarbitrated contention produces bank-conflict diagnostics.
+  core::ArbitrationPlan plan;
+  plan.arbiters_of_resource.assign(b.num_resources(), {});
+  SimOptions terse;
+  terse.strict = false;
+  terse.diag_detail = false;
+  SystemSimulator sim_terse(g, b, plan, terse);
+  SimOptions verbose;
+  verbose.strict = false;
+  SystemSimulator sim_verbose(g, b, plan, verbose);
+  const SimResult t = sim_terse.run({0, 1});
+  const SimResult v = sim_verbose.run({0, 1});
+  ASSERT_GT(t.diagnostics.size(), 0u);
+  ASSERT_EQ(t.diagnostics.size(), v.diagnostics.size());
+  for (std::size_t i = 0; i < t.diagnostics.size(); ++i) {
+    EXPECT_EQ(t.diagnostics[i].kind, v.diagnostics[i].kind);
+    EXPECT_EQ(t.diagnostics[i].cycle, v.diagnostics[i].cycle);
+    EXPECT_EQ(t.diagnostics[i].task, v.diagnostics[i].task);
+    EXPECT_TRUE(t.diagnostics[i].detail.empty());
+    EXPECT_FALSE(v.diagnostics[i].detail.empty());
+  }
+}
+
+// ------------------------------------------------- degenerate arbiter sizes
+
+TEST(ObsDegenerate, SingleAccessorIsElidedAndSimulatesClean) {
+  // N=1: one task per bank — insertion must not build a 1-port arbiter
+  // (core::Arbiter requires n >= 2); the access path stays unarbitrated.
+  TaskGraph g{"n1"};
+  g.add_segment("s0", 64, 16);
+  Program p;
+  p.load_imm(0, 0);
+  for (int i = 0; i < 4; ++i) p.store(0, 0, 0, i);
+  p.halt();
+  g.add_task("solo", p, 1);
+  Binding b = single_bank_binding(g, 1);
+  const InsertionResult ins = core::insert_arbitration(g, b, {});
+  EXPECT_TRUE(ins.plan.arbiters.empty());
+  SystemSimulator sim(ins.graph, b, ins.plan);
+  const SimResult r = sim.run({0});
+  EXPECT_EQ(r.protocol_violations, 0u);
+  EXPECT_EQ(r.bank_conflicts, 0u);
+  EXPECT_TRUE(r.arbiter_obs.empty());
+  EXPECT_EQ(r.cycles, 5u);  // load_imm + 4 stores; halt drains for free
+}
+
+TEST(ObsDegenerate, TwoPortArbiterEndToEnd) {
+  // N=2: the smallest real arbiter, through generator -> insertion ->
+  // simulation.  The generator must synthesize it and the simulated pair
+  // must interleave without conflicts, within the N-1 = 1 turn bound.
+  const core::GeneratedArbiter gen = core::generate_round_robin(
+      2, synth::FlowKind::kExpressLike, synth::Encoding::kOneHot);
+  EXPECT_EQ(gen.chars.n, 2);
+  EXPECT_GT(gen.chars.clbs, 0u);
+
+  TaskGraph g = contention_graph(2, 5);
+  Binding b = single_bank_binding(g, 2);
+  const InsertionResult ins = core::insert_arbitration(g, b, {});
+  ASSERT_EQ(ins.plan.arbiters.size(), 1u);
+  EXPECT_EQ(ins.plan.arbiters[0].ports.size(), 2u);
+  SimOptions so;
+  so.arbiter_metrics = true;
+  SystemSimulator sim(ins.graph, b, ins.plan, so);
+  const SimResult r = sim.run({0, 1});
+  EXPECT_EQ(r.protocol_violations, 0u);
+  EXPECT_EQ(r.bank_conflicts, 0u);
+  ASSERT_EQ(r.arbiter_obs.size(), 1u);
+  EXPECT_TRUE(r.arbiter_obs[0].within_n_minus_1_bound());
+  EXPECT_LE(r.arbiter_obs[0].worst_turns_waited(), 1u);
+}
+
+// ------------------------------------------------------------ bench reports
+
+TEST(ObsBenchReport, WritesSchemaTaggedJson) {
+  obs::BenchReporter rep("unit_test");
+  rep.metric("speedup", 1.5, "ratio");
+  rep.metric("cycles", 1234, "cycles");
+  rep.note("policy", "round-robin");
+  const std::string path = rep.write(::testing::TempDir());
+  ASSERT_FALSE(path.empty());
+  std::ifstream is(path);
+  ASSERT_TRUE(is.good());
+  std::stringstream ss;
+  ss << is.rdbuf();
+  const std::string out = ss.str();
+  EXPECT_NE(out.find("\"schema\": \"rcarb-bench-v1\""), std::string::npos);
+  EXPECT_NE(out.find("\"bench\": \"unit_test\""), std::string::npos);
+  EXPECT_NE(out.find("\"speedup\""), std::string::npos);
+  EXPECT_NE(out.find("\"unit\": \"ratio\""), std::string::npos);
+  EXPECT_NE(out.find("\"wall_ms\""), std::string::npos);
+  EXPECT_NE(out.find("\"commit\""), std::string::npos);
+  EXPECT_NE(out.find("\"policy\": \"round-robin\""), std::string::npos);
+  std::ptrdiff_t braces = 0;
+  for (char ch : out) {
+    if (ch == '{') ++braces;
+    if (ch == '}') --braces;
+  }
+  EXPECT_EQ(braces, 0);
+}
+
+}  // namespace
+}  // namespace rcarb

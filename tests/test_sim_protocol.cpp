@@ -1,0 +1,265 @@
+// Protocol-timing regressions: the retry-timeout boundary, and the
+// hung-grant watchdog's hold_streak bookkeeping (rotation, force-release,
+// stuck-Grant windows, and waiters hidden inside a retry backoff).
+#include <gtest/gtest.h>
+
+#include "core/insertion.hpp"
+#include "fault/fault.hpp"
+#include "rcsim/system_sim.hpp"
+
+namespace rcarb {
+namespace {
+
+using rcsim::DiagKind;
+using rcsim::SimOptions;
+using rcsim::SimResult;
+using rcsim::SystemSimulator;
+using tg::Program;
+using tg::TaskGraph;
+using tg::TaskId;
+
+/// Hand-built one-bank rig: every task in `ports` contends for resource 0
+/// ("BANK") through one arbiter, bypassing the insertion pass so programs
+/// can violate or stress the protocol deliberately.
+struct BankRig {
+  TaskGraph graph{"protocol"};
+  core::Binding binding;
+  core::ArbitrationPlan plan;
+
+  BankRig() { graph.add_segment("s0", 64, 16); }
+
+  TaskId add(const std::string& name, const Program& p) {
+    return graph.add_task(name, p, 1);
+  }
+
+  void finish(std::vector<TaskId> ports) {
+    binding.task_to_pe.resize(graph.num_tasks());
+    for (std::size_t i = 0; i < binding.task_to_pe.size(); ++i)
+      binding.task_to_pe[i] = static_cast<int>(i);
+    binding.segment_to_bank.assign(graph.num_segments(), 0);
+    binding.channel_to_phys.assign(graph.num_channels(), -1);
+    binding.num_banks = 1;
+    binding.bank_names = {"BANK"};
+    core::ArbiterInstance inst;
+    inst.resource = 0;
+    inst.resource_name = "BANK";
+    inst.ports = std::move(ports);
+    plan.arbiters.push_back(inst);
+    plan.arbiters_of_resource.assign(1, {0});
+  }
+};
+
+std::size_t hung_count_for(const SimResult& r, TaskId t) {
+  std::size_t n = 0;
+  for (const auto& d : r.diagnostics)
+    if (d.kind == DiagKind::kHungGrant && d.task == static_cast<int>(t)) ++n;
+  return n;
+}
+
+// --------------------------------------------------- retry-timeout boundary
+
+// Fig. 8 retry semantics: the grant is sampled *before* the timeout test,
+// so a grant arriving on exactly the retry_timeout-th grantless cycle is
+// taken, not backed off.  A holds the bank long enough that B's grant
+// arrives after exactly 8 grantless cycles: rt=8 must behave like rt=0
+// (no retry), rt=7 must back off once.
+SimResult run_boundary(int retry_timeout) {
+  BankRig rig;
+  Program a;
+  a.acquire(0).compute(5).load_imm(0, 0).store(0, 0, 0).release(0).halt();
+  Program b;
+  b.load_imm(0, 0).acquire(0).store(0, 0, 0).release(0).halt();
+  const TaskId ta = rig.add("A", a);
+  const TaskId tb = rig.add("B", b);
+  rig.finish({ta, tb});
+  rig.plan.retry_timeout = retry_timeout;
+  SimOptions so;
+  so.strict = false;
+  SystemSimulator sim(rig.graph, rig.binding, rig.plan, so);
+  return sim.run({ta, tb});
+}
+
+TEST(RetryBoundary, GrantOnExactlyTheTimeoutCycleIsTaken) {
+  const SimResult base = run_boundary(0);
+  const SimResult at = run_boundary(8);  // grant lands on cycle rt exactly
+  EXPECT_EQ(at.retries, 0u) << "boundary grant must not trigger a backoff";
+  EXPECT_EQ(at.tasks[1].finish_cycle, base.tasks[1].finish_cycle);
+  EXPECT_EQ(at.cycles, base.cycles);
+}
+
+TEST(RetryBoundary, GrantOneCycleLaterThanTheTimeoutBacksOff) {
+  const SimResult base = run_boundary(0);
+  const SimResult below = run_boundary(7);
+  EXPECT_EQ(below.retries, 1u);
+  EXPECT_GT(below.tasks[1].finish_cycle, base.tasks[1].finish_cycle);
+}
+
+// ------------------------------------- watchdog vs. retry-backoff waiters
+
+// Regression (pre-fix: the watchdog counted only wire-level requests, so a
+// waiter inside a bounded backoff — Req deasserted — zeroed the hold
+// streak every episode and a hung holder was never detected).  A idle-holds
+// the bank for 60 cycles while B contends with retry enabled: the hardened
+// watchdog must evict A just as it does with retry disabled.
+SimResult run_hung_holder(int retry_timeout) {
+  BankRig rig;
+  Program a;
+  a.acquire(0).load_imm(0, 0).store(0, 0, 0).compute(60).store(0, 0, 1)
+      .release(0).halt();
+  Program b;
+  b.compute(4).acquire(0).load_imm(0, 0).store(0, 0, 2).release(0).halt();
+  const TaskId ta = rig.add("A", a);
+  const TaskId tb = rig.add("B", b);
+  rig.finish({ta, tb});
+  rig.plan.retry_timeout = retry_timeout;
+  SimOptions so;
+  so.strict = false;
+  so.watchdog_timeout = 8;
+  so.harden = true;
+  SystemSimulator sim(rig.graph, rig.binding, rig.plan, so);
+  return sim.run({ta, tb});
+}
+
+TEST(Watchdog, BackedOffWaiterStillArmsTheWatchdog) {
+  const SimResult no_retry = run_hung_holder(0);
+  ASSERT_GE(no_retry.hung_grants, 1u);
+  ASSERT_GE(no_retry.watchdog_releases, 1u);
+
+  const SimResult with_retry = run_hung_holder(4);
+  EXPECT_GE(with_retry.hung_grants, 1u)
+      << "a waiter in retry backoff must count as starved";
+  EXPECT_GE(with_retry.watchdog_releases, 1u);
+  EXPECT_EQ(with_retry.tasks[1].finish_cycle,
+            no_retry.tasks[1].finish_cycle)
+      << "retry must not delay the eviction of a hung holder";
+}
+
+// --------------------------------------- force-release vs. stuck-1 phantom
+
+// Regression (pre-fix: the force-release mask was applied to the request
+// lines *before* the stuck-at fault loop ORed the stuck-1 bit back in, so
+// a phantom requester created by kReqStuck1 could never be evicted).  The
+// watchdog's mask is arbiter-internal — downstream of the faulted wire.
+SimResult run_phantom(bool harden) {
+  BankRig rig;
+  Program a;
+  a.acquire(0).load_imm(0, 0).store(0, 0, 0).release(0).halt();
+  Program b;
+  b.compute(10).acquire(0).load_imm(0, 0).store(0, 0, 1).release(0).halt();
+  Program c;
+  c.compute(10).acquire(0).load_imm(0, 0).store(0, 0, 2).release(0).halt();
+  const TaskId ta = rig.add("A", a);
+  const TaskId tb = rig.add("B", b);
+  const TaskId tc = rig.add("C", c);
+  rig.finish({ta, tb, tc});
+  fault::FaultEvent stuck;
+  stuck.kind = fault::FaultKind::kReqStuck1;
+  stuck.cycle = 6;
+  stuck.arbiter = 0;
+  stuck.port = 0;  // A's line sticks high after A finished
+  stuck.duration = 500;
+  SimOptions so;
+  so.strict = false;
+  so.watchdog_timeout = 8;
+  so.harden = harden;
+  so.no_progress_window = 2000;
+  so.faults = {stuck};
+  SystemSimulator sim(rig.graph, rig.binding, rig.plan, so);
+  return sim.run({ta, tb, tc});
+}
+
+TEST(Watchdog, ForceReleaseEvictsStuck1Phantom) {
+  const SimResult soft = run_phantom(false);
+  ASSERT_GE(soft.hung_grants, 1u) << "the phantom hold must be detected";
+  EXPECT_GT(soft.tasks[1].finish_cycle, 400u)
+      << "unhardened, B should stay starved for the whole stuck window";
+
+  const SimResult hard = run_phantom(true);
+  EXPECT_GE(hard.watchdog_releases, 1u);
+  EXPECT_LT(hard.tasks[1].finish_cycle, 60u)
+      << "hardened, the watchdog must evict the phantom holder promptly";
+  EXPECT_LT(hard.tasks[2].finish_cycle, 60u);
+  EXPECT_FALSE(hard.deadlocked);
+}
+
+// ------------------------------------------------ hold_streak bookkeeping
+
+// Three contenders; A idle-holds for `hold_a` cycles, then B for `hold_b`.
+SimResult run_rotation(int hold_a, int hold_b, int timeout, bool harden) {
+  BankRig rig;
+  Program a;
+  a.acquire(0).load_imm(0, 0).store(0, 0, 0).compute(hold_a).store(0, 0, 1)
+      .release(0).halt();
+  Program b;
+  b.acquire(0).load_imm(0, 0).store(0, 0, 2).compute(hold_b).store(0, 0, 3)
+      .release(0).halt();
+  Program c;
+  c.acquire(0).load_imm(0, 0).store(0, 0, 4).release(0).halt();
+  const TaskId ta = rig.add("A", a);
+  const TaskId tb = rig.add("B", b);
+  const TaskId tc = rig.add("C", c);
+  rig.finish({ta, tb, tc});
+  SimOptions so;
+  so.strict = false;
+  so.watchdog_timeout = timeout;
+  so.harden = harden;
+  SystemSimulator sim(rig.graph, rig.binding, rig.plan, so);
+  return sim.run({ta, tb, tc});
+}
+
+TEST(Watchdog, StreakResetsWhenTheGrantRotates) {
+  // Each holder idles under the timeout; a stale streak carried across the
+  // rotation would mis-flag the second holder.
+  const SimResult r = run_rotation(6, 6, 8, false);
+  EXPECT_EQ(r.hung_grants, 0u);
+}
+
+TEST(Watchdog, OnlyTheActuallyHungHolderIsFlagged) {
+  const SimResult r = run_rotation(9, 2, 8, false);
+  EXPECT_EQ(r.hung_grants, 1u);
+  EXPECT_EQ(hung_count_for(r, 0), 1u) << "A idled past the timeout";
+  EXPECT_EQ(hung_count_for(r, 1), 0u) << "B must not inherit A's streak";
+}
+
+TEST(Watchdog, NextHolderAfterForceReleaseStartsAFreshStreak) {
+  const SimResult r = run_rotation(20, 2, 8, true);
+  EXPECT_GE(r.watchdog_releases, 1u);
+  EXPECT_EQ(hung_count_for(r, 0), 1u);
+  EXPECT_EQ(hung_count_for(r, 1), 0u)
+      << "the force-released holder's streak must not leak to B";
+}
+
+TEST(Watchdog, StuckGrantWindowDoesNotLeakStreakToNextHolder) {
+  // A GrantStuck0 window pins A grantless for 6 cycles (< timeout 8); once
+  // the window lifts, A proceeds and B takes over.  Nobody idles past the
+  // timeout, so nobody may be flagged.
+  BankRig rig;
+  Program a;
+  a.acquire(0).load_imm(0, 0).store(0, 0, 0).store(0, 0, 1).release(0)
+      .halt();
+  Program b;
+  b.acquire(0).load_imm(0, 0).store(0, 0, 2).compute(3).store(0, 0, 3)
+      .release(0).halt();
+  Program c;
+  c.acquire(0).load_imm(0, 0).store(0, 0, 4).release(0).halt();
+  const TaskId ta = rig.add("A", a);
+  const TaskId tb = rig.add("B", b);
+  const TaskId tc = rig.add("C", c);
+  rig.finish({ta, tb, tc});
+  fault::FaultEvent stuck;
+  stuck.kind = fault::FaultKind::kGrantStuck0;
+  stuck.cycle = 1;
+  stuck.arbiter = 0;
+  stuck.port = 0;
+  stuck.duration = 6;
+  SimOptions so;
+  so.strict = false;
+  so.watchdog_timeout = 8;
+  so.faults = {stuck};
+  SystemSimulator sim(rig.graph, rig.binding, rig.plan, so);
+  const SimResult r = sim.run({ta, tb, tc});
+  EXPECT_EQ(r.hung_grants, 0u);
+}
+
+}  // namespace
+}  // namespace rcarb
