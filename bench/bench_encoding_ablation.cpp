@@ -10,9 +10,11 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <vector>
 
 #include "core/generator.hpp"
 #include "obs/bench_report.hpp"
+#include "support/parallel.hpp"
 #include "support/table.hpp"
 
 namespace {
@@ -22,35 +24,57 @@ using core::GeneratorMode;
 using synth::Encoding;
 using synth::FlowKind;
 
+/// Characterization numbers one sweep cell contributes (the generated
+/// netlists themselves are discarded — only the table/report numbers
+/// travel back to the reducer).
+struct EncodingCell {
+  core::ArbiterCharacteristics onehot, compact, gray;
+};
+
 void print_encodings(obs::BenchReporter& rep) {
   Table table("encoding ablation — area and speed by state encoding "
               "(structural generation, express-like mapping)");
   table.set_header({"N", "one-hot CLBs", "compact CLBs", "gray CLBs",
                     "one-hot MHz", "compact MHz", "gray MHz",
                     "FFs 1-hot/dense"});
-  for (int n = 2; n <= 10; n += 2) {
-    const auto oh = core::generate_round_robin(n, FlowKind::kExpressLike,
-                                               Encoding::kOneHot);
-    const auto cp = core::generate_round_robin(n, FlowKind::kExpressLike,
-                                               Encoding::kCompact);
-    const auto gr = core::generate_round_robin(n, FlowKind::kExpressLike,
-                                               Encoding::kGray);
-    table.add_row({std::to_string(n), std::to_string(oh.chars.clbs),
-                   std::to_string(cp.chars.clbs),
-                   std::to_string(gr.chars.clbs),
-                   fmt_fixed(oh.chars.fmax_mhz, 1),
-                   fmt_fixed(cp.chars.fmax_mhz, 1),
-                   fmt_fixed(gr.chars.fmax_mhz, 1),
-                   std::to_string(oh.chars.ffs) + "/" +
-                       std::to_string(cp.chars.ffs)});
-    if (n == 10) {
-      rep.metric("onehot_clbs_n10", static_cast<double>(oh.chars.clbs),
-                 "clbs");
-      rep.metric("compact_clbs_n10", static_cast<double>(cp.chars.clbs),
-                 "clbs");
-      rep.metric("gray_clbs_n10", static_cast<double>(gr.chars.clbs), "clbs");
-    }
-  }
+  const std::vector<int> sizes = {2, 4, 6, 8, 10};
+  // Each cell synthesizes three arbiters from scratch — independent work,
+  // mapped across the pool; rows and report metrics land in N order.
+  ordered_map_reduce<EncodingCell>(
+      sizes.size(),
+      [&](std::size_t i) {
+        const int n = sizes[i];
+        EncodingCell cell;
+        cell.onehot = core::generate_round_robin(n, FlowKind::kExpressLike,
+                                                 Encoding::kOneHot)
+                          .chars;
+        cell.compact = core::generate_round_robin(n, FlowKind::kExpressLike,
+                                                  Encoding::kCompact)
+                           .chars;
+        cell.gray = core::generate_round_robin(n, FlowKind::kExpressLike,
+                                               Encoding::kGray)
+                        .chars;
+        return cell;
+      },
+      [&](std::size_t i, EncodingCell cell) {
+        const int n = sizes[i];
+        table.add_row({std::to_string(n), std::to_string(cell.onehot.clbs),
+                       std::to_string(cell.compact.clbs),
+                       std::to_string(cell.gray.clbs),
+                       fmt_fixed(cell.onehot.fmax_mhz, 1),
+                       fmt_fixed(cell.compact.fmax_mhz, 1),
+                       fmt_fixed(cell.gray.fmax_mhz, 1),
+                       std::to_string(cell.onehot.ffs) + "/" +
+                           std::to_string(cell.compact.ffs)});
+        if (n == 10) {
+          rep.metric("onehot_clbs_n10",
+                     static_cast<double>(cell.onehot.clbs), "clbs");
+          rep.metric("compact_clbs_n10",
+                     static_cast<double>(cell.compact.clbs), "clbs");
+          rep.metric("gray_clbs_n10", static_cast<double>(cell.gray.clbs),
+                     "clbs");
+        }
+      });
   table.print();
   std::puts(
       "one-hot spends registers to keep the next-state logic shallow; the\n"
@@ -61,28 +85,47 @@ void print_encodings(obs::BenchReporter& rep) {
               "synthesis (one-hot, express-like)");
   modes.set_header({"N", "structural CLBs", "behavioral CLBs", "ratio",
                     "structural MHz", "behavioral MHz"});
-  for (int n = 2; n <= 10; n += 2) {
-    const auto s = core::generate_round_robin(
-        n, FlowKind::kExpressLike, Encoding::kOneHot,
-        timing::xc4000e_speed3(), GeneratorMode::kStructural);
-    const auto b = core::generate_round_robin(
-        n, FlowKind::kExpressLike, Encoding::kOneHot,
-        timing::xc4000e_speed3(), GeneratorMode::kBehavioral);
-    if (n == 10) {
-      rep.metric("structural_clbs_n10", static_cast<double>(s.chars.clbs),
-                 "clbs");
-      rep.metric("behavioral_clbs_n10", static_cast<double>(b.chars.clbs),
-                 "clbs");
-    }
-    modes.add_row(
-        {std::to_string(n), std::to_string(s.chars.clbs),
-         std::to_string(b.chars.clbs),
-         fmt_fixed(static_cast<double>(b.chars.clbs) /
-                       static_cast<double>(std::max<std::size_t>(1, s.chars.clbs)),
-                   1) +
-             "x",
-         fmt_fixed(s.chars.fmax_mhz, 1), fmt_fixed(b.chars.fmax_mhz, 1)});
-  }
+  struct ModeCell {
+    core::ArbiterCharacteristics structural, behavioral;
+  };
+  ordered_map_reduce<ModeCell>(
+      sizes.size(),
+      [&](std::size_t i) {
+        const int n = sizes[i];
+        ModeCell cell;
+        cell.structural =
+            core::generate_round_robin(n, FlowKind::kExpressLike,
+                                       Encoding::kOneHot,
+                                       timing::xc4000e_speed3(),
+                                       GeneratorMode::kStructural)
+                .chars;
+        cell.behavioral =
+            core::generate_round_robin(n, FlowKind::kExpressLike,
+                                       Encoding::kOneHot,
+                                       timing::xc4000e_speed3(),
+                                       GeneratorMode::kBehavioral)
+                .chars;
+        return cell;
+      },
+      [&](std::size_t i, ModeCell cell) {
+        const int n = sizes[i];
+        if (n == 10) {
+          rep.metric("structural_clbs_n10",
+                     static_cast<double>(cell.structural.clbs), "clbs");
+          rep.metric("behavioral_clbs_n10",
+                     static_cast<double>(cell.behavioral.clbs), "clbs");
+        }
+        modes.add_row(
+            {std::to_string(n), std::to_string(cell.structural.clbs),
+             std::to_string(cell.behavioral.clbs),
+             fmt_fixed(static_cast<double>(cell.behavioral.clbs) /
+                           static_cast<double>(std::max<std::size_t>(
+                               1, cell.structural.clbs)),
+                       1) +
+                 "x",
+             fmt_fixed(cell.structural.fmax_mhz, 1),
+             fmt_fixed(cell.behavioral.fmax_mhz, 1)});
+      });
   modes.print();
   std::puts(
       "the factored rotating-priority chain is what keeps the paper's\n"

@@ -4,7 +4,11 @@
 // ride out every injected fault (no deadlock, no uncorrected corruption),
 // and unhardened runs may die but always die *attributed* — an illegal FSM
 // state, a hung grant or a wait-for-graph deadlock in the diagnostics,
-// never a silent hang.  The whole campaign is deterministic from one seed.
+// never a silent hang.  The whole campaign is deterministic from one seed:
+// cells run in parallel across $RCARB_JOBS workers, each with a fault plan
+// seeded from (kSeed, cell index), and the report is reduced in cell-index
+// order, so the output is byte-identical at any job count (RCARB_JOBS=1 is
+// the plain serial loop).
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
@@ -15,6 +19,8 @@
 #include "fault/fault.hpp"
 #include "obs/bench_report.hpp"
 #include "rcsim/system_sim.hpp"
+#include "support/parallel.hpp"
+#include "support/rng.hpp"
 #include "support/table.hpp"
 
 namespace {
@@ -87,7 +93,8 @@ constexpr std::uint64_t kWindow = 2000;
 CellResult run_cell(const Workload& w, Policy policy, fault::FaultKind kind,
                     double rate, bool harden,
                     const std::vector<fault::FaultEvent>* explicit_faults =
-                        nullptr) {
+                        nullptr,
+                    std::uint64_t plan_seed = kSeed) {
   core::InsertionOptions io;
   io.policy = policy;
   io.retry_timeout = 12;
@@ -104,7 +111,7 @@ CellResult run_cell(const Workload& w, Policy policy, fault::FaultKind kind,
       static_cast<int>(w.binding.num_phys_channels);
 
   fault::FaultPlanOptions fo;
-  fo.seed = kSeed;
+  fo.seed = plan_seed;
   fo.horizon = kHorizon;
   fo.rate = rate;
   fo.stuck_duration = 64;
@@ -137,6 +144,37 @@ CellResult run_cell(const Workload& w, Policy policy, fault::FaultKind kind,
   return cell;
 }
 
+/// One point of the sweep.  The list is built up front so cells can run on
+/// the pool; `targeted_seu` marks the two worst-case cells appended after
+/// the random-rate grid.
+struct CellSpec {
+  Policy policy = Policy::kRoundRobin;
+  fault::FaultKind kind = fault::FaultKind::kFsmBitFlip;
+  double rate = 0.0;
+  bool harden = false;
+  bool targeted_seu = false;
+};
+
+std::vector<CellSpec> campaign_cells() {
+  std::vector<CellSpec> cells;
+  for (const Policy policy :
+       {Policy::kRoundRobin, Policy::kPriority, Policy::kFifo})
+    for (const fault::FaultKind kind : fault::all_fault_kinds())
+      for (const double rate : {7e-4, 2e-3, 8e-3})
+        for (const bool harden : {false, true})
+          cells.push_back({policy, kind, rate, harden, false});
+  // Worst-case targeted SEU: clear the hot reset bit (F0) of the bank
+  // arbiter at cycle 0 — the register goes zero-hot, the scan logic never
+  // fires again, and every client of the bank wedges.  The unhardened
+  // round-robin arbiter must die *attributed*; the hardened one reloads the
+  // reset code in one clock and the run completes untouched.
+  for (const bool harden : {false, true})
+    cells.push_back(
+        {Policy::kRoundRobin, fault::FaultKind::kFsmBitFlip, 0.0, harden,
+         true});
+  return cells;
+}
+
 void print_campaign(obs::BenchReporter& rep) {
   const Workload w;
   Table table(
@@ -146,84 +184,64 @@ void print_campaign(obs::BenchReporter& rep) {
                     "cycles", "ill/rec", "hung/rel", "corr/fix", "retries",
                     "verdict"});
 
-  int hardened_cells = 0, hardened_ok = 0;
-  int dead_cells = 0, dead_attributed = 0;
-  for (const Policy policy :
-       {Policy::kRoundRobin, Policy::kPriority, Policy::kFifo}) {
-    for (const fault::FaultKind kind : fault::all_fault_kinds()) {
-      for (const double rate : {7e-4, 2e-3, 8e-3}) {
-        for (const bool harden : {false, true}) {
-          const CellResult cell = run_cell(w, policy, kind, rate, harden);
-          const auto& r = cell.sim;
-          std::string verdict;
-          if (harden) {
-            ++hardened_cells;
-            const bool ok = cell.survived && r.corrupted_words == 0;
-            if (ok) ++hardened_ok;
-            verdict = ok ? "rides through" : "HARDENED FAILURE";
-          } else if (cell.survived) {
-            verdict = r.diagnostics.empty() ? "unaffected" : "limps through";
-          } else {
-            ++dead_cells;
-            if (cell.attributed) ++dead_attributed;
-            verdict = cell.attributed ? "dies, attributed" : "SILENT HANG";
-          }
-          table.add_row(
-              {core::to_string(policy), fault::to_string(kind),
-               fmt_fixed(rate * 1e3, 1) + "e-3", harden ? "yes" : "no",
-               cell.survived ? "yes" : "NO", std::to_string(r.cycles),
-               std::to_string(r.illegal_fsm_states) + "/" +
-                   std::to_string(r.fsm_recoveries),
-               std::to_string(r.hung_grants) + "/" +
-                   std::to_string(r.watchdog_releases),
-               std::to_string(r.corrupted_words) + "/" +
-                   std::to_string(r.corrected_words),
-               std::to_string(r.retries), verdict});
-        }
-      }
-    }
-  }
-  // Worst-case targeted SEU: clear the hot reset bit (F0) of the bank
-  // arbiter at cycle 0 — the register goes zero-hot, the scan logic never
-  // fires again, and every client of the bank wedges.  The unhardened
-  // round-robin arbiter must die *attributed*; the hardened one reloads the
-  // reset code in one clock and the run completes untouched.
+  const std::vector<CellSpec> cells = campaign_cells();
   const std::vector<fault::FaultEvent> seu = {
       {0, fault::FaultKind::kFsmBitFlip, /*arbiter=*/0, /*port=*/0,
        /*bit=*/0, /*channel=*/0, /*xor_mask=*/0, /*duration=*/1}};
-  for (const bool harden : {false, true}) {
-    const CellResult cell = run_cell(w, Policy::kRoundRobin,
-                                     fault::FaultKind::kFsmBitFlip, 0.0,
-                                     harden, &seu);
-    const auto& r = cell.sim;
-    std::string verdict;
-    if (harden) {
-      ++hardened_cells;
-      const bool ok = cell.survived && r.corrupted_words == 0;
-      if (ok) ++hardened_ok;
-      verdict = ok ? "rides through" : "HARDENED FAILURE";
-    } else if (cell.survived) {
-      verdict = "limps through";
-    } else {
-      ++dead_cells;
-      if (cell.attributed) ++dead_attributed;
-      verdict = cell.attributed ? "dies, attributed" : "SILENT HANG";
-    }
-    table.add_row({"round-robin", "targeted-seu", "worst", harden ? "yes" : "no",
-                   cell.survived ? "yes" : "NO", std::to_string(r.cycles),
-                   std::to_string(r.illegal_fsm_states) + "/" +
-                       std::to_string(r.fsm_recoveries),
-                   std::to_string(r.hung_grants) + "/" +
-                       std::to_string(r.watchdog_releases),
-                   std::to_string(r.corrupted_words) + "/" +
-                       std::to_string(r.corrected_words),
-                   std::to_string(r.retries), verdict});
-  }
 
+  int hardened_cells = 0, hardened_ok = 0;
+  int dead_cells = 0, dead_attributed = 0;
+  // Cells are independent simulations: map them across the pool, each with
+  // a fault plan derived from (kSeed, cell index), and fold rows/counters
+  // in index order so the table and report never depend on the job count.
+  ordered_map_reduce<CellResult>(
+      cells.size(),
+      [&](std::size_t i) {
+        const CellSpec& c = cells[i];
+        return run_cell(w, c.policy, c.kind, c.rate, c.harden,
+                        c.targeted_seu ? &seu : nullptr,
+                        derive_seed(kSeed, i));
+      },
+      [&](std::size_t i, CellResult cell) {
+        const CellSpec& c = cells[i];
+        const auto& r = cell.sim;
+        std::string verdict;
+        if (c.harden) {
+          ++hardened_cells;
+          const bool ok = cell.survived && r.corrupted_words == 0;
+          if (ok) ++hardened_ok;
+          verdict = ok ? "rides through" : "HARDENED FAILURE";
+        } else if (cell.survived) {
+          verdict = !c.targeted_seu && r.diagnostics.empty()
+                        ? "unaffected"
+                        : "limps through";
+        } else {
+          ++dead_cells;
+          if (cell.attributed) ++dead_attributed;
+          verdict = cell.attributed ? "dies, attributed" : "SILENT HANG";
+        }
+        table.add_row(
+            {core::to_string(c.policy),
+             c.targeted_seu ? "targeted-seu" : fault::to_string(c.kind),
+             c.targeted_seu ? "worst" : fmt_fixed(c.rate * 1e3, 1) + "e-3",
+             c.harden ? "yes" : "no", cell.survived ? "yes" : "NO",
+             std::to_string(r.cycles),
+             std::to_string(r.illegal_fsm_states) + "/" +
+                 std::to_string(r.fsm_recoveries),
+             std::to_string(r.hung_grants) + "/" +
+                 std::to_string(r.watchdog_releases),
+             std::to_string(r.corrupted_words) + "/" +
+                 std::to_string(r.corrected_words),
+             std::to_string(r.retries), verdict});
+      });
+
+  rep.metric("campaign_cells", static_cast<double>(cells.size()), "cells");
   rep.metric("hardened_cells", hardened_cells, "cells");
   rep.metric("hardened_survived", hardened_ok, "cells");
   rep.metric("unhardened_deaths", dead_cells, "cells");
   rep.metric("deaths_attributed", dead_attributed, "cells");
+  rep.note("jobs", "RCARB_JOBS-controlled; output is identical at any job "
+                   "count");
   table.print();
   std::printf(
       "hardened: %d/%d cells survived with zero uncorrected corruptions\n"

@@ -16,6 +16,7 @@
 #include "core/policy_fsms.hpp"
 #include "core/rr_fsm.hpp"
 #include "obs/bench_report.hpp"
+#include "support/parallel.hpp"
 #include "support/rng.hpp"
 #include "support/table.hpp"
 
@@ -104,24 +105,43 @@ void print_ablation(obs::BenchReporter& rep) {
       "(every task always re-requests, 3-cycle bursts, 20000 cycles)");
   table.set_header({"policy", "N", "grants min/max", "worst wait", "starved",
                     "HW cost"});
+  struct CellSpec {
+    Policy policy;
+    int n;
+  };
+  std::vector<CellSpec> cells;
   for (const Policy policy : {Policy::kRoundRobin, Policy::kFifo,
-                              Policy::kPriority, Policy::kRandom}) {
-    for (int n : {4, 6, 10}) {
-      const FairnessResult r = storm(policy, n, kHold, kCycles, 7);
-      std::string hw = synthesized_cost(policy, n);
-      table.add_row({core::to_string(policy), std::to_string(n),
-                     std::to_string(r.grants_min) + "/" +
-                         std::to_string(r.grants_max),
-                     std::to_string(r.worst_wait),
-                     r.starvation ? "YES" : "no", hw});
-      if (n == 10) {
-        const std::string p = core::to_string(policy);
-        rep.metric(p + "_worst_wait_n10",
-                   static_cast<double>(r.worst_wait), "cycles");
-        rep.metric(p + "_starved_n10", r.starvation ? 1.0 : 0.0);
-      }
-    }
-  }
+                              Policy::kPriority, Policy::kRandom})
+    for (int n : {4, 6, 10}) cells.push_back({policy, n});
+  struct CellOut {
+    FairnessResult fair;
+    std::string hw;
+  };
+  // A cell pairs the behavioral storm with the (much heavier) FSM
+  // synthesis of its policy; both are self-contained, so the sweep maps
+  // cleanly across the pool with rows reduced in sweep order.
+  ordered_map_reduce<CellOut>(
+      cells.size(),
+      [&](std::size_t i) {
+        const CellSpec& c = cells[i];
+        return CellOut{storm(c.policy, c.n, kHold, kCycles, 7),
+                       synthesized_cost(c.policy, c.n)};
+      },
+      [&](std::size_t i, CellOut out) {
+        const CellSpec& c = cells[i];
+        const FairnessResult& r = out.fair;
+        table.add_row({core::to_string(c.policy), std::to_string(c.n),
+                       std::to_string(r.grants_min) + "/" +
+                           std::to_string(r.grants_max),
+                       std::to_string(r.worst_wait),
+                       r.starvation ? "YES" : "no", out.hw});
+        if (c.n == 10) {
+          const std::string p = core::to_string(c.policy);
+          rep.metric(p + "_worst_wait_n10",
+                     static_cast<double>(r.worst_wait), "cycles");
+          rep.metric(p + "_starved_n10", r.starvation ? 1.0 : 0.0);
+        }
+      });
   table.print();
   std::puts(
       "behavior: round-robin and FIFO serve everyone with bounded waits;\n"

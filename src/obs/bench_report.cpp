@@ -5,7 +5,9 @@
 #include <cstdio>
 #include <cstdlib>
 #include <ctime>
+#include <filesystem>
 #include <fstream>
+#include <system_error>
 
 namespace rcarb::obs {
 
@@ -74,10 +76,12 @@ BenchReporter::BenchReporter(std::string name)
 
 void BenchReporter::metric(const std::string& key, double value,
                            const std::string& unit) {
+  const std::lock_guard<std::mutex> lock(mu_);
   metrics_.push_back({key, value, unit});
 }
 
 void BenchReporter::note(const std::string& key, const std::string& value) {
+  const std::lock_guard<std::mutex> lock(mu_);
   notes_.emplace_back(key, value);
 }
 
@@ -89,9 +93,22 @@ std::string BenchReporter::write(const std::string& dir) {
     else
       out_dir = ".";
   }
+  // A merely-absent directory is not an error: CI and local runs point
+  // RCARB_BENCH_DIR at fresh paths.  Only an unwritable / non-directory
+  // target fails, and it fails loudly below.
+  std::error_code ec;
+  if (!std::filesystem::exists(out_dir, ec))
+    std::filesystem::create_directories(out_dir, ec);
   const std::string path = out_dir + "/BENCH_" + name_ + ".json";
   std::ofstream os(path);
-  if (!os) return "";
+  if (!os) {
+    std::fprintf(stderr,
+                 "BenchReporter: cannot open \"%s\" for writing (dir \"%s\"%s)"
+                 " — check RCARB_BENCH_DIR\n",
+                 path.c_str(), out_dir.c_str(),
+                 ec ? (", mkdir: " + ec.message()).c_str() : "");
+    return "";
+  }
 
   const double wall_ms =
       static_cast<double>(now_ns() - start_ns_) / 1.0e6;
@@ -123,7 +140,14 @@ std::string BenchReporter::write(const std::string& dir) {
   }
   os << "\n  }\n}\n";
   os.flush();
-  return os.good() ? path : "";
+  if (!os.good()) {
+    std::fprintf(stderr,
+                 "BenchReporter: I/O error while writing \"%s\" (report is "
+                 "incomplete)\n",
+                 path.c_str());
+    return "";
+  }
+  return path;
 }
 
 }  // namespace rcarb::obs

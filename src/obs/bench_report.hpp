@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -15,6 +16,12 @@ namespace rcarb::obs {
 
 /// Collects named metrics for one bench run and serializes them as
 /// BENCH_<name>.json (schema "rcarb-bench-v1").
+///
+/// Recording (metric / note) is thread-safe, so parallel sweep workers may
+/// merge into one reporter — but for *deterministic* reports, record from
+/// the ordered reducer of support/parallel.hpp instead: the report keeps
+/// insertion order, so concurrent recording yields a schedule-dependent
+/// key order.  write() must not race with recording.
 class BenchReporter {
  public:
   /// `name` is the bench identifier, e.g. "fig8_overhead".
@@ -28,10 +35,12 @@ class BenchReporter {
   void note(const std::string& key, const std::string& value);
 
   /// Writes BENCH_<name>.json into `dir` (default: $RCARB_BENCH_DIR, else
-  /// the current directory).  Adds wall time since construction, the
-  /// schema tag, a UTC timestamp, and the git commit (from
-  /// $RCARB_GIT_COMMIT / $GITHUB_SHA, falling back to `git rev-parse`).
-  /// Returns the path written, or "" on I/O failure.
+  /// the current directory), creating the directory first when it does not
+  /// exist.  Adds wall time since construction, the schema tag, a UTC
+  /// timestamp, and the git commit (from $RCARB_GIT_COMMIT / $GITHUB_SHA,
+  /// falling back to `git rev-parse`).  Returns the path written; on I/O
+  /// failure prints a diagnostic naming the path to stderr and returns ""
+  /// (bench mains turn that into a nonzero exit).
   std::string write(const std::string& dir = "");
 
   [[nodiscard]] const std::string& name() const { return name_; }
@@ -45,6 +54,7 @@ class BenchReporter {
 
   std::string name_;
   std::int64_t start_ns_;
+  std::mutex mu_;  // guards metrics_ / notes_ during parallel recording
   std::vector<Metric> metrics_;
   std::vector<std::pair<std::string, std::string>> notes_;
 };

@@ -39,14 +39,25 @@ std::pair<std::uint64_t, std::uint64_t> Histogram::bucket_range(int i) {
 }
 
 std::uint64_t Histogram::percentile(double p) const {
-  if (count_ == 0) return 0;
-  p = std::clamp(p, 0.0, 1.0);
+  if (count_ == 0) return 0;  // documented: empty histogram reports 0
+  // Not std::clamp: the negated comparison also lands NaN on 0.0 instead
+  // of flowing it into the rank cast (which would be UB).
+  if (!(p >= 0.0)) p = 0.0;
+  if (p > 1.0) p = 1.0;
+  // 0-based nearest rank.  p = 0.0 targets rank 0 (the minimum's bucket),
+  // p = 1.0 targets rank count-1 (the maximum's bucket): `seen > target`
+  // fires on the first bucket whose cumulative count covers the rank, so
+  // a histogram with every sample in one bucket answers that bucket for
+  // every p.
   const auto target = static_cast<std::uint64_t>(
-      p * static_cast<double>(count_ - 1));  // 0-based rank
+      p * static_cast<double>(count_ - 1));
   std::uint64_t seen = 0;
   for (int i = 0; i < kBuckets; ++i) {
     seen += buckets_[static_cast<std::size_t>(i)];
-    if (seen > target) return bucket_range(i).second;
+    // The bucket upper bound can overshoot the largest value actually
+    // recorded (64 lands in [64,127]); clamping keeps percentile() <= max()
+    // so p100 is exact instead of up to 2x high.
+    if (seen > target) return std::min(bucket_range(i).second, max_);
   }
   return max_;
 }

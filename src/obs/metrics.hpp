@@ -34,8 +34,10 @@ class Histogram {
   /// Inclusive value range covered by bucket i.
   [[nodiscard]] static std::pair<std::uint64_t, std::uint64_t> bucket_range(
       int i);
-  /// Upper bound of the bucket holding the p-quantile (p in [0, 1]);
-  /// 0 when the histogram is empty.
+  /// Upper bound of the bucket holding the p-quantile (p in [0, 1],
+  /// 0-based nearest rank), clamped to max() so it never exceeds any value
+  /// actually recorded; p = 0.0 answers the minimum's bucket, p = 1.0 the
+  /// maximum's.  An empty histogram returns 0 by definition.
   [[nodiscard]] std::uint64_t percentile(double p) const;
   /// "n=12 mean=3.4 max=9 p50<=4 p99<=16" (empty: "n=0").
   [[nodiscard]] std::string summarize() const;

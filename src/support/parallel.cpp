@@ -1,0 +1,30 @@
+#include "support/parallel.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+
+namespace rcarb {
+
+int parallel_jobs() {
+  if (const char* env = std::getenv("RCARB_JOBS"); env && *env) {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != nullptr && *end == '\0' && v >= 1) {
+      // Cap far above any sane machine; guards a stray huge value from
+      // exhausting thread handles.
+      return static_cast<int>(v > 1024 ? 1024 : v);
+    }
+    static std::atomic<bool> warned{false};
+    if (!warned.exchange(true)) {
+      std::fprintf(stderr,
+                   "rcarb: ignoring malformed RCARB_JOBS=\"%s\" "
+                   "(want a positive integer); using hardware_concurrency\n",
+                   env);
+    }
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+}  // namespace rcarb

@@ -1,0 +1,146 @@
+// Deterministic parallel sweep engine.
+//
+// The repo's sweeps (the ~200-cell fault campaign, the encoding / policy
+// ablations, the property-test vector sweeps) are embarrassingly parallel:
+// each cell is an independent seeded simulation or synthesis run.  This
+// engine runs the cells on a small thread pool while keeping every output
+// byte-identical to the serial run:
+//
+//   * work is handed out by index from an atomic counter (no stealing, no
+//     per-thread queues — nothing about the result depends on which worker
+//     computed which index);
+//   * workers write results into per-index slots; the *reducer* runs only
+//     on the calling thread and consumes slots in index order, so side
+//     effects (table rows, report metrics, trace merges) happen in exactly
+//     the order the serial loop would have produced them;
+//   * cells must derive their randomness from (master_seed, cell_index)
+//     (see rcarb::derive_seed), never from a shared Rng, so values are
+//     independent of execution order too.
+//
+// Job count comes from $RCARB_JOBS (default: hardware_concurrency), and
+// RCARB_JOBS=1 takes the exact serial code path — a plain loop on the
+// calling thread with no pool, no slots and no synchronization — so the
+// pre-parallel behavior stays reachable for bisection.
+//
+// Wall-clock time is explicitly *outside* the determinism contract.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace rcarb {
+
+/// Worker count for parallel sweeps: $RCARB_JOBS when set to a positive
+/// integer (malformed values warn once and fall through), otherwise
+/// hardware_concurrency (at least 1).
+[[nodiscard]] int parallel_jobs();
+
+/// Runs `map(i)` for i in [0, n) on up to `jobs` threads and feeds the
+/// results to `reduce(i, result)` strictly in index order on the calling
+/// thread.  Reduction is streamed: slot i is consumed as soon as it and all
+/// lower slots are done, so reduction overlaps the remaining map work.
+///
+/// jobs <= 0 means parallel_jobs(); jobs == 1 runs `reduce(i, map(i))` as a
+/// plain serial loop (the exact pre-parallel code path).
+///
+/// The first exception (lowest index; reducer exceptions count at their
+/// index) is rethrown on the calling thread after the pool drains.
+template <typename R, typename Map, typename Reduce>
+void ordered_map_reduce(std::size_t n, Map&& map, Reduce&& reduce,
+                        int jobs = 0) {
+  if (jobs <= 0) jobs = parallel_jobs();
+  if (jobs == 1 || n <= 1) {
+    for (std::size_t i = 0; i < n; ++i) reduce(i, map(i));
+    return;
+  }
+
+  struct Slot {
+    std::optional<R> value;
+    std::exception_ptr error;
+  };
+  std::vector<Slot> slots(n);
+  std::vector<char> ready(n, 0);
+  std::mutex mu;
+  std::condition_variable cv;
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> cancel{false};
+
+  auto worker = [&] {
+    for (;;) {
+      if (cancel.load(std::memory_order_relaxed)) return;
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      Slot s;
+      try {
+        s.value.emplace(map(i));
+      } catch (...) {
+        s.error = std::current_exception();
+      }
+      {
+        const std::lock_guard<std::mutex> lock(mu);
+        slots[i] = std::move(s);
+        ready[i] = 1;
+      }
+      cv.notify_all();
+    }
+  };
+
+  const std::size_t workers =
+      std::min(static_cast<std::size_t>(jobs), n);
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (std::size_t t = 0; t < workers; ++t) pool.emplace_back(worker);
+
+  std::exception_ptr first_error;
+  for (std::size_t i = 0; i < n; ++i) {
+    Slot s;
+    {
+      std::unique_lock<std::mutex> lock(mu);
+      cv.wait(lock, [&] { return ready[i] != 0; });
+      s = std::move(slots[i]);
+    }
+    if (s.error) {
+      first_error = s.error;
+      break;
+    }
+    try {
+      reduce(i, std::move(*s.value));
+    } catch (...) {
+      first_error = std::current_exception();
+      break;
+    }
+  }
+  if (first_error) cancel.store(true, std::memory_order_relaxed);
+  for (std::thread& t : pool) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+/// Runs `fn(i)` for i in [0, n) on up to `jobs` threads.  No reduction:
+/// use when the body's only side effects are into per-index storage.  The
+/// same serial-path and exception rules as ordered_map_reduce apply.
+template <typename Fn>
+void parallel_for_each(std::size_t n, Fn&& fn, int jobs = 0) {
+  ordered_map_reduce<char>(
+      n,
+      [&fn](std::size_t i) {
+        fn(i);
+        return '\0';
+      },
+      [](std::size_t, char) {}, jobs);
+}
+
+/// Container convenience: `fn(items[i])` for each item, in parallel.
+template <typename Container, typename Fn>
+void parallel_for_each_item(Container& items, Fn&& fn, int jobs = 0) {
+  parallel_for_each(
+      items.size(), [&](std::size_t i) { fn(items[i]); }, jobs);
+}
+
+}  // namespace rcarb

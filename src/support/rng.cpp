@@ -61,7 +61,13 @@ std::int64_t Rng::next_in(std::int64_t lo, std::int64_t hi) {
   const auto span =
       static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
   if (span == 0) return static_cast<std::int64_t>(next_u64());  // full range
-  return lo + static_cast<std::int64_t>(next_below(span));
+  // Offset in unsigned space: `lo + (int64)next_below(span)` overflows the
+  // signed range (UB) whenever the span crosses 2^63 — e.g. lo = INT64_MIN,
+  // hi = INT64_MAX - 1 draws offsets up to 2^64 - 2.  Two's-complement
+  // wraparound in uint64 followed by the value-preserving cast back is the
+  // same result wherever the old expression was defined.
+  return static_cast<std::int64_t>(static_cast<std::uint64_t>(lo) +
+                                   next_below(span));
 }
 
 bool Rng::chance(std::uint64_t num, std::uint64_t den) {
@@ -71,6 +77,15 @@ bool Rng::chance(std::uint64_t num, std::uint64_t den) {
 
 double Rng::next_double() {
   return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+std::uint64_t derive_seed(std::uint64_t master, std::uint64_t index) {
+  // Two splitmix64 rounds over a state that separates master from index by
+  // the golden-ratio increment; a plain XOR of the inputs would make
+  // (m, i) and (m ^ d, i ^ d) collide.
+  std::uint64_t x = master + 0x9e3779b97f4a7c15ull * (index + 1);
+  (void)splitmix64(x);  // first round only advances the state
+  return splitmix64(x);
 }
 
 }  // namespace rcarb

@@ -18,9 +18,13 @@ class Rng {
   std::uint64_t next_u64();
 
   /// Uniform value in [0, bound) using Lemire's rejection method.  bound > 0.
+  /// bound == 1 always returns 0 (and still consumes one next_u64 draw);
+  /// bounds up to and including 2^64 - 1 are exact.
   std::uint64_t next_below(std::uint64_t bound);
 
-  /// Uniform value in [lo, hi] inclusive.  lo <= hi.
+  /// Uniform value in [lo, hi] inclusive.  lo <= hi.  The full range
+  /// lo = INT64_MIN, hi = INT64_MAX is supported (the span wraps to 0 and
+  /// the raw 64-bit draw is used directly).
   std::int64_t next_in(std::int64_t lo, std::int64_t hi);
 
   /// Bernoulli trial with probability num/den.  num <= den, den > 0.
@@ -32,5 +36,13 @@ class Rng {
  private:
   std::uint64_t s_[4];
 };
+
+/// Independent per-cell seed for parallel sweeps: mixes (master, index)
+/// through splitmix64 so every cell of a sweep gets an uncorrelated seed
+/// that depends only on its index — never on which worker ran it or in
+/// what order.  derive_seed(m, i) == derive_seed(m, i) always; distinct
+/// (master, index) pairs give distinct, well-scrambled seeds.
+[[nodiscard]] std::uint64_t derive_seed(std::uint64_t master,
+                                        std::uint64_t index);
 
 }  // namespace rcarb

@@ -9,6 +9,7 @@
 
 #include "core/insertion.hpp"
 #include "rcsim/system_sim.hpp"
+#include "support/parallel.hpp"
 #include "support/rng.hpp"
 
 namespace rcarb {
@@ -185,50 +186,91 @@ FuzzCase make_case(Rng& rng) {
 class FlowFuzz : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(FlowFuzz, ArbitratedExecutionIsAlwaysClean) {
-  Rng rng(GetParam());
-  for (int iteration = 0; iteration < 8; ++iteration) {
-    FuzzCase fc = make_case(rng);
-
-    core::InsertionOptions io;
-    io.batch_m = 1 + static_cast<int>(rng.next_below(4));
-    io.elide_serialized = rng.chance(1, 2);
-    io.policy = static_cast<core::Policy>(rng.next_below(4));
-    const auto ins = core::insert_arbitration(fc.graph, fc.binding, io);
-
-    rcsim::SimOptions so;
-    so.strict = true;  // any conflict or violation throws
-    so.rr_max_hold = rng.chance(1, 3) ? 4 : 0;
-    rcsim::SystemSimulator sim(ins.graph, fc.binding, ins.plan, so);
+  // The heaviest sweep of the suite: 8 full insertion+simulation cases per
+  // seed.  Cases run on the parallel engine, each built from a seed
+  // derived from (test seed, iteration) — never from one Rng threaded
+  // through the loop — so the generated cases are identical at any
+  // RCARB_JOBS.  All gtest assertions happen in the ordered reducer on
+  // this thread (gtest failure recording is not thread-safe).
+  struct CaseOut {
     rcsim::SimResult result;
-    ASSERT_NO_THROW(result = sim.run(fc.tasks))
-        << "seed=" << GetParam() << " iteration=" << iteration;
-    EXPECT_EQ(result.bank_conflicts, 0u);
-    EXPECT_EQ(result.channel_conflicts, 0u);
-    EXPECT_EQ(result.protocol_violations, 0u);
-    for (tg::TaskId t : fc.tasks) EXPECT_TRUE(result.tasks[t].ran);
-  }
+    std::size_t num_tasks = 0;
+    bool threw = false;
+    std::string what;
+  };
+  ordered_map_reduce<CaseOut>(
+      8,
+      [&](std::size_t iteration) {
+        Rng rng(derive_seed(GetParam(), iteration));
+        FuzzCase fc = make_case(rng);
+
+        core::InsertionOptions io;
+        io.batch_m = 1 + static_cast<int>(rng.next_below(4));
+        io.elide_serialized = rng.chance(1, 2);
+        io.policy = static_cast<core::Policy>(rng.next_below(4));
+        const auto ins = core::insert_arbitration(fc.graph, fc.binding, io);
+
+        rcsim::SimOptions so;
+        so.strict = true;  // any conflict or violation throws
+        so.rr_max_hold = rng.chance(1, 3) ? 4 : 0;
+        rcsim::SystemSimulator sim(ins.graph, fc.binding, ins.plan, so);
+        CaseOut out;
+        out.num_tasks = fc.tasks.size();
+        try {
+          out.result = sim.run(fc.tasks);
+        } catch (const std::exception& e) {
+          out.threw = true;
+          out.what = e.what();
+        }
+        return out;
+      },
+      [&](std::size_t iteration, CaseOut out) {
+        ASSERT_FALSE(out.threw)
+            << "seed=" << GetParam() << " iteration=" << iteration << ": "
+            << out.what;
+        EXPECT_EQ(out.result.bank_conflicts, 0u);
+        EXPECT_EQ(out.result.channel_conflicts, 0u);
+        EXPECT_EQ(out.result.protocol_violations, 0u);
+        for (std::size_t t = 0; t < out.num_tasks; ++t)
+          EXPECT_TRUE(out.result.tasks[t].ran);
+      });
 }
 
 TEST_P(FlowFuzz, UnarbitratedContendedExecutionIsDetected) {
   // The dual property: if the plan is dropped but real contention exists,
   // the simulator's detector must notice (silence would mean the detector
   // — and therefore the clean runs above — proves nothing).
-  Rng rng(GetParam() ^ 0xabcdef);
   int detected = 0, contended = 0;
-  for (int iteration = 0; iteration < 8; ++iteration) {
-    FuzzCase fc = make_case(rng);
-    const auto ins = core::insert_arbitration(fc.graph, fc.binding, {});
-    if (ins.plan.arbiters.empty()) continue;  // no contention built
-    ++contended;
-    core::ArbitrationPlan empty;
-    empty.arbiters_of_resource.assign(fc.binding.num_resources(), {});
-    rcsim::SimOptions so;
-    so.strict = false;
-    rcsim::SystemSimulator sim(fc.graph, fc.binding, empty, so);
-    const auto result = sim.run(fc.tasks);
-    if (result.bank_conflicts + result.channel_conflicts > 0) ++detected;
+  struct CaseOut {
+    bool contended = false;
+    bool detected = false;
+  };
+  ordered_map_reduce<CaseOut>(
+      8,
+      [&](std::size_t iteration) {
+        Rng rng(derive_seed(GetParam() ^ 0xabcdef, iteration));
+        FuzzCase fc = make_case(rng);
+        const auto ins = core::insert_arbitration(fc.graph, fc.binding, {});
+        CaseOut out;
+        if (ins.plan.arbiters.empty()) return out;  // no contention built
+        out.contended = true;
+        core::ArbitrationPlan empty;
+        empty.arbiters_of_resource.assign(fc.binding.num_resources(), {});
+        rcsim::SimOptions so;
+        so.strict = false;
+        rcsim::SystemSimulator sim(fc.graph, fc.binding, empty, so);
+        const auto result = sim.run(fc.tasks);
+        out.detected =
+            result.bank_conflicts + result.channel_conflicts > 0;
+        return out;
+      },
+      [&](std::size_t, CaseOut out) {
+        contended += out.contended ? 1 : 0;
+        detected += out.detected ? 1 : 0;
+      });
+  if (contended > 2) {
+    EXPECT_GT(detected, 0) << "seed=" << GetParam();
   }
-  if (contended > 2) EXPECT_GT(detected, 0) << "seed=" << GetParam();
 }
 
 TEST_P(FlowFuzz, SimulationIsDeterministic) {

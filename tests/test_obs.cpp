@@ -15,6 +15,7 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "rcsim/system_sim.hpp"
+#include "support/parallel.hpp"
 
 namespace rcarb {
 namespace {
@@ -51,7 +52,9 @@ TaskGraph contention_graph(int num_tasks, int accesses) {
     for (int i = 0; i < accesses; ++i)
       p.store(0, 0, 0, (t * accesses + i) % 16);
     p.halt();
-    g.add_task("t" + std::to_string(t), p, 1);
+    std::string name = "t";  // built piecewise: GCC 12's -Wrestrict trips
+    name += std::to_string(t);  // on `const char* + std::string&&` at -O3
+    g.add_task(name, p, 1);
   }
   return g;
 }
@@ -81,11 +84,45 @@ TEST(ObsHistogram, PercentileReturnsBucketUpperBound) {
   h.record(64);
   EXPECT_EQ(h.percentile(0.5), 1u);
   EXPECT_EQ(h.percentile(0.99), 1u);  // rank 98 of 100 is still a 1
-  EXPECT_EQ(h.percentile(1.0), 127u);  // upper bound of 64's bucket
+  EXPECT_EQ(h.percentile(1.0), 64u);  // 64's bucket tops at 127, clamped
   EXPECT_EQ(h.percentile(0.0), 1u);
   Histogram empty;
   EXPECT_EQ(empty.percentile(0.5), 0u);
   EXPECT_EQ(empty.summarize(), "n=0");
+}
+
+TEST(ObsHistogram, PercentileEdges) {
+  // The four boundary cases of the cumulative-rank walk, pinned:
+  // p = 0.0 answers the minimum's bucket, p = 1.0 the maximum's (clamped
+  // to the observed max), an empty histogram answers 0 for every p, and a
+  // histogram with all samples in one bucket answers that bucket always.
+  Histogram empty;
+  for (double p : {0.0, 0.25, 0.5, 1.0}) EXPECT_EQ(empty.percentile(p), 0u);
+
+  Histogram one_bucket;  // all counts in bucket [4,7]
+  for (std::uint64_t v : {4ull, 5ull, 6ull, 7ull, 5ull}) one_bucket.record(v);
+  for (double p : {0.0, 0.3, 0.7, 1.0}) {
+    EXPECT_EQ(one_bucket.percentile(p), 7u) << "p=" << p;
+  }
+
+  Histogram spread;  // min bucket {1}, max bucket [8,15]
+  spread.record(1);
+  spread.record(2);
+  spread.record(9);
+  EXPECT_EQ(spread.percentile(0.0), 1u);   // rank 0
+  EXPECT_EQ(spread.percentile(0.5), 3u);   // rank 1 -> bucket [2,3]
+  EXPECT_EQ(spread.percentile(1.0), 9u);   // rank 2, clamped to max
+
+  // percentile() never exceeds max(): a single sample at a bucket's lower
+  // edge must not report the bucket's upper edge.
+  Histogram single;
+  single.record(64);
+  EXPECT_EQ(single.percentile(0.5), 64u);
+  EXPECT_EQ(single.percentile(1.0), 64u);
+
+  // Out-of-domain p is clamped into [0, 1].
+  EXPECT_EQ(spread.percentile(-3.0), 1u);
+  EXPECT_EQ(spread.percentile(7.0), 9u);
 }
 
 // ------------------------------------------------------------ metric probes
@@ -397,6 +434,70 @@ TEST(ObsBenchReport, WritesSchemaTaggedJson) {
     if (ch == '}') --braces;
   }
   EXPECT_EQ(braces, 0);
+}
+
+TEST(ObsBenchReport, CreatesMissingDirectory) {
+  // A merely-absent RCARB_BENCH_DIR target (the common CI case) is created
+  // rather than reported as a failure — including nested components.
+  const std::string dir =
+      ::testing::TempDir() + "/rcarb_bench_missing/nested/deeper";
+  obs::BenchReporter rep("mkdir_test");
+  rep.metric("x", 1.0);
+  const std::string path = rep.write(dir);
+  ASSERT_EQ(path, dir + "/BENCH_mkdir_test.json");
+  std::ifstream is(path);
+  EXPECT_TRUE(is.good());
+}
+
+TEST(ObsBenchReport, UnwritableDirectoryFailsLoudly) {
+  // A path that cannot be a directory (a component is a regular file) must
+  // produce "" *and* a diagnostic naming the path — a silent empty report
+  // would leave CI validating nothing.  (chmod-based probes are useless
+  // here: tests may run as root.)
+  const std::string file = ::testing::TempDir() + "/rcarb_not_a_dir";
+  { std::ofstream(file) << "occupied"; }
+  obs::BenchReporter rep("fail_test");
+  rep.metric("x", 1.0);
+  ::testing::internal::CaptureStderr();
+  const std::string path = rep.write(file + "/sub");
+  const std::string diag = ::testing::internal::GetCapturedStderr();
+  EXPECT_EQ(path, "");
+  EXPECT_NE(diag.find("BENCH_fail_test.json"), std::string::npos)
+      << "diagnostic must name the report path: " << diag;
+  EXPECT_NE(diag.find(file + "/sub"), std::string::npos)
+      << "diagnostic must name the directory: " << diag;
+}
+
+TEST(ObsBenchReport, ConcurrentRecordingIsSafe) {
+  // The merge path for parallel sweeps: N workers recording into one
+  // reporter concurrently must lose nothing (order is schedule-dependent —
+  // deterministic reports record from the ordered reducer instead).
+  obs::BenchReporter rep("merge_test");
+  constexpr int kWorkers = 8, kEach = 50;
+  parallel_for_each(
+      kWorkers,
+      [&](std::size_t w) {
+        for (int i = 0; i < kEach; ++i) {
+          std::string key = "m";
+          key += std::to_string(w);
+          key += '_';
+          key += std::to_string(i);
+          rep.metric(key, static_cast<double>(i));
+        }
+      },
+      kWorkers);
+  const std::string path = rep.write(::testing::TempDir());
+  ASSERT_FALSE(path.empty());
+  std::ifstream is(path);
+  std::stringstream ss;
+  ss << is.rdbuf();
+  const std::string out = ss.str();
+  for (int w = 0; w < kWorkers; ++w)
+    for (int i = 0; i < kEach; ++i) {
+      const std::string key =
+          "\"m" + std::to_string(w) + "_" + std::to_string(i) + "\"";
+      ASSERT_NE(out.find(key), std::string::npos) << key;
+    }
 }
 
 }  // namespace

@@ -1,0 +1,279 @@
+// Deterministic parallel sweep engine: index coverage, strict reduction
+// order on the calling thread, the jobs==1 serial path, exception
+// propagation, RCARB_JOBS parsing — and the end-to-end determinism
+// contract: a mini fault-campaign sweep whose bench report (wall-time
+// fields excluded) and merged JSONL trace are byte-identical at 1, 2 and
+// 8 jobs.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/insertion.hpp"
+#include "fault/fault.hpp"
+#include "obs/bench_report.hpp"
+#include "obs/trace.hpp"
+#include "rcsim/system_sim.hpp"
+#include "support/parallel.hpp"
+#include "support/rng.hpp"
+
+namespace rcarb {
+namespace {
+
+using core::Binding;
+using tg::Program;
+using tg::TaskGraph;
+
+// ------------------------------------------------------------- engine unit
+
+TEST(Parallel, CoversEveryIndexExactlyOnce) {
+  constexpr std::size_t kN = 500;
+  std::vector<std::atomic<int>> hits(kN);
+  parallel_for_each(
+      kN, [&](std::size_t i) { hits[i].fetch_add(1); }, 8);
+  for (std::size_t i = 0; i < kN; ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(Parallel, ReducesInIndexOrderOnCallingThread) {
+  constexpr std::size_t kN = 200;
+  const std::thread::id caller = std::this_thread::get_id();
+  std::vector<std::size_t> order;
+  ordered_map_reduce<std::size_t>(
+      kN, [](std::size_t i) { return i * i; },
+      [&](std::size_t i, std::size_t v) {
+        // Side effects happen exactly where the serial loop would put
+        // them: on the calling thread, in index order, with the mapped
+        // value intact.
+        EXPECT_EQ(std::this_thread::get_id(), caller);
+        ASSERT_EQ(v, i * i);
+        order.push_back(i);
+      },
+      8);
+  ASSERT_EQ(order.size(), kN);
+  for (std::size_t i = 0; i < kN; ++i) ASSERT_EQ(order[i], i);
+}
+
+TEST(Parallel, JobsOneRunsEntirelyOnCallingThread) {
+  const std::thread::id caller = std::this_thread::get_id();
+  int mapped = 0;
+  ordered_map_reduce<int>(
+      4,
+      [&](std::size_t i) {
+        EXPECT_EQ(std::this_thread::get_id(), caller);
+        ++mapped;
+        return static_cast<int>(i);
+      },
+      [&](std::size_t i, int v) { EXPECT_EQ(v, static_cast<int>(i)); }, 1);
+  EXPECT_EQ(mapped, 4);
+  // n <= 1 also short-circuits to the serial path regardless of jobs.
+  ordered_map_reduce<int>(
+      1,
+      [&](std::size_t) {
+        EXPECT_EQ(std::this_thread::get_id(), caller);
+        return 7;
+      },
+      [](std::size_t, int v) { EXPECT_EQ(v, 7); }, 8);
+}
+
+TEST(Parallel, MapExceptionRethrownAtLowestIndex) {
+  // Several indices fail; index order decides which exception the caller
+  // sees, not worker scheduling.
+  for (const int jobs : {2, 8}) {
+    try {
+      ordered_map_reduce<int>(
+          64,
+          [](std::size_t i) {
+            if (i == 5 || i == 9 || i == 40)
+              throw std::runtime_error("boom " + std::to_string(i));
+            return 0;
+          },
+          [](std::size_t, int) {}, jobs);
+      FAIL() << "expected an exception (jobs=" << jobs << ")";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "boom 5") << "jobs=" << jobs;
+    }
+  }
+}
+
+TEST(Parallel, ReduceExceptionPropagatesAndPoolDrains) {
+  std::vector<std::size_t> reduced;
+  try {
+    ordered_map_reduce<int>(
+        32, [](std::size_t i) { return static_cast<int>(i); },
+        [&](std::size_t i, int) {
+          if (i == 3) throw std::runtime_error("reduce boom");
+          reduced.push_back(i);
+        },
+        8);
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "reduce boom");
+  }
+  // Everything before the throwing index was reduced, nothing after.
+  ASSERT_EQ(reduced.size(), 3u);
+  for (std::size_t i = 0; i < reduced.size(); ++i) EXPECT_EQ(reduced[i], i);
+}
+
+TEST(Parallel, JobsFromEnvironment) {
+  const char* saved = std::getenv("RCARB_JOBS");
+  const std::string saved_copy = saved ? saved : "";
+
+  ::setenv("RCARB_JOBS", "3", 1);
+  EXPECT_EQ(parallel_jobs(), 3);
+  ::setenv("RCARB_JOBS", "1", 1);
+  EXPECT_EQ(parallel_jobs(), 1);
+  ::setenv("RCARB_JOBS", "99999", 1);
+  EXPECT_EQ(parallel_jobs(), 1024);  // capped
+  // Malformed values fall back to hardware_concurrency (>= 1).
+  for (const char* bad : {"0", "-2", "abc", "4x", ""}) {
+    ::setenv("RCARB_JOBS", bad, 1);
+    EXPECT_GE(parallel_jobs(), 1) << "RCARB_JOBS=" << bad;
+  }
+  ::unsetenv("RCARB_JOBS");
+  EXPECT_GE(parallel_jobs(), 1);
+
+  if (saved)
+    ::setenv("RCARB_JOBS", saved_copy.c_str(), 1);
+  else
+    ::unsetenv("RCARB_JOBS");
+}
+
+// ------------------------------------------------- determinism, end to end
+
+Binding single_bank_binding(const TaskGraph& g, std::size_t num_tasks) {
+  Binding b;
+  b.task_to_pe.assign(num_tasks, 0);
+  b.segment_to_bank.assign(g.num_segments(), 0);
+  b.channel_to_phys.assign(g.num_channels(), -1);
+  b.num_banks = 1;
+  b.bank_names = {"BANK"};
+  return b;
+}
+
+TaskGraph contention_graph(int num_tasks, int accesses) {
+  TaskGraph g{"psweep"};
+  g.add_segment("s0", 64, 16);
+  for (int t = 0; t < num_tasks; ++t) {
+    Program p;
+    p.load_imm(0, 0);
+    for (int i = 0; i < accesses; ++i)
+      p.store(0, 0, 0, (t * accesses + i) % 16);
+    p.halt();
+    std::string name = "t";  // built piecewise: GCC 12's -Wrestrict trips
+    name += std::to_string(t);  // on `const char* + std::string&&` at -O3
+    g.add_task(name, p, 1);
+  }
+  return g;
+}
+
+/// One mini fault-campaign sweep (6 kinds x 2 rates, round-robin, faults
+/// planned from derive_seed(master, cell)), reduced into a BenchReporter
+/// and one merged JSONL trace stream — the same shape as the real
+/// campaign, small enough for a unit test.
+struct SweepOutput {
+  std::string report;  // BENCH json, wall-time lines stripped
+  std::string trace;   // merged JSONL, cells in index order
+};
+
+SweepOutput run_mini_sweep(int jobs, const std::string& dir) {
+  struct CellOut {
+    std::vector<obs::TraceEvent> events;
+    obs::TraceMeta meta;
+    std::size_t diags = 0;
+    bool deadlocked = false;
+  };
+  const std::vector<fault::FaultKind>& kinds = fault::all_fault_kinds();
+  const std::vector<double> rates = {2e-3, 8e-3};
+  const std::size_t n = kinds.size() * rates.size();
+
+  obs::BenchReporter rep("parallel_mini");
+  std::ostringstream trace;
+  ordered_map_reduce<CellOut>(
+      n,
+      [&](std::size_t i) {
+        const fault::FaultKind kind = kinds[i % kinds.size()];
+        const double rate = rates[i / kinds.size()];
+        TaskGraph g = contention_graph(3, 40);
+        Binding b = single_bank_binding(g, 3);
+        core::InsertionOptions io;
+        io.policy = core::Policy::kRoundRobin;
+        io.retry_timeout = 12;
+        const core::InsertionResult ins = core::insert_arbitration(g, b, io);
+
+        fault::FaultTargets targets;
+        for (const core::ArbiterInstance& inst : ins.plan.arbiters) {
+          targets.arbiter_ports.push_back(
+              static_cast<int>(inst.ports.size()));
+          targets.arbiter_state_bits.push_back(
+              2 * static_cast<int>(inst.ports.size()));
+        }
+        targets.num_phys_channels = static_cast<int>(b.num_phys_channels);
+
+        fault::FaultPlanOptions fo;
+        fo.seed = derive_seed(99, i);
+        fo.horizon = 1000;
+        fo.rate = rate;
+        fo.stuck_duration = 32;
+        fo.kinds = {kind};
+
+        obs::TraceBuffer buf;
+        rcsim::SimOptions so;
+        so.strict = false;
+        so.diag_detail = false;
+        so.watchdog_timeout = 32;
+        so.no_progress_window = 2000;
+        so.faults = fault::plan_faults(targets, fo);
+        so.trace_sink = &buf;
+
+        rcsim::SystemSimulator sim(ins.graph, b, ins.plan, so);
+        const rcsim::SimResult r = sim.run({0, 1, 2});
+        CellOut out;
+        out.events = buf.events();
+        out.meta = sim.trace_meta();
+        out.diags = r.diagnostics.size();
+        out.deadlocked = r.deadlocked;
+        return out;
+      },
+      [&](std::size_t i, CellOut out) {
+        const std::string cell = "cell" + std::to_string(i);
+        rep.metric(cell + "_diags", static_cast<double>(out.diags));
+        rep.metric(cell + "_deadlocked", out.deadlocked ? 1.0 : 0.0);
+        obs::write_jsonl(trace, out.events, out.meta);
+      },
+      jobs);
+
+  const std::string path = rep.write(dir);
+  SweepOutput sw;
+  sw.trace = trace.str();
+  std::ifstream is(path);
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.find("\"wall_ms\"") != std::string::npos) continue;
+    if (line.find("\"timestamp_utc\"") != std::string::npos) continue;
+    sw.report += line;
+    sw.report += '\n';
+  }
+  return sw;
+}
+
+TEST(Parallel, MiniFaultSweepByteIdenticalAcrossJobCounts) {
+  const std::string base = ::testing::TempDir() + "/rcarb_parallel_sweep";
+  const SweepOutput serial = run_mini_sweep(1, base + "/j1");
+  ASSERT_FALSE(serial.report.empty());
+  ASSERT_FALSE(serial.trace.empty());
+  for (const int jobs : {2, 8}) {
+    const SweepOutput out =
+        run_mini_sweep(jobs, base + "/j" + std::to_string(jobs));
+    EXPECT_EQ(out.report, serial.report) << "jobs=" << jobs;
+    EXPECT_EQ(out.trace, serial.trace) << "jobs=" << jobs;
+  }
+}
+
+}  // namespace
+}  // namespace rcarb

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <limits>
 #include <set>
 
 #include "support/check.hpp"
@@ -86,6 +88,129 @@ TEST(Rng, RejectsBadArguments) {
   EXPECT_THROW(rng.next_below(0), CheckError);
   EXPECT_THROW(rng.next_in(3, 2), CheckError);
   EXPECT_THROW(rng.chance(3, 2), CheckError);
+}
+
+// 64x64 -> 128 multiply decomposed into 32-bit limbs — an independent
+// reference for the __int128 path inside Rng::next_below.
+void mul_64x64(std::uint64_t a, std::uint64_t b, std::uint64_t& hi,
+               std::uint64_t& lo) {
+  const std::uint64_t a_lo = a & 0xffffffffull, a_hi = a >> 32;
+  const std::uint64_t b_lo = b & 0xffffffffull, b_hi = b >> 32;
+  const std::uint64_t p0 = a_lo * b_lo;
+  const std::uint64_t p1 = a_lo * b_hi;
+  const std::uint64_t p2 = a_hi * b_lo;
+  const std::uint64_t p3 = a_hi * b_hi;
+  const std::uint64_t mid = p1 + (p0 >> 32) + (p2 & 0xffffffffull);
+  lo = (p0 & 0xffffffffull) | (mid << 32);
+  hi = p3 + (p2 >> 32) + (mid >> 32);
+}
+
+/// Lemire's bounded rejection written out by hand, drawing from `rng`.
+std::uint64_t reference_bounded(Rng& rng, std::uint64_t bound) {
+  std::uint64_t hi = 0, lo = 0;
+  mul_64x64(rng.next_u64(), bound, hi, lo);
+  if (lo < bound) {
+    const std::uint64_t threshold = (0 - bound) % bound;  // 2^64 mod bound
+    while (lo < threshold) mul_64x64(rng.next_u64(), bound, hi, lo);
+  }
+  return hi;
+}
+
+TEST(Rng, NextBelowMatchesIndependentReference) {
+  constexpr std::uint64_t kMax = std::numeric_limits<std::uint64_t>::max();
+  const std::uint64_t bounds[] = {1,
+                                  2,
+                                  3,
+                                  7,
+                                  1000,
+                                  (1ull << 32) - 1,
+                                  1ull << 32,
+                                  (1ull << 63) - 1,
+                                  1ull << 63,
+                                  (1ull << 63) + 1,
+                                  kMax - 1,
+                                  kMax};
+  for (const std::uint64_t bound : bounds) {
+    Rng impl(2026), ref(2026);
+    for (int i = 0; i < 500; ++i) {
+      ASSERT_EQ(impl.next_below(bound), reference_bounded(ref, bound))
+          << "bound=" << bound << " draw " << i;
+    }
+    // Same number of raw draws consumed: the streams are still in sync.
+    EXPECT_EQ(impl.next_u64(), ref.next_u64()) << "bound=" << bound;
+  }
+}
+
+TEST(Rng, NextBelowBoundOneReturnsZeroAndConsumesOneDraw) {
+  Rng a(9), b(9);
+  EXPECT_EQ(a.next_below(1), 0u);
+  (void)b.next_u64();
+  EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, NextBelowHugeBoundsStayInRangeAndReachUpperHalf) {
+  constexpr std::uint64_t kMax = std::numeric_limits<std::uint64_t>::max();
+  const std::uint64_t huge[] = {1ull << 63, (1ull << 63) + 1, kMax - 1,
+                                kMax};
+  for (const std::uint64_t bound : huge) {
+    Rng rng(17);
+    bool upper_half = false;
+    for (int i = 0; i < 400; ++i) {
+      const std::uint64_t v = rng.next_below(bound);
+      ASSERT_LT(v, bound);
+      if (v >= (1ull << 62)) upper_half = true;
+    }
+    EXPECT_TRUE(upper_half) << "bound=" << bound;
+  }
+}
+
+TEST(Rng, NextInFullSignedRangeIsPassThrough) {
+  constexpr std::int64_t kLo = std::numeric_limits<std::int64_t>::min();
+  constexpr std::int64_t kHi = std::numeric_limits<std::int64_t>::max();
+  Rng a(21), b(21);
+  // span == 2^64 degenerates to a raw draw; no bias, no UB.
+  for (int i = 0; i < 200; ++i)
+    EXPECT_EQ(a.next_in(kLo, kHi), static_cast<std::int64_t>(b.next_u64()));
+}
+
+TEST(Rng, NextInSpanCrossingSignBoundary) {
+  constexpr std::int64_t kLo = std::numeric_limits<std::int64_t>::min();
+  constexpr std::int64_t kHi = std::numeric_limits<std::int64_t>::max();
+  Rng rng(23);
+  bool negative = false, positive = false;
+  // span == 2^64 - 1: the old `lo + (int64)offset` form was signed
+  // overflow for any offset past 2^63 - 1.
+  for (int i = 0; i < 400; ++i) {
+    const std::int64_t v = rng.next_in(kLo, kHi - 1);
+    ASSERT_GE(v, kLo);
+    ASSERT_LE(v, kHi - 1);
+    if (v < 0) negative = true;
+    if (v > 0) positive = true;
+  }
+  EXPECT_TRUE(negative);
+  EXPECT_TRUE(positive);
+  // Degenerate one-value ranges at both extremes.
+  EXPECT_EQ(rng.next_in(kLo, kLo), kLo);
+  EXPECT_EQ(rng.next_in(kHi, kHi), kHi);
+  for (int i = 0; i < 50; ++i) {
+    const std::int64_t v = rng.next_in(kLo, kLo + 1);
+    ASSERT_TRUE(v == kLo || v == kLo + 1);
+    const std::int64_t w = rng.next_in(kHi - 1, kHi);
+    ASSERT_TRUE(w == kHi - 1 || w == kHi);
+  }
+}
+
+TEST(Rng, DeriveSeedDeterministicAndDistinct) {
+  EXPECT_EQ(derive_seed(42, 7), derive_seed(42, 7));
+  std::set<std::uint64_t> seen;
+  for (const std::uint64_t master : {0ull, 1ull, 42ull, 0xdeadbeefull}) {
+    for (std::uint64_t i = 0; i < 1000; ++i)
+      seen.insert(derive_seed(master, i));
+  }
+  // 4 masters x 1000 indices, no collisions — cells get distinct streams.
+  EXPECT_EQ(seen.size(), 4000u);
+  // The derived seed is not the master itself (index 0 included).
+  EXPECT_NE(derive_seed(42, 0), 42u);
 }
 
 TEST(Table, RendersAlignedColumns) {
