@@ -45,14 +45,14 @@ void print_encodings(obs::BenchReporter& rep) {
       [&](std::size_t i) {
         const int n = sizes[i];
         EncodingCell cell;
-        cell.onehot = core::generate_round_robin(n, FlowKind::kExpressLike,
-                                                 Encoding::kOneHot)
+        cell.onehot = core::generate_round_robin_cached(
+                          n, FlowKind::kExpressLike, Encoding::kOneHot)
                           .chars;
-        cell.compact = core::generate_round_robin(n, FlowKind::kExpressLike,
-                                                  Encoding::kCompact)
+        cell.compact = core::generate_round_robin_cached(
+                           n, FlowKind::kExpressLike, Encoding::kCompact)
                            .chars;
-        cell.gray = core::generate_round_robin(n, FlowKind::kExpressLike,
-                                               Encoding::kGray)
+        cell.gray = core::generate_round_robin_cached(
+                        n, FlowKind::kExpressLike, Encoding::kGray)
                         .chars;
         return cell;
       },
@@ -94,16 +94,16 @@ void print_encodings(obs::BenchReporter& rep) {
         const int n = sizes[i];
         ModeCell cell;
         cell.structural =
-            core::generate_round_robin(n, FlowKind::kExpressLike,
-                                       Encoding::kOneHot,
-                                       timing::xc4000e_speed3(),
-                                       GeneratorMode::kStructural)
+            core::generate_round_robin_cached(n, FlowKind::kExpressLike,
+                                              Encoding::kOneHot,
+                                              timing::xc4000e_speed3(),
+                                              GeneratorMode::kStructural)
                 .chars;
         cell.behavioral =
-            core::generate_round_robin(n, FlowKind::kExpressLike,
-                                       Encoding::kOneHot,
-                                       timing::xc4000e_speed3(),
-                                       GeneratorMode::kBehavioral)
+            core::generate_round_robin_cached(n, FlowKind::kExpressLike,
+                                              Encoding::kOneHot,
+                                              timing::xc4000e_speed3(),
+                                              GeneratorMode::kBehavioral)
                 .chars;
         return cell;
       },
@@ -138,6 +138,7 @@ void BM_StructuralVsBehavioral(benchmark::State& state) {
   const auto mode = state.range(0) == 0 ? GeneratorMode::kStructural
                                         : GeneratorMode::kBehavioral;
   for (auto _ : state) {
+    // Deliberately uncached: this benchmark measures synthesis cost.
     auto g = core::generate_round_robin(6, FlowKind::kExpressLike,
                                         Encoding::kOneHot,
                                         timing::xc4000e_speed3(), mode);

@@ -15,8 +15,10 @@
 #include <string>
 #include <vector>
 
+#include "core/generator.hpp"
 #include "core/insertion.hpp"
 #include "fault/fault.hpp"
+#include "netlist/lane_simulator.hpp"
 #include "obs/bench_report.hpp"
 #include "rcsim/system_sim.hpp"
 #include "support/parallel.hpp"
@@ -273,6 +275,69 @@ void BM_CampaignCell(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_CampaignCell)->Arg(0)->Arg(1);
+
+/// Lane-batched SEU replicas of the campaign's bank arbiter: record the
+/// effective request stream the behavioral arbiter saw during one clean
+/// run, then replay it against the memo-cached hardened *synthesized*
+/// netlist — 64 replicas at once, each lane's SEU staggered across the
+/// stream.  This is the netlist-level fault batch the campaign's cycle
+/// budget goes into, timed end to end.
+void BM_LaneReplicaCampaign(benchmark::State& state) {
+  const Workload w;
+  core::InsertionOptions io;
+  io.policy = Policy::kRoundRobin;
+  io.retry_timeout = 12;
+  const core::InsertionResult ins =
+      core::insert_arbitration(w.g, w.binding, io);
+  rcsim::SimOptions so;
+  so.record_request_trace = true;
+  rcsim::SystemSimulator sim(ins.graph, w.binding, ins.plan, so);
+  const rcsim::SimResult res = sim.run({0, 1, 2, 3});
+  std::size_t bank = 0;  // the 3-port arbiter guards the shared bank
+  for (std::size_t a = 0; a < ins.plan.arbiters.size(); ++a)
+    if (ins.plan.arbiters[a].ports.size() == 3) bank = a;
+  const std::vector<std::uint64_t>& trace = res.request_trace[bank];
+
+  const auto& rr3 = core::synthesize_round_robin_cached(
+      3, synth::Encoding::kOneHot, /*harden=*/true);
+  std::vector<netlist::NetId> req, grant, regs;
+  for (int i = 0; i < 3; ++i) {
+    req.push_back(*rr3.netlist.find_net("req" + std::to_string(i)));
+    grant.push_back(*rr3.netlist.find_net("grant" + std::to_string(i)));
+  }
+  for (std::size_t s = 0;; ++s) {
+    const auto net = rr3.netlist.find_net("state" + std::to_string(s));
+    if (!net.has_value()) break;
+    regs.push_back(*net);
+  }
+  const std::size_t stride = trace.size() / 64 + 1;
+
+  netlist::LaneSimulator lane(rr3.netlist);
+  for (auto _ : state) {
+    lane.reset();
+    std::uint64_t checksum = 0;
+    for (std::size_t c = 0; c < trace.size(); ++c) {
+      for (std::size_t i = 0; i < req.size(); ++i)
+        lane.set_input(req[i],
+                       ((trace[c] >> i) & 1) ? ~std::uint64_t{0} : 0);
+      lane.settle();
+      for (std::size_t i = 0; i < grant.size(); ++i)
+        checksum = checksum * 31 + lane.get(grant[i]);
+      if (c % stride == 0 && c / stride < netlist::LaneSimulator::kLanes) {
+        const std::size_t l = c / stride;
+        const netlist::NetId target = regs[l % regs.size()];
+        lane.poke_register_lane(target, l, !lane.get_lane(target, l));
+      }
+      lane.clock();
+    }
+    benchmark::DoNotOptimize(checksum);
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(netlist::LaneSimulator::kLanes *
+                                trace.size()));
+}
+BENCHMARK(BM_LaneReplicaCampaign);
 
 }  // namespace
 

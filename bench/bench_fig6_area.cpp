@@ -15,6 +15,7 @@
 namespace {
 
 using rcarb::core::generate_round_robin;
+using rcarb::core::generate_round_robin_cached;
 using rcarb::synth::Encoding;
 using rcarb::synth::FlowKind;
 
@@ -26,12 +27,12 @@ void print_fig6(rcarb::obs::BenchReporter& rep) {
                     "Synplify one-hot", "LUTs (Expr 1-hot)",
                     "FFs (Expr 1-hot)"});
   for (int n = 2; n <= 10; ++n) {
-    const auto eo =
-        generate_round_robin(n, FlowKind::kExpressLike, Encoding::kOneHot);
-    const auto ec =
-        generate_round_robin(n, FlowKind::kExpressLike, Encoding::kCompact);
-    const auto so =
-        generate_round_robin(n, FlowKind::kSynplifyLike, Encoding::kOneHot);
+    const auto& eo = generate_round_robin_cached(n, FlowKind::kExpressLike,
+                                                 Encoding::kOneHot);
+    const auto& ec = generate_round_robin_cached(n, FlowKind::kExpressLike,
+                                                 Encoding::kCompact);
+    const auto& so = generate_round_robin_cached(n, FlowKind::kSynplifyLike,
+                                                 Encoding::kOneHot);
     table.add_row({std::to_string(n), std::to_string(eo.chars.clbs),
                    std::to_string(ec.chars.clbs),
                    std::to_string(so.chars.clbs),

@@ -15,7 +15,7 @@
 
 namespace {
 
-using rcarb::core::generate_round_robin;
+using rcarb::core::generate_round_robin_cached;
 using rcarb::synth::Encoding;
 using rcarb::synth::FlowKind;
 
@@ -26,12 +26,12 @@ void print_fig7(rcarb::obs::BenchReporter& rep) {
   table.set_header({"N", "Express one-hot", "Express compact",
                     "Synplify one-hot", "LUT depth (Expr 1-hot)"});
   for (int n = 2; n <= 10; ++n) {
-    const auto eo =
-        generate_round_robin(n, FlowKind::kExpressLike, Encoding::kOneHot);
-    const auto ec =
-        generate_round_robin(n, FlowKind::kExpressLike, Encoding::kCompact);
-    const auto so =
-        generate_round_robin(n, FlowKind::kSynplifyLike, Encoding::kOneHot);
+    const auto& eo = generate_round_robin_cached(n, FlowKind::kExpressLike,
+                                                 Encoding::kOneHot);
+    const auto& ec = generate_round_robin_cached(n, FlowKind::kExpressLike,
+                                                 Encoding::kCompact);
+    const auto& so = generate_round_robin_cached(n, FlowKind::kSynplifyLike,
+                                                 Encoding::kOneHot);
     table.add_row({std::to_string(n), rcarb::fmt_fixed(eo.chars.fmax_mhz, 1),
                    rcarb::fmt_fixed(ec.chars.fmax_mhz, 1),
                    rcarb::fmt_fixed(so.chars.fmax_mhz, 1),
@@ -47,8 +47,9 @@ void print_fig7(rcarb::obs::BenchReporter& rep) {
 
 void BM_StaticTimingAnalysis(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
-  const auto g =
-      generate_round_robin(n, FlowKind::kExpressLike, Encoding::kOneHot);
+  const auto& g =
+      generate_round_robin_cached(n, FlowKind::kExpressLike,
+                                  Encoding::kOneHot);
   const auto model = rcarb::timing::xc4000e_speed3();
   for (auto _ : state) {
     auto report = rcarb::timing::analyze(g.synth.netlist, model);

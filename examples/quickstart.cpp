@@ -4,6 +4,7 @@
 //
 //   $ ./quickstart
 #include <cstdio>
+#include <vector>
 
 #include "core/generator.hpp"
 #include "core/policy.hpp"
@@ -41,16 +42,23 @@ int main() {
   // 3. Drive the synthesized netlist: three tasks fight for one resource.
   netlist::Simulator sim(arb.synth.netlist);
   core::RoundRobinArbiter reference(4);
+  // Resolve port names once; the cycle loop works on NetIds.
+  std::vector<netlist::NetId> req_net, grant_net;
+  for (int i = 0; i < 4; ++i) {
+    req_net.push_back(*arb.synth.netlist.find_net("req" + std::to_string(i)));
+    grant_net.push_back(
+        *arb.synth.netlist.find_net("grant" + std::to_string(i)));
+  }
   std::printf("cycle-by-cycle protocol (requests -> grant):\n");
   const std::uint64_t traffic[] = {0b0000, 0b0110, 0b0110, 0b1111,
                                    0b1011, 0b1001, 0b0000, 0b0001};
   for (std::uint64_t req : traffic) {
     for (int i = 0; i < 4; ++i)
-      sim.set_input("req" + std::to_string(i), (req >> i) & 1);
+      sim.set_input(req_net[static_cast<std::size_t>(i)], (req >> i) & 1);
     sim.settle();
     int granted = -1;
     for (int i = 0; i < 4; ++i)
-      if (sim.get("grant" + std::to_string(i))) granted = i;
+      if (sim.get(grant_net[static_cast<std::size_t>(i)])) granted = i;
     const int want = reference.step(req);
     std::printf("  req=%d%d%d%d  ->  grant=%s   (reference model: %s)\n",
                 static_cast<int>((req >> 3) & 1),

@@ -1,5 +1,11 @@
 #include "core/generator.hpp"
 
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <tuple>
+
 #include "core/policy.hpp"
 #include "core/rr_fsm.hpp"
 #include "core/structural.hpp"
@@ -82,11 +88,118 @@ GeneratedArbiter characterize_fsm(const synth::Fsm& fsm, int n,
   return out;
 }
 
+namespace {
+
+// Process-wide synthesis memo.  The mutex only guards the key->entry maps;
+// each entry's synthesis runs under its own std::once_flag, so two sweep
+// workers asking for *different* configurations synthesize concurrently
+// while two workers asking for the *same* one share a single run (the
+// second blocks in call_once until the first finishes).  Entries are
+// heap-allocated so references stay stable as the maps rehash/rebalance.
+struct MemoCounters {
+  std::atomic<std::uint64_t> hits{0};
+  std::atomic<std::uint64_t> misses{0};
+};
+
+MemoCounters& memo_counters() {
+  static MemoCounters counters;
+  return counters;
+}
+
+template <typename Key, typename Value>
+class SynthMemo {
+ public:
+  template <typename MakeFn>
+  const Value& get_or_synthesize(const Key& key, MakeFn&& make) {
+    Entry* entry = nullptr;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      auto [it, inserted] = entries_.try_emplace(key);
+      if (inserted) {
+        it->second = std::make_unique<Entry>();
+        memo_counters().misses.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        memo_counters().hits.fetch_add(1, std::memory_order_relaxed);
+      }
+      entry = it->second.get();
+    }
+    std::call_once(entry->once, [&] { entry->value = make(); });
+    return entry->value;
+  }
+
+ private:
+  struct Entry {
+    std::once_flag once;
+    Value value;
+  };
+  std::mutex mutex_;
+  std::map<Key, std::unique_ptr<Entry>> entries_;
+};
+
+// The delay model participates in the key as its six raw parameters so two
+// distinct models never alias to one characterization.
+using ModelKey = std::tuple<double, double, double, double, double, double>;
+
+ModelKey model_key(const timing::DelayModel& m) {
+  return {m.lut_delay,       m.clk_to_q,         m.setup,
+          m.net_base,        m.net_per_fanout,   m.clock_uncertainty};
+}
+
+using GenerateKey = std::tuple<int, synth::FlowKind, synth::Encoding,
+                               GeneratorMode, ModelKey>;
+using BehavioralKey = std::tuple<int, synth::Encoding, bool>;
+
+SynthMemo<GenerateKey, GeneratedArbiter>& generate_memo() {
+  static auto* memo = new SynthMemo<GenerateKey, GeneratedArbiter>();
+  return *memo;
+}
+
+SynthMemo<BehavioralKey, synth::SynthResult>& behavioral_memo() {
+  static auto* memo = new SynthMemo<BehavioralKey, synth::SynthResult>();
+  return *memo;
+}
+
+}  // namespace
+
+SynthMemoStats synth_memo_stats() {
+  SynthMemoStats stats;
+  stats.hits = memo_counters().hits.load(std::memory_order_relaxed);
+  stats.misses = memo_counters().misses.load(std::memory_order_relaxed);
+  return stats;
+}
+
+const GeneratedArbiter& generate_round_robin_cached(
+    int n, synth::FlowKind flow, synth::Encoding encoding,
+    const timing::DelayModel& model, GeneratorMode mode) {
+  // Synplify forces one-hot, so fold the requested encoding into the one
+  // actually used — otherwise the same netlist would be synthesized once
+  // per requested-encoding value.
+  const synth::Encoding used = flow == synth::FlowKind::kSynplifyLike
+                                   ? synth::Encoding::kOneHot
+                                   : encoding;
+  const GenerateKey key{n, flow, used, mode, model_key(model)};
+  return generate_memo().get_or_synthesize(
+      key, [&] { return generate_round_robin(n, flow, used, model, mode); });
+}
+
+const synth::SynthResult& synthesize_round_robin_cached(int n,
+                                                        synth::Encoding
+                                                            encoding,
+                                                        bool harden) {
+  const BehavioralKey key{n, encoding, harden};
+  return behavioral_memo().get_or_synthesize(key, [&] {
+    synth::FlowOptions options;
+    options.kind = synth::FlowKind::kExpressLike;
+    options.encoding = encoding;
+    options.harden = harden;
+    return synth::synthesize_fsm(build_round_robin_fsm(n), options);
+  });
+}
+
 const ArbiterCharacteristics& PrecharCache::get(int n) {
-  if (auto it = cache_.find(n); it != cache_.end()) return it->second;
-  GeneratedArbiter g = generate_round_robin(n, flow_, encoding_, model_);
-  auto [it, inserted] = cache_.emplace(n, g.chars);
-  return it->second;
+  // Delegates to the process-wide memo: every PrecharCache instance with
+  // the same flow/encoding/model shares one synthesis per N.
+  return generate_round_robin_cached(n, flow_, encoding_, model_).chars;
 }
 
 }  // namespace rcarb::core

@@ -8,8 +8,6 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
-#include <tuple>
 
 #include "synth/flow.hpp"
 #include "timing/delay_model.hpp"
@@ -64,6 +62,35 @@ enum class GeneratorMode : std::uint8_t {
     synth::Encoding encoding,
     const timing::DelayModel& model = timing::xc4000e_speed3());
 
+/// Hit/miss counters of the process-wide synthesis memo.
+struct SynthMemoStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+};
+
+[[nodiscard]] SynthMemoStats synth_memo_stats();
+
+/// Memoized generate_round_robin: identical configurations (same N, flow,
+/// encoding, delay model, and generator mode) synthesize once per process
+/// and every later caller gets a reference to the same immutable result.
+/// Sweep cells — ablation grids, fault-campaign cells, partitioner
+/// estimation — hit this instead of re-running synthesis.  Thread-safe
+/// under RCARB_JOBS: a mutex guards the key map and a per-entry
+/// std::once_flag runs each synthesis exactly once, so distinct keys still
+/// synthesize concurrently.  The returned reference lives for the process.
+[[nodiscard]] const GeneratedArbiter& generate_round_robin_cached(
+    int n, synth::FlowKind flow, synth::Encoding encoding,
+    const timing::DelayModel& model = timing::xc4000e_speed3(),
+    GeneratorMode mode = GeneratorMode::kStructural);
+
+/// Memoized behavioral synthesis of the N-input round-robin FSM under the
+/// Express-like flow, keyed by (N, encoding, hardening).  This is the
+/// netlist-producing twin of generate_round_robin_cached for callers that
+/// need the hardened (SEU-recovering) variant, which only synthesize_fsm
+/// supports.  Same locking discipline; the reference lives for the process.
+[[nodiscard]] const synth::SynthResult& synthesize_round_robin_cached(
+    int n, synth::Encoding encoding, bool harden);
+
 /// Memoizing cache over (n, flow, encoding) used by partitioning/estimation.
 class PrecharCache {
  public:
@@ -80,7 +107,6 @@ class PrecharCache {
   synth::FlowKind flow_;
   synth::Encoding encoding_;
   timing::DelayModel model_;
-  std::map<int, ArbiterCharacteristics> cache_;
 };
 
 }  // namespace rcarb::core

@@ -1,7 +1,6 @@
 #include "flow/sparcs_flow.hpp"
 
 #include <algorithm>
-#include <map>
 #include <sstream>
 
 #include "support/check.hpp"
@@ -42,15 +41,12 @@ FlowReport run_flow(const tg::TaskGraph& input, const board::Board& board,
     std::copy(words.begin(), words.end(), memory_state[seg].begin());
   }
 
-  // Arbiter synthesis cache: one netlist per distinct port count.
-  std::map<int, core::ArbiterCharacteristics> chars_by_n;
-  auto characterize = [&](int n) {
-    if (auto it = chars_by_n.find(n); it != chars_by_n.end())
-      return it->second;
-    const core::GeneratedArbiter g =
-        core::generate_round_robin(n, options.synth_flow, options.encoding);
-    chars_by_n.emplace(n, g.chars);
-    return g.chars;
+  // Arbiter synthesis goes through the process-wide memo: one netlist per
+  // distinct (port count, flow, encoding) across every run_flow call.
+  auto characterize = [&](int n) -> const core::ArbiterCharacteristics& {
+    return core::generate_round_robin_cached(n, options.synth_flow,
+                                             options.encoding)
+        .chars;
   };
 
   double min_fmax = 0.0;

@@ -1,0 +1,209 @@
+#include "netlist/lane_simulator.hpp"
+
+#include <algorithm>
+#include <array>
+#include <functional>
+
+#include "support/check.hpp"
+
+namespace rcarb::netlist {
+
+namespace {
+constexpr std::uint64_t kAllLanes = ~std::uint64_t{0};
+}  // namespace
+
+LaneSimulator::LaneSimulator(const Netlist& netlist, SettleMode mode)
+    : netlist_(netlist),
+      mode_(mode),
+      topo_(netlist.lut_topo_order()),
+      value_(netlist.num_nets(), 0),
+      dff_sample_(netlist.num_dffs(), 0) {
+  rows_offset_.reserve(netlist.num_luts());
+  for (const Lut& lut : netlist.luts()) {
+    rows_offset_.push_back(static_cast<std::uint32_t>(rows_.size()));
+    const std::size_t num_rows = std::size_t{1} << lut.inputs.size();
+    for (std::size_t r = 0; r < num_rows; ++r)
+      rows_.push_back(((lut.mask >> r) & 1u) ? kAllLanes : 0);
+  }
+  if (mode_ == SettleMode::kEventDriven) {
+    fanouts_ = netlist.lut_fanouts();
+    rank_of_lut_.resize(netlist.num_luts());
+    for (std::size_t rank = 0; rank < topo_.size(); ++rank)
+      rank_of_lut_[topo_[rank]] = static_cast<std::uint32_t>(rank);
+    queued_.assign(netlist.num_luts(), 0);
+    dirty_heap_.reserve(netlist.num_luts());
+  }
+  reset();
+}
+
+void LaneSimulator::reset() {
+  std::fill(value_.begin(), value_.end(), 0);
+  for (const Dff& dff : netlist_.dffs())
+    value_[dff.q] = dff.init ? kAllLanes : 0;
+  full_resettle_pending_ = true;
+  settle();
+}
+
+void LaneSimulator::write_input(NetId net, std::uint64_t word) {
+  if (value_[net] == word) return;
+  value_[net] = word;
+  if (mode_ == SettleMode::kEventDriven) mark_fanouts_dirty(net);
+}
+
+void LaneSimulator::set_input(NetId net, std::uint64_t word) {
+  RCARB_CHECK(netlist_.driver_kind(net) == DriverKind::kPrimaryInput,
+              "set_input on a non-input net");
+  write_input(net, word);
+}
+
+void LaneSimulator::set_input(const std::string& name, std::uint64_t word) {
+  set_input(resolve(name, "unknown input net: "), word);
+}
+
+void LaneSimulator::set_input_lane(NetId net, std::size_t lane, bool value) {
+  RCARB_CHECK(netlist_.driver_kind(net) == DriverKind::kPrimaryInput,
+              "set_input on a non-input net");
+  RCARB_CHECK(lane < kLanes, "lane out of range");
+  const std::uint64_t bit = std::uint64_t{1} << lane;
+  write_input(net, value ? (value_[net] | bit) : (value_[net] & ~bit));
+}
+
+void LaneSimulator::set_input_lane(const std::string& name, std::size_t lane,
+                                   bool value) {
+  set_input_lane(resolve(name, "unknown input net: "), lane, value);
+}
+
+void LaneSimulator::mark_fanouts_dirty(NetId net) {
+  for (std::uint32_t lut : fanouts_[net]) {
+    if (queued_[lut]) continue;
+    queued_[lut] = 1;
+    dirty_heap_.push_back(rank_of_lut_[lut]);
+    std::push_heap(dirty_heap_.begin(), dirty_heap_.end(),
+                   std::greater<std::uint32_t>{});
+  }
+}
+
+std::uint64_t LaneSimulator::eval_lut(std::size_t lut_index) const {
+  const Lut& lut = netlist_.luts()[lut_index];
+  // Mux-tree fold: start from the expanded truth-table rows and halve the
+  // table once per input word; each lane's bit path selects its own row.
+  std::array<std::uint64_t, std::size_t{1} << kMaxLutInputs> t;
+  const std::size_t num_rows = std::size_t{1} << lut.inputs.size();
+  const std::uint64_t* rows = rows_.data() + rows_offset_[lut_index];
+  std::copy(rows, rows + num_rows, t.begin());
+  std::size_t width = num_rows;
+  for (std::size_t b = 0; b < lut.inputs.size(); ++b) {
+    const std::uint64_t w = value_[lut.inputs[b]];
+    width >>= 1;
+    for (std::size_t j = 0; j < width; ++j)
+      t[j] = (t[2 * j] & ~w) | (t[2 * j + 1] & w);
+  }
+  return t[0];
+}
+
+void LaneSimulator::settle() {
+  if (mode_ == SettleMode::kFullTopo || full_resettle_pending_) {
+    settle_full();
+  } else {
+    settle_event();
+  }
+}
+
+void LaneSimulator::settle_full() {
+  for (std::size_t i : topo_) value_[netlist_.luts()[i].output] = eval_lut(i);
+  luts_evaluated_ += topo_.size();
+  ++full_settles_;
+  if (mode_ == SettleMode::kEventDriven) {
+    for (std::uint32_t rank : dirty_heap_) queued_[topo_[rank]] = 0;
+    dirty_heap_.clear();
+    full_resettle_pending_ = false;
+  }
+}
+
+void LaneSimulator::settle_event() {
+  while (!dirty_heap_.empty()) {
+    std::pop_heap(dirty_heap_.begin(), dirty_heap_.end(),
+                  std::greater<std::uint32_t>{});
+    const std::size_t i = topo_[dirty_heap_.back()];
+    dirty_heap_.pop_back();
+    queued_[i] = 0;
+    const std::uint64_t out = eval_lut(i);
+    ++luts_evaluated_;
+    const NetId out_net = netlist_.luts()[i].output;
+    if (value_[out_net] == out) continue;
+    value_[out_net] = out;
+    mark_fanouts_dirty(out_net);
+  }
+  ++event_settles_;
+}
+
+void LaneSimulator::clock() {
+  // Sample every d first so the update is simultaneous in every lane.
+  for (std::size_t i = 0; i < netlist_.num_dffs(); ++i)
+    dff_sample_[i] = value_[netlist_.dffs()[i].d];
+  for (std::size_t i = 0; i < netlist_.num_dffs(); ++i) {
+    const Dff& dff = netlist_.dffs()[i];
+    if (value_[dff.q] == dff_sample_[i]) continue;
+    value_[dff.q] = dff_sample_[i];
+    if (mode_ == SettleMode::kEventDriven) mark_fanouts_dirty(dff.q);
+  }
+  settle();
+}
+
+void LaneSimulator::poke_register(NetId net, std::uint64_t word) {
+  RCARB_CHECK(netlist_.driver_kind(net) == DriverKind::kDff,
+              "poke_register on a non-register net");
+  value_[net] = word;
+  // Same rule as the scalar simulator: fault injection falls back to one
+  // proven full topo pass.
+  full_resettle_pending_ = true;
+  settle();
+}
+
+void LaneSimulator::poke_register(const std::string& name,
+                                  std::uint64_t word) {
+  poke_register(resolve(name, "unknown register net: "), word);
+}
+
+void LaneSimulator::poke_register_lane(NetId net, std::size_t lane,
+                                       bool value) {
+  RCARB_CHECK(lane < kLanes, "lane out of range");
+  const std::uint64_t bit = std::uint64_t{1} << lane;
+  RCARB_CHECK(netlist_.driver_kind(net) == DriverKind::kDff,
+              "poke_register on a non-register net");
+  poke_register(net, value ? (value_[net] | bit) : (value_[net] & ~bit));
+}
+
+void LaneSimulator::poke_register_lane(const std::string& name,
+                                       std::size_t lane, bool value) {
+  poke_register_lane(resolve(name, "unknown register net: "), lane, value);
+}
+
+std::uint64_t LaneSimulator::get(NetId net) const {
+  RCARB_CHECK(net < netlist_.num_nets(), "net out of range");
+  return value_[net];
+}
+
+std::uint64_t LaneSimulator::get(const std::string& name) const {
+  return get(resolve(name, "unknown net: "));
+}
+
+bool LaneSimulator::get_lane(NetId net, std::size_t lane) const {
+  RCARB_CHECK(lane < kLanes, "lane out of range");
+  return (get(net) >> lane) & 1u;
+}
+
+bool LaneSimulator::get_lane(const std::string& name,
+                             std::size_t lane) const {
+  return get_lane(resolve(name, "unknown net: "), lane);
+}
+
+NetId LaneSimulator::resolve(const std::string& name,
+                             const char* what) const {
+  ++name_lookups_;
+  const auto net = netlist_.find_net(name);
+  RCARB_CHECK(net.has_value(), what + name);
+  return *net;
+}
+
+}  // namespace rcarb::netlist

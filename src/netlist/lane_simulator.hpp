@@ -1,0 +1,118 @@
+// Bit-parallel 64-lane netlist simulation.
+//
+// Packs 64 independent scenarios ("lanes") into one std::uint64_t word per
+// net: bit l of a net's word is that net's value in lane l.  One pass over
+// the LUT topo order then advances all 64 scenarios at once — 64 Monte
+// Carlo fault-campaign replicas, or 64 request patterns, per visit.
+//
+// LUTs are evaluated by mask-select logic ops instead of per-row bit
+// extraction: each of the 2^k truth-table rows is expanded once (at
+// construction) into an all-ones or all-zeros word, and evaluation folds
+// that table with a mux tree over the k input words,
+//
+//   t'[j] = (t[2j] & ~w_b) | (t[2j+1] & w_b)     for input bit b,
+//
+// halving the table per input until t[0] holds the packed output for all
+// 64 lanes.  Each lane independently selects its own row — no lane ever
+// observes another lane's bits.
+//
+// The settle strategies and two-phase clocking semantics match
+// netlist::Simulator exactly (see simulator.hpp); the lockstep equivalence
+// tests pin scalar vs lane vs event-driven to bit-identical traces.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "netlist/simulator.hpp"  // SettleMode
+
+namespace rcarb::netlist {
+
+/// Simulates 64 independent scenarios of one Netlist in lockstep.
+class LaneSimulator {
+ public:
+  static constexpr std::size_t kLanes = 64;
+
+  /// Captures the topo order and expands every LUT mask into row words; the
+  /// netlist must outlive the simulator and must not be mutated afterwards.
+  /// Defaults to event-driven settling — lane batches are typically driven
+  /// by slowly-varying request words, where skipping clean LUTs pays.
+  explicit LaneSimulator(const Netlist& netlist,
+                         SettleMode mode = SettleMode::kEventDriven);
+
+  /// Returns all DFFs to their init values in every lane and re-settles
+  /// (full pass).
+  void reset();
+
+  /// Sets a primary input across all 64 lanes (bit l = lane l).
+  void set_input(NetId net, std::uint64_t word);
+  void set_input(const std::string& name, std::uint64_t word);
+  /// Sets a primary input in one lane, leaving the other 63 untouched.
+  void set_input_lane(NetId net, std::size_t lane, bool value);
+  void set_input_lane(const std::string& name, std::size_t lane, bool value);
+
+  /// Propagates combinational logic to a fixed point (all lanes).
+  void settle();
+
+  /// Rising clock edge: latches d into every q in every lane, then settles.
+  void clock();
+
+  /// Fault injection: overwrites a DFF's q word / one lane's q bit (SEUs in
+  /// the register) and re-settles via one full topo pass.
+  void poke_register(NetId net, std::uint64_t word);
+  void poke_register(const std::string& name, std::uint64_t word);
+  void poke_register_lane(NetId net, std::size_t lane, bool value);
+  void poke_register_lane(const std::string& name, std::size_t lane,
+                          bool value);
+
+  /// Packed value of a net across all lanes (bit l = lane l).
+  [[nodiscard]] std::uint64_t get(NetId net) const;
+  [[nodiscard]] std::uint64_t get(const std::string& name) const;
+  [[nodiscard]] bool get_lane(NetId net, std::size_t lane) const;
+  [[nodiscard]] bool get_lane(const std::string& name,
+                              std::size_t lane) const;
+
+  // ---- Instrumentation (same meanings as netlist::Simulator). ----
+  [[nodiscard]] std::uint64_t name_lookups() const { return name_lookups_; }
+  [[nodiscard]] std::uint64_t luts_evaluated() const {
+    return luts_evaluated_;
+  }
+  [[nodiscard]] std::uint64_t full_settles() const { return full_settles_; }
+  [[nodiscard]] std::uint64_t event_settles() const { return event_settles_; }
+
+ private:
+  [[nodiscard]] NetId resolve(const std::string& name,
+                              const char* what) const;
+  void mark_fanouts_dirty(NetId net);
+  void settle_full();
+  void settle_event();
+  void write_input(NetId net, std::uint64_t word);
+  [[nodiscard]] std::uint64_t eval_lut(std::size_t lut_index) const;
+
+  const Netlist& netlist_;
+  SettleMode mode_;
+  std::vector<std::size_t> topo_;
+  std::vector<std::uint64_t> value_;       // per net, bit l = lane l
+  std::vector<std::uint64_t> dff_sample_;  // clock() staging buffer
+  // Row words, 2^k per LUT at rows_offset_[lut]: row r expands to ~0 or 0
+  // depending on bit r of the LUT mask.
+  std::vector<std::uint64_t> rows_;
+  std::vector<std::uint32_t> rows_offset_;
+
+  // Event-driven state (empty in kFullTopo mode); same discipline as
+  // netlist::Simulator.
+  std::vector<std::vector<std::uint32_t>> fanouts_;
+  std::vector<std::uint32_t> rank_of_lut_;
+  std::vector<std::uint32_t> dirty_heap_;
+  std::vector<char> queued_;
+  bool full_resettle_pending_ = true;
+
+  mutable std::uint64_t name_lookups_ = 0;
+  std::uint64_t luts_evaluated_ = 0;
+  std::uint64_t full_settles_ = 0;
+  std::uint64_t event_settles_ = 0;
+};
+
+}  // namespace rcarb::netlist

@@ -85,6 +85,19 @@ std::vector<std::size_t> Netlist::fanout_counts() const {
   return fanout;
 }
 
+std::vector<std::vector<std::uint32_t>> Netlist::lut_fanouts() const {
+  std::vector<std::vector<std::uint32_t>> fanouts(num_nets());
+  for (std::size_t i = 0; i < luts_.size(); ++i) {
+    for (NetId in : luts_[i].inputs) {
+      // A LUT may read the same net on several pins; record it once.
+      auto& sinks = fanouts[in];
+      if (sinks.empty() || sinks.back() != static_cast<std::uint32_t>(i))
+        sinks.push_back(static_cast<std::uint32_t>(i));
+    }
+  }
+  return fanouts;
+}
+
 std::vector<std::size_t> Netlist::lut_topo_order() const {
   // Kahn's algorithm over LUT→LUT dependencies (inputs and DFF outputs are
   // sources and impose no ordering).

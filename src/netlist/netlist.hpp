@@ -19,6 +19,12 @@ using NetId = std::uint32_t;
 /// Largest LUT input count (XC4000e function generators are 4-input).
 inline constexpr std::size_t kMaxLutInputs = 4;
 
+// The simulators index LUT rows with 64-bit masks and `Lut::mask` holds one
+// bit per row, so the arity bound must keep every row index below both
+// limits (a >= 32-input LUT would silently overflow a 32-bit row shift).
+static_assert(kMaxLutInputs < 32, "LUT row indices must fit a 32-bit shift");
+static_assert((1u << kMaxLutInputs) <= 16, "Lut::mask holds 16 rows");
+
 /// Who drives a net.
 enum class DriverKind : std::uint8_t { kPrimaryInput, kLut, kDff };
 
@@ -79,6 +85,12 @@ class Netlist {
 
   /// Number of LUT/DFF sinks per net (for the fanout-based net delay model).
   [[nodiscard]] std::vector<std::size_t> fanout_counts() const;
+
+  /// LUT sink indices per net: entry [net] lists the LUTs reading that net.
+  /// Event-driven simulation seeds its dirty worklist from these lists.
+  /// Computed fresh on each call (like fanout_counts) so a shared const
+  /// Netlist stays safe to index from concurrent sweep workers.
+  [[nodiscard]] std::vector<std::vector<std::uint32_t>> lut_fanouts() const;
 
   /// LUT indices in topological order; throws if combinational loops exist.
   [[nodiscard]] std::vector<std::size_t> lut_topo_order() const;

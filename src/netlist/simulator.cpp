@@ -1,51 +1,119 @@
 #include "netlist/simulator.hpp"
 
+#include <algorithm>
+#include <functional>
+
 #include "support/check.hpp"
 
 namespace rcarb::netlist {
 
-Simulator::Simulator(const Netlist& netlist)
+Simulator::Simulator(const Netlist& netlist, SettleMode mode)
     : netlist_(netlist),
+      mode_(mode),
       topo_(netlist.lut_topo_order()),
-      value_(netlist.num_nets(), 0) {
+      value_(netlist.num_nets(), 0),
+      dff_sample_(netlist.num_dffs(), 0) {
+  if (mode_ == SettleMode::kEventDriven) {
+    fanouts_ = netlist.lut_fanouts();
+    rank_of_lut_.resize(netlist.num_luts());
+    for (std::size_t rank = 0; rank < topo_.size(); ++rank)
+      rank_of_lut_[topo_[rank]] = static_cast<std::uint32_t>(rank);
+    queued_.assign(netlist.num_luts(), 0);
+    dirty_heap_.reserve(netlist.num_luts());
+  }
   reset();
 }
 
 void Simulator::reset() {
   std::fill(value_.begin(), value_.end(), 0);
   for (const Dff& dff : netlist_.dffs()) value_[dff.q] = dff.init ? 1 : 0;
+  // A wholesale state overwrite invalidates any incremental bookkeeping;
+  // start the event-driven simulator from a proven full pass.
+  full_resettle_pending_ = true;
   settle();
 }
 
 void Simulator::set_input(NetId net, bool value) {
   RCARB_CHECK(netlist_.driver_kind(net) == DriverKind::kPrimaryInput,
               "set_input on a non-input net");
-  value_[net] = value ? 1 : 0;
+  const char v = value ? 1 : 0;
+  if (value_[net] == v) return;
+  value_[net] = v;
+  if (mode_ == SettleMode::kEventDriven) mark_fanouts_dirty(net);
 }
 
 void Simulator::set_input(const std::string& name, bool value) {
-  const auto net = netlist_.find_net(name);
-  RCARB_CHECK(net.has_value(), "unknown input net: " + name);
-  set_input(*net, value);
+  set_input(resolve(name, "unknown input net: "), value);
+}
+
+void Simulator::mark_fanouts_dirty(NetId net) {
+  for (std::uint32_t lut : fanouts_[net]) {
+    if (queued_[lut]) continue;
+    queued_[lut] = 1;
+    dirty_heap_.push_back(rank_of_lut_[lut]);
+    std::push_heap(dirty_heap_.begin(), dirty_heap_.end(),
+                   std::greater<std::uint32_t>{});
+  }
 }
 
 void Simulator::settle() {
+  if (mode_ == SettleMode::kFullTopo || full_resettle_pending_) {
+    settle_full();
+  } else {
+    settle_event();
+  }
+}
+
+void Simulator::settle_full() {
   for (std::size_t i : topo_) {
     const Lut& lut = netlist_.luts()[i];
-    std::size_t row = 0;
+    std::uint64_t row = 0;
     for (std::size_t b = 0; b < lut.inputs.size(); ++b)
-      if (value_[lut.inputs[b]]) row |= 1u << b;
+      if (value_[lut.inputs[b]]) row |= std::uint64_t{1} << b;
     value_[lut.output] = (lut.mask >> row) & 1u;
   }
+  luts_evaluated_ += topo_.size();
+  ++full_settles_;
+  // Everything has been re-evaluated, so pending dirty marks are stale.
+  if (mode_ == SettleMode::kEventDriven) {
+    for (std::uint32_t rank : dirty_heap_) queued_[topo_[rank]] = 0;
+    dirty_heap_.clear();
+    full_resettle_pending_ = false;
+  }
+}
+
+void Simulator::settle_event() {
+  // Drain dirty LUTs in topological rank order: every LUT is evaluated
+  // after all of its dirty predecessors, so one visit per LUT suffices.
+  while (!dirty_heap_.empty()) {
+    std::pop_heap(dirty_heap_.begin(), dirty_heap_.end(),
+                  std::greater<std::uint32_t>{});
+    const std::size_t i = topo_[dirty_heap_.back()];
+    dirty_heap_.pop_back();
+    queued_[i] = 0;
+    const Lut& lut = netlist_.luts()[i];
+    std::uint64_t row = 0;
+    for (std::size_t b = 0; b < lut.inputs.size(); ++b)
+      if (value_[lut.inputs[b]]) row |= std::uint64_t{1} << b;
+    const char out = static_cast<char>((lut.mask >> row) & 1u);
+    ++luts_evaluated_;
+    if (value_[lut.output] == out) continue;
+    value_[lut.output] = out;
+    mark_fanouts_dirty(lut.output);
+  }
+  ++event_settles_;
 }
 
 void Simulator::clock() {
   // Sample every d first so the update is simultaneous.
-  std::vector<char> sampled(netlist_.num_dffs());
   for (std::size_t i = 0; i < netlist_.num_dffs(); ++i)
-    sampled[i] = value_[netlist_.dffs()[i].d];
-  for (std::size_t i = 0; i < netlist_.num_dffs(); ++i)
-    value_[netlist_.dffs()[i].q] = sampled[i];
+    dff_sample_[i] = value_[netlist_.dffs()[i].d];
+  for (std::size_t i = 0; i < netlist_.num_dffs(); ++i) {
+    const Dff& dff = netlist_.dffs()[i];
+    if (value_[dff.q] == dff_sample_[i]) continue;
+    value_[dff.q] = dff_sample_[i];
+    if (mode_ == SettleMode::kEventDriven) mark_fanouts_dirty(dff.q);
+  }
   settle();
 }
 
@@ -53,13 +121,14 @@ void Simulator::poke_register(NetId net, bool value) {
   RCARB_CHECK(netlist_.driver_kind(net) == DriverKind::kDff,
               "poke_register on a non-register net");
   value_[net] = value ? 1 : 0;
+  // Fault injection bypasses normal update tracking; re-settle everything
+  // so SEU campaigns stay on the proven full-topo path.
+  full_resettle_pending_ = true;
   settle();
 }
 
 void Simulator::poke_register(const std::string& name, bool value) {
-  const auto net = netlist_.find_net(name);
-  RCARB_CHECK(net.has_value(), "unknown register net: " + name);
-  poke_register(*net, value);
+  poke_register(resolve(name, "unknown register net: "), value);
 }
 
 bool Simulator::get(NetId net) const {
@@ -68,9 +137,14 @@ bool Simulator::get(NetId net) const {
 }
 
 bool Simulator::get(const std::string& name) const {
+  return get(resolve(name, "unknown net: "));
+}
+
+NetId Simulator::resolve(const std::string& name, const char* what) const {
+  ++name_lookups_;
   const auto net = netlist_.find_net(name);
-  RCARB_CHECK(net.has_value(), "unknown net: " + name);
-  return get(*net);
+  RCARB_CHECK(net.has_value(), what + name);
+  return *net;
 }
 
 }  // namespace rcarb::netlist

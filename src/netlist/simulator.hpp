@@ -3,8 +3,21 @@
 // Two-phase semantics: settle() propagates combinational logic with the
 // current primary inputs and register outputs (so Mealy outputs can be read
 // the same cycle), clock() then latches every DFF simultaneously.
+//
+// Two settle strategies are available:
+//   * kFullTopo    — every settle() re-evaluates every LUT in topological
+//     order (the proven baseline; always correct).
+//   * kEventDriven — settle() only evaluates LUTs downstream of nets that
+//     actually changed (a dirty worklist drained in topological order,
+//     seeded from set_input / clock via the netlist's per-net fanout
+//     lists).  Fault-injection pokes fall back to one full topo pass, so
+//     SEU campaigns keep the proven path.
+// Both produce bit-identical values: a LUT is pure, and evaluating a
+// superset of the dirty LUTs in topological order reaches the same fixed
+// point.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -12,37 +25,78 @@
 
 namespace rcarb::netlist {
 
-/// Simulates a Netlist cycle by cycle.
+/// How settle() propagates combinational logic (see file comment).
+enum class SettleMode : std::uint8_t { kFullTopo, kEventDriven };
+
+/// Simulates a Netlist cycle by cycle, one scenario at a time.
 class Simulator {
  public:
-  /// Captures the topological order; the netlist must outlive the simulator.
-  explicit Simulator(const Netlist& netlist);
+  /// Captures the topological order; the netlist must outlive the simulator
+  /// and must not be mutated afterwards.
+  explicit Simulator(const Netlist& netlist,
+                     SettleMode mode = SettleMode::kFullTopo);
 
-  /// Returns all DFFs to their init values and re-settles.
+  /// Returns all DFFs to their init values and re-settles (full pass).
   void reset();
 
   /// Sets a primary input (takes effect on the next settle()).
   void set_input(NetId net, bool value);
   void set_input(const std::string& name, bool value);
 
-  /// Propagates combinational logic to a fixed point (single topo pass).
+  /// Propagates combinational logic to a fixed point.
   void settle();
 
   /// Rising clock edge: latches d into every q, then settles.
   void clock();
 
   /// Fault injection: overwrites a DFF's q value (an SEU in the register)
-  /// and re-settles so downstream logic sees the corrupted state.
+  /// and re-settles so downstream logic sees the corrupted state.  Event-
+  /// driven simulators fall back to a full topo pass here.
   void poke_register(NetId net, bool value);
   void poke_register(const std::string& name, bool value);
 
   [[nodiscard]] bool get(NetId net) const;
   [[nodiscard]] bool get(const std::string& name) const;
 
+  // ---- Instrumentation. ----
+  /// Name-based lookups (string-keyed set_input/get/poke) since
+  /// construction.  Per-cycle simulation loops must resolve names to NetIds
+  /// once, outside the loop — the regression tests pin this counter flat
+  /// across the cycle loop.
+  [[nodiscard]] std::uint64_t name_lookups() const { return name_lookups_; }
+  /// LUT evaluations since construction (event-driven settles evaluate
+  /// strictly fewer LUTs than topo passes on quiet inputs).
+  [[nodiscard]] std::uint64_t luts_evaluated() const {
+    return luts_evaluated_;
+  }
+  /// Full topo passes / event-driven (incremental) settles performed.
+  [[nodiscard]] std::uint64_t full_settles() const { return full_settles_; }
+  [[nodiscard]] std::uint64_t event_settles() const { return event_settles_; }
+
  private:
+  [[nodiscard]] NetId resolve(const std::string& name,
+                              const char* what) const;
+  void mark_fanouts_dirty(NetId net);
+  void settle_full();
+  void settle_event();
+
   const Netlist& netlist_;
+  SettleMode mode_;
   std::vector<std::size_t> topo_;
-  std::vector<char> value_;  // per net
+  std::vector<char> value_;       // per net
+  std::vector<char> dff_sample_;  // clock() staging buffer (hoisted)
+
+  // Event-driven state (empty in kFullTopo mode).
+  std::vector<std::vector<std::uint32_t>> fanouts_;  // per net -> LUT indices
+  std::vector<std::uint32_t> rank_of_lut_;           // LUT index -> topo rank
+  std::vector<std::uint32_t> dirty_heap_;            // min-heap of topo ranks
+  std::vector<char> queued_;                         // per LUT: in heap?
+  bool full_resettle_pending_ = true;
+
+  mutable std::uint64_t name_lookups_ = 0;
+  std::uint64_t luts_evaluated_ = 0;
+  std::uint64_t full_settles_ = 0;
+  std::uint64_t event_settles_ = 0;
 };
 
 }  // namespace rcarb::netlist

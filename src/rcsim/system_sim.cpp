@@ -152,6 +152,8 @@ obs::TraceMeta SystemSimulator::trace_meta() const {
 SimResult SystemSimulator::run(const std::vector<TaskId>& tasks) {
   SimResult result;
   result.tasks.resize(graph_.num_tasks());
+  if (options_.record_request_trace)
+    result.request_trace.resize(plan_.arbiters.size());
 
   // ---- Instantiate behavioral arbiters from the plan. ----
   std::vector<std::unique_ptr<core::Arbiter>> arbiters;
@@ -491,6 +493,8 @@ SimResult SystemSimulator::run(const std::vector<TaskId>& tasks) {
       // never be evicted.
       eff &= ~force_release[a];
       force_release[a] = 0;
+
+      if (options_.record_request_trace) result.request_trace[a].push_back(eff);
 
       // Unhardened illegal registers are reported when they appear.
       if (rr[a] != nullptr) {

@@ -76,6 +76,14 @@ struct SimOptions {
   /// sweeps do not pay string formatting per event.  Strict runs always
   /// build details — the thrown message needs them.
   bool diag_detail = true;
+  /// Record each arbiter's per-cycle *effective* request word (after
+  /// stuck-at masking and watchdog force-release — exactly what the
+  /// behavioral arbiter steps on) into SimResult::request_trace.  The
+  /// recorded stream can be replayed against the synthesized netlist of
+  /// the same arbiter, e.g. 64 SEU replicas at a time in a
+  /// netlist::LaneSimulator.  Off by default: costs one store per arbiter
+  /// per cycle when on, nothing when off.
+  bool record_request_trace = false;
 };
 
 /// What went wrong (or was repaired), as a machine-checkable record.
@@ -156,6 +164,11 @@ struct SimResult {
   /// Per-arbiter counters and histograms (empty when
   /// SimOptions::arbiter_metrics is off).  Indexed like `arbiters`.
   std::vector<obs::ArbiterMetrics> arbiter_obs;
+
+  /// Per-arbiter effective request words, one entry per simulated cycle
+  /// (empty when SimOptions::record_request_trace is off).  Indexed like
+  /// `arbiters`; bit p of entry [a][c] is port p's request at cycle c.
+  std::vector<std::vector<std::uint64_t>> request_trace;
 
   /// Diagnostics of one kind (campaign reporting helper).
   [[nodiscard]] std::size_t count(DiagKind k) const;

@@ -124,10 +124,21 @@ TEST(FaultArbiter, UnhardenedMultiHotCanReconverge) {
 
 // --------------------------------------------- synthesized netlist SEU path
 
-int hot_state_bits(const netlist::Simulator& sim, std::size_t bits) {
-  int hot = 0;
+/// State-register nets resolved once per netlist (simulation loops must not
+/// hash net names per cycle).
+std::vector<netlist::NetId> state_nets(const netlist::Netlist& nl,
+                                       std::size_t bits) {
+  std::vector<netlist::NetId> nets;
   for (std::size_t b = 0; b < bits; ++b)
-    if (sim.get("state" + std::to_string(b))) ++hot;
+    nets.push_back(*nl.find_net("state" + std::to_string(b)));
+  return nets;
+}
+
+int hot_state_bits(const netlist::Simulator& sim,
+                   const std::vector<netlist::NetId>& state) {
+  int hot = 0;
+  for (const netlist::NetId net : state)
+    if (sim.get(net)) ++hot;
   return hot;
 }
 
@@ -139,28 +150,29 @@ TEST(FaultNetlist, HardenedOneHotRecoversFromSeuInOneCycle) {
   const auto res = synth::synthesize_fsm(fsm, fo);
   netlist::Simulator sim(res.netlist);
   const std::size_t bits = fsm.num_states();
+  const std::vector<netlist::NetId> state = state_nets(res.netlist, bits);
   for (int i = 0; i < 3; ++i) sim.set_input("req" + std::to_string(i), false);
   sim.settle();
-  ASSERT_EQ(hot_state_bits(sim, bits), 1);
+  ASSERT_EQ(hot_state_bits(sim, state), 1);
 
   // SEU #1: a second bit goes hot (two-hot).  No grant may fire from the
   // illegal state, and one clock returns the register to the reset code.
-  sim.poke_register("state1", true);
-  ASSERT_EQ(hot_state_bits(sim, bits), 2);
+  sim.poke_register(state[1], true);
+  ASSERT_EQ(hot_state_bits(sim, state), 2);
   for (int i = 0; i < 3; ++i)
     EXPECT_FALSE(sim.get("grant" + std::to_string(i)))
         << "full-code recognizers must not fire from an illegal state";
   sim.clock();
-  EXPECT_EQ(hot_state_bits(sim, bits), 1) << "recovery within one cycle";
-  EXPECT_TRUE(sim.get("state0")) << "recovery lands on the reset state F0";
+  EXPECT_EQ(hot_state_bits(sim, state), 1) << "recovery within one cycle";
+  EXPECT_TRUE(sim.get(state[0])) << "recovery lands on the reset state F0";
 
   // SEU #2: the hot bit clears (zero-hot).
   for (std::size_t b = 0; b < bits; ++b)
-    sim.poke_register("state" + std::to_string(b), false);
-  ASSERT_EQ(hot_state_bits(sim, bits), 0);
+    sim.poke_register(state[b], false);
+  ASSERT_EQ(hot_state_bits(sim, state), 0);
   sim.clock();
-  EXPECT_EQ(hot_state_bits(sim, bits), 1);
-  EXPECT_TRUE(sim.get("state0"));
+  EXPECT_EQ(hot_state_bits(sim, state), 1);
+  EXPECT_TRUE(sim.get(state[0]));
 
   // The machine still arbitrates correctly after both upsets.
   sim.set_input("req2", true);
@@ -176,14 +188,15 @@ TEST(FaultNetlist, UnhardenedOneHotStaysBrokenAfterSeu) {
   const auto res = synth::synthesize_fsm(fsm, fo);
   netlist::Simulator sim(res.netlist);
   const std::size_t bits = fsm.num_states();
+  const std::vector<netlist::NetId> state = state_nets(res.netlist, bits);
 
   // Zero-hot: the machine is dead — no grants, ever.
   sim.set_input("req0", true);
   sim.set_input("req1", true);
   sim.set_input("req2", false);
-  sim.poke_register("state0", false);
+  sim.poke_register(state[0], false);
   for (int cyc = 0; cyc < 5; ++cyc) {
-    EXPECT_EQ(hot_state_bits(sim, bits), 0);
+    EXPECT_EQ(hot_state_bits(sim, state), 0);
     for (int i = 0; i < 3; ++i)
       EXPECT_FALSE(sim.get("grant" + std::to_string(i)));
     sim.clock();
@@ -191,8 +204,8 @@ TEST(FaultNetlist, UnhardenedOneHotStaysBrokenAfterSeu) {
 
   // Two-hot (F0 and F1): both single-literal recognizers fire and two
   // grants assert at once — the detectable mutual-exclusion violation.
-  sim.poke_register("state0", true);
-  sim.poke_register("state1", true);
+  sim.poke_register(state[0], true);
+  sim.poke_register(state[1], true);
   EXPECT_TRUE(sim.get("grant0"));
   EXPECT_TRUE(sim.get("grant1"));
 }

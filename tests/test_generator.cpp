@@ -1,7 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
+
 #include "core/generator.hpp"
 #include "core/policy.hpp"
+#include "support/parallel.hpp"
 
 namespace rcarb::core {
 namespace {
@@ -87,6 +90,88 @@ TEST(PrecharCache, MatchesDirectGeneration) {
 TEST(Generator, ToStringNames) {
   EXPECT_STREQ(to_string(GeneratorMode::kStructural), "structural");
   EXPECT_STREQ(to_string(GeneratorMode::kBehavioral), "behavioral");
+}
+
+TEST(SynthMemo, CachedResultMatchesFreshSynthesis) {
+  // The memo must be transparent: every characterization field of a cached
+  // arbiter equals a fresh (uncached) run of the same configuration.
+  const GeneratedArbiter& cached = generate_round_robin_cached(
+      7, synth::FlowKind::kExpressLike, synth::Encoding::kCompact);
+  const GeneratedArbiter fresh = generate_round_robin(
+      7, synth::FlowKind::kExpressLike, synth::Encoding::kCompact);
+  EXPECT_EQ(cached.chars.n, fresh.chars.n);
+  EXPECT_EQ(cached.chars.encoding, fresh.chars.encoding);
+  EXPECT_EQ(cached.chars.clbs, fresh.chars.clbs);
+  EXPECT_EQ(cached.chars.luts, fresh.chars.luts);
+  EXPECT_EQ(cached.chars.ffs, fresh.chars.ffs);
+  EXPECT_EQ(cached.chars.lut_depth, fresh.chars.lut_depth);
+  EXPECT_DOUBLE_EQ(cached.chars.fmax_mhz, fresh.chars.fmax_mhz);
+  EXPECT_EQ(cached.chars.aig_ands, fresh.chars.aig_ands);
+  EXPECT_EQ(cached.synth.netlist.num_luts(), fresh.synth.netlist.num_luts());
+  EXPECT_EQ(cached.synth.netlist.num_dffs(), fresh.synth.netlist.num_dffs());
+}
+
+TEST(SynthMemo, SameKeyReturnsSameObjectAndCountsHits) {
+  const SynthMemoStats before = synth_memo_stats();
+  const GeneratedArbiter& a = generate_round_robin_cached(
+      9, synth::FlowKind::kExpressLike, synth::Encoding::kGray);
+  const GeneratedArbiter& b = generate_round_robin_cached(
+      9, synth::FlowKind::kExpressLike, synth::Encoding::kGray);
+  EXPECT_EQ(&a, &b) << "one synthesis per configuration per process";
+  const SynthMemoStats after = synth_memo_stats();
+  EXPECT_GE(after.hits, before.hits + 1);
+  // Exactly-one-miss can't be asserted (another test may have primed the
+  // key), but misses never move by more than the one candidate key here.
+  EXPECT_LE(after.misses, before.misses + 1);
+}
+
+TEST(SynthMemo, SynplifyEncodingRequestsAliasToOneHot) {
+  // Synplify-like flows force one-hot, so requesting compact or gray under
+  // them must share the one-hot entry instead of synthesizing three times.
+  const GeneratedArbiter& oh = generate_round_robin_cached(
+      5, synth::FlowKind::kSynplifyLike, synth::Encoding::kOneHot);
+  const GeneratedArbiter& cp = generate_round_robin_cached(
+      5, synth::FlowKind::kSynplifyLike, synth::Encoding::kCompact);
+  const GeneratedArbiter& gr = generate_round_robin_cached(
+      5, synth::FlowKind::kSynplifyLike, synth::Encoding::kGray);
+  EXPECT_EQ(&oh, &cp);
+  EXPECT_EQ(&oh, &gr);
+}
+
+TEST(SynthMemo, BehavioralCacheKeyIncludesHardening) {
+  const synth::SynthResult& plain = synthesize_round_robin_cached(
+      3, synth::Encoding::kOneHot, /*harden=*/false);
+  const synth::SynthResult& hard = synthesize_round_robin_cached(
+      3, synth::Encoding::kOneHot, /*harden=*/true);
+  EXPECT_NE(&plain, &hard);
+  // Recovery logic costs area: the hardened netlist is strictly larger.
+  EXPECT_GT(hard.netlist.num_luts(), plain.netlist.num_luts());
+  EXPECT_EQ(&plain, &synthesize_round_robin_cached(
+                        3, synth::Encoding::kOneHot, false));
+}
+
+TEST(SynthMemo, ConcurrentRequestsShareOneSynthesis) {
+  // Hammer one cold key plus a few warm ones from 4 workers; every caller
+  // must observe the same entry address (the mutex + once_flag discipline),
+  // and the run must be clean under TSan.
+  std::atomic<const GeneratedArbiter*> seen{nullptr};
+  std::atomic<int> mismatches{0};
+  parallel_for_each(
+      16,
+      [&](std::size_t i) {
+        const GeneratedArbiter& g = generate_round_robin_cached(
+            11, synth::FlowKind::kExpressLike, synth::Encoding::kOneHot,
+            timing::xc4000e_speed3(),
+            i % 2 == 0 ? GeneratorMode::kStructural
+                       : GeneratorMode::kBehavioral);
+        if (i % 2 == 0) {
+          const GeneratedArbiter* expected = nullptr;
+          if (!seen.compare_exchange_strong(expected, &g) && expected != &g)
+            mismatches.fetch_add(1);
+        }
+      },
+      /*jobs=*/4);
+  EXPECT_EQ(mismatches.load(), 0);
 }
 
 }  // namespace

@@ -37,15 +37,23 @@ void check_netlist_matches_behavior(const synth::Fsm& fsm, Arbiter& behavioral,
   const auto g = characterize_fsm(fsm, n, synth::FlowKind::kExpressLike,
                                   encoding);
   netlist::Simulator sim(g.synth.netlist);
+  // Resolve port names once — the cycle loop must not hash strings.
+  std::vector<netlist::NetId> req_net, grant_net;
+  for (int i = 0; i < n; ++i) {
+    req_net.push_back(
+        *g.synth.netlist.find_net("req" + std::to_string(i)));
+    grant_net.push_back(
+        *g.synth.netlist.find_net("grant" + std::to_string(i)));
+  }
   Rng rng(seed);
   for (int cyc = 0; cyc < cycles; ++cyc) {
     const std::uint64_t req = rng.next_below(1ull << n);
     for (int i = 0; i < n; ++i)
-      sim.set_input("req" + std::to_string(i), (req >> i) & 1);
+      sim.set_input(req_net[static_cast<std::size_t>(i)], (req >> i) & 1);
     sim.settle();
     int got = -1;
     for (int i = 0; i < n; ++i) {
-      if (sim.get("grant" + std::to_string(i))) {
+      if (sim.get(grant_net[static_cast<std::size_t>(i)])) {
         ASSERT_EQ(got, -1) << "double grant from " << fsm.name();
         got = i;
       }
@@ -53,6 +61,7 @@ void check_netlist_matches_behavior(const synth::Fsm& fsm, Arbiter& behavioral,
     ASSERT_EQ(got, behavioral.step(req)) << fsm.name() << " cycle " << cyc;
     sim.clock();
   }
+  EXPECT_EQ(sim.name_lookups(), 0u);
 }
 
 // ------------------------------------------------------------------ priority

@@ -28,15 +28,22 @@ TEST_P(StructuralEquivalence, MappedNetlistMatchesBehavioralModel) {
 
   netlist::Simulator sim(result.netlist);
   RoundRobinArbiter beh(n);
+  // Resolve port names once — the cycle loop must not hash strings.
+  std::vector<netlist::NetId> req_net, grant_net;
+  for (int i = 0; i < n; ++i) {
+    req_net.push_back(*result.netlist.find_net("req" + std::to_string(i)));
+    grant_net.push_back(
+        *result.netlist.find_net("grant" + std::to_string(i)));
+  }
   Rng rng(31337 + static_cast<std::uint64_t>(n));
   for (int cyc = 0; cyc < 2000; ++cyc) {
     const std::uint64_t req = rng.next_below(1ull << n);
     for (int i = 0; i < n; ++i)
-      sim.set_input("req" + std::to_string(i), (req >> i) & 1);
+      sim.set_input(req_net[static_cast<std::size_t>(i)], (req >> i) & 1);
     sim.settle();
     int got = -1;
     for (int i = 0; i < n; ++i) {
-      if (sim.get("grant" + std::to_string(i))) {
+      if (sim.get(grant_net[static_cast<std::size_t>(i)])) {
         ASSERT_EQ(got, -1) << "double grant (mutual exclusion violated)";
         got = i;
       }
@@ -44,6 +51,8 @@ TEST_P(StructuralEquivalence, MappedNetlistMatchesBehavioralModel) {
     EXPECT_EQ(got, beh.step(req)) << "cycle " << cyc;
     sim.clock();
   }
+  EXPECT_EQ(sim.name_lookups(), 0u)
+      << "a name lookup slipped into the cycle loop";
 }
 
 INSTANTIATE_TEST_SUITE_P(

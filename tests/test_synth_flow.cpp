@@ -13,20 +13,28 @@ namespace {
 void cosimulate(const Fsm& fsm, const SynthResult& result, int cycles,
                 std::uint64_t seed) {
   netlist::Simulator sim(result.netlist);
+  // Resolve interface names once — the cycle loop must not hash strings.
+  std::vector<netlist::NetId> in_net, out_net;
+  for (int i = 0; i < fsm.num_inputs(); ++i)
+    in_net.push_back(*result.netlist.find_net(fsm.input_name(i)));
+  for (int o = 0; o < fsm.num_outputs(); ++o)
+    out_net.push_back(*result.netlist.find_net(fsm.output_name(o)));
   Rng rng(seed);
   StateId state = fsm.reset_state();
   for (int cyc = 0; cyc < cycles; ++cyc) {
     const std::uint64_t in = rng.next_below(1ull << fsm.num_inputs());
     for (int i = 0; i < fsm.num_inputs(); ++i)
-      sim.set_input(fsm.input_name(i), (in >> i) & 1);
+      sim.set_input(in_net[static_cast<std::size_t>(i)], (in >> i) & 1);
     sim.settle();
     const auto want = fsm.step(state, in);
     for (int o = 0; o < fsm.num_outputs(); ++o)
-      ASSERT_EQ(sim.get(fsm.output_name(o)), ((want.outputs >> o) & 1) != 0)
+      ASSERT_EQ(sim.get(out_net[static_cast<std::size_t>(o)]),
+                ((want.outputs >> o) & 1) != 0)
           << "output " << fsm.output_name(o) << " cycle " << cyc;
     sim.clock();
     state = want.next_state;
   }
+  EXPECT_EQ(sim.name_lookups(), 0u);
 }
 
 Fsm gray_counter() {
