@@ -14,8 +14,10 @@
 
 namespace {
 
+using rcarb::core::CheckMode;
 using rcarb::core::generate_round_robin;
 using rcarb::core::generate_round_robin_cached;
+using rcarb::core::generate_self_checking_cached;
 using rcarb::synth::Encoding;
 using rcarb::synth::FlowKind;
 
@@ -24,8 +26,8 @@ void print_fig6(rcarb::obs::BenchReporter& rep) {
       "Fig. 6 — N-input arbiter area (CLBs), XC4000e model "
       "[paper: one-hot ~40 CLBs at N=10, all series monotone]");
   table.set_header({"N", "Express one-hot", "Express compact",
-                    "Synplify one-hot", "LUTs (Expr 1-hot)",
-                    "FFs (Expr 1-hot)"});
+                    "Synplify one-hot", "DMR 1-hot", "TMR 1-hot",
+                    "LUTs (Expr 1-hot)", "FFs (Expr 1-hot)"});
   for (int n = 2; n <= 10; ++n) {
     const auto& eo = generate_round_robin_cached(n, FlowKind::kExpressLike,
                                                  Encoding::kOneHot);
@@ -33,9 +35,17 @@ void print_fig6(rcarb::obs::BenchReporter& rep) {
                                                  Encoding::kCompact);
     const auto& so = generate_round_robin_cached(n, FlowKind::kSynplifyLike,
                                                  Encoding::kOneHot);
+    // The self-checking variants sit beside the plain series so the
+    // degradation campaigns' redundancy is priced on the same axis.
+    const auto& dm = generate_self_checking_cached(n, CheckMode::kDuplicate,
+                                                   Encoding::kOneHot);
+    const auto& tm = generate_self_checking_cached(n, CheckMode::kTmr,
+                                                   Encoding::kOneHot);
     table.add_row({std::to_string(n), std::to_string(eo.chars.clbs),
                    std::to_string(ec.chars.clbs),
                    std::to_string(so.chars.clbs),
+                   std::to_string(dm.chars.clbs),
+                   std::to_string(tm.chars.clbs),
                    std::to_string(eo.chars.luts),
                    std::to_string(eo.chars.ffs)});
     if (n == 10) {
@@ -45,12 +55,15 @@ void print_fig6(rcarb::obs::BenchReporter& rep) {
                  "clbs");
       rep.metric("clbs_synplify_n10", static_cast<double>(so.chars.clbs),
                  "clbs");
+      rep.metric("clbs_dmr_n10", static_cast<double>(dm.chars.clbs), "clbs");
+      rep.metric("clbs_tmr_n10", static_cast<double>(tm.chars.clbs), "clbs");
     }
   }
   table.print();
   std::puts(
       "series shape: all monotone in N; compact overtakes one-hot once the\n"
-      "dense state decode dominates — the Fig. 6 crossover.\n");
+      "dense state decode dominates — the Fig. 6 crossover.  DMR/TMR pay\n"
+      "~2-3x the plain one-hot area for the error wire and the vote.\n");
 }
 
 void BM_GenerateArbiter(benchmark::State& state) {

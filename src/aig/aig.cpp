@@ -91,6 +91,29 @@ Lit Aig::from_cover(const logic::Cover& cover,
   return lor_many(std::move(terms));
 }
 
+std::vector<Lit> Aig::append(const Aig& src,
+                             const std::vector<Lit>& input_map) {
+  RCARB_CHECK(input_map.size() == src.num_inputs(),
+              "append needs one literal per source input");
+  // Plain literal of every src node once instantiated here.
+  std::vector<Lit> lit_of(src.nodes_.size(), kConstFalse);
+  for (std::size_t i = 0; i < input_map.size(); ++i)
+    lit_of[i + 1] = input_map[i];
+  auto mapped = [&](Lit l) {
+    const Lit m = lit_of[lit_node(l)];
+    return lit_compl(l) ? lit_not(m) : m;
+  };
+  for (std::uint32_t n = 0; n < src.nodes_.size(); ++n) {
+    if (!src.is_and(n)) continue;
+    lit_of[n] = land(mapped(src.nodes_[n].fanin0),
+                     mapped(src.nodes_[n].fanin1));
+  }
+  std::vector<Lit> outs;
+  outs.reserve(src.outputs_.size());
+  for (const Output& o : src.outputs_) outs.push_back(mapped(o.driver));
+  return outs;
+}
+
 std::size_t Aig::input_ordinal(std::uint32_t node) const {
   RCARB_CHECK(is_input(node), "input_ordinal of a non-input node");
   return node - 1;

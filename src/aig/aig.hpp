@@ -57,6 +57,14 @@ class Aig {
   [[nodiscard]] Lit from_cover(const logic::Cover& cover,
                                const std::vector<Lit>& inputs);
 
+  /// Instantiates every AND node of `src` into this graph, substituting
+  /// src's primary input i by input_map[i].  Returns src's output drivers
+  /// mapped into this graph (src's output names are not registered here).
+  /// Structural hashing applies across the boundary, so two instantiations
+  /// over the same literals share nodes.
+  [[nodiscard]] std::vector<Lit> append(const Aig& src,
+                                        const std::vector<Lit>& input_map);
+
   [[nodiscard]] std::size_t num_nodes() const { return nodes_.size(); }
   [[nodiscard]] std::size_t num_inputs() const { return input_names_.size(); }
   [[nodiscard]] std::size_t num_ands() const {

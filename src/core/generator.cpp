@@ -65,6 +65,46 @@ GeneratedArbiter generate_round_robin(int n, synth::FlowKind flow,
   return out;
 }
 
+GeneratedArbiter generate_self_checking(int n, CheckMode mode,
+                                        synth::Encoding encoding,
+                                        const timing::DelayModel& model) {
+  RCARB_CHECK(mode != CheckMode::kNone,
+              "generate_self_checking needs kDuplicate or kTmr");
+  const synth::Fsm fsm = build_round_robin_fsm(n);
+  const synth::StateCodes codes = synth::encode_states(fsm, encoding);
+  const std::uint64_t reset = codes.code[fsm.reset_state()];
+  const int copies = mode == CheckMode::kDuplicate ? 2 : 3;
+  const aig::Aig comb = build_self_checking_aig(n, codes, mode, reset);
+
+  // Every copy's register bank resets to the same per-copy code,
+  // concatenated copy-major to match the AIG's state-input order.
+  std::uint64_t full_reset = 0;
+  for (int c = 0; c < copies; ++c)
+    full_reset |= reset << (c * codes.num_bits);
+
+  synth::MapOptions map_options;
+  map_options.objective = synth::MapObjective::kDepth;
+
+  GeneratedArbiter out;
+  out.synth = synth::finish_machine_synthesis(
+      comb, /*num_inputs=*/n, copies * codes.num_bits, full_reset,
+      map_options);
+  out.synth.used_encoding = encoding;
+  out.timing = timing::analyze(out.synth.netlist, model);
+
+  out.chars.n = n;
+  out.chars.encoding = encoding;
+  out.chars.flow = synth::FlowKind::kExpressLike;
+  out.chars.clbs = out.synth.clb.clbs;
+  out.chars.luts = out.synth.clb.luts;
+  out.chars.ffs = out.synth.clb.ffs;
+  out.chars.lut_depth = out.synth.map.depth;
+  out.chars.fmax_mhz = out.timing.fmax_mhz;
+  out.chars.aig_ands = out.synth.aig_ands;
+  out.chars.overhead_cycles = kProtocolOverheadCycles;
+  return out;
+}
+
 GeneratedArbiter characterize_fsm(const synth::Fsm& fsm, int n,
                                   synth::FlowKind flow,
                                   synth::Encoding encoding,
@@ -148,6 +188,7 @@ ModelKey model_key(const timing::DelayModel& m) {
 using GenerateKey = std::tuple<int, synth::FlowKind, synth::Encoding,
                                GeneratorMode, ModelKey>;
 using BehavioralKey = std::tuple<int, synth::Encoding, bool>;
+using SelfCheckKey = std::tuple<int, CheckMode, synth::Encoding, ModelKey>;
 
 SynthMemo<GenerateKey, GeneratedArbiter>& generate_memo() {
   static auto* memo = new SynthMemo<GenerateKey, GeneratedArbiter>();
@@ -156,6 +197,11 @@ SynthMemo<GenerateKey, GeneratedArbiter>& generate_memo() {
 
 SynthMemo<BehavioralKey, synth::SynthResult>& behavioral_memo() {
   static auto* memo = new SynthMemo<BehavioralKey, synth::SynthResult>();
+  return *memo;
+}
+
+SynthMemo<SelfCheckKey, GeneratedArbiter>& self_check_memo() {
+  static auto* memo = new SynthMemo<SelfCheckKey, GeneratedArbiter>();
   return *memo;
 }
 
@@ -180,6 +226,14 @@ const GeneratedArbiter& generate_round_robin_cached(
   const GenerateKey key{n, flow, used, mode, model_key(model)};
   return generate_memo().get_or_synthesize(
       key, [&] { return generate_round_robin(n, flow, used, model, mode); });
+}
+
+const GeneratedArbiter& generate_self_checking_cached(
+    int n, CheckMode mode, synth::Encoding encoding,
+    const timing::DelayModel& model) {
+  const SelfCheckKey key{n, mode, encoding, model_key(model)};
+  return self_check_memo().get_or_synthesize(
+      key, [&] { return generate_self_checking(n, mode, encoding, model); });
 }
 
 const synth::SynthResult& synthesize_round_robin_cached(int n,

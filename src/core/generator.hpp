@@ -9,6 +9,7 @@
 
 #include <cstdint>
 
+#include "core/selfcheck.hpp"
 #include "synth/flow.hpp"
 #include "timing/delay_model.hpp"
 #include "timing/sta.hpp"
@@ -55,6 +56,16 @@ enum class GeneratorMode : std::uint8_t {
     const timing::DelayModel& model = timing::xc4000e_speed3(),
     GeneratorMode mode = GeneratorMode::kStructural);
 
+/// Generates and characterizes a self-checking (duplicate-and-compare or
+/// TMR-voted) round-robin arbiter.  The copies are instantiated from the
+/// structural AIG and stitched with the comparator / voter, so the `error`
+/// net is a first-class primary output of the netlist; area/speed land in
+/// `chars` exactly like the plain variants (the Fig. 6/7 benches put them
+/// side by side to price the redundancy).
+[[nodiscard]] GeneratedArbiter generate_self_checking(
+    int n, CheckMode mode, synth::Encoding encoding,
+    const timing::DelayModel& model = timing::xc4000e_speed3());
+
 /// Synthesizes and characterizes an arbitrary arbiter FSM (used for the
 /// Sec. 4 policy comparison; the FSM's inputs are its request lines).
 [[nodiscard]] GeneratedArbiter characterize_fsm(
@@ -82,6 +93,14 @@ struct SynthMemoStats {
     int n, synth::FlowKind flow, synth::Encoding encoding,
     const timing::DelayModel& model = timing::xc4000e_speed3(),
     GeneratorMode mode = GeneratorMode::kStructural);
+
+/// Memoized generate_self_checking, same locking discipline as
+/// generate_round_robin_cached.  The degradation supervisor prices its
+/// reconfiguration stalls off these characteristics, and the degradation
+/// bench sweeps hit this instead of re-synthesizing per cell.
+[[nodiscard]] const GeneratedArbiter& generate_self_checking_cached(
+    int n, CheckMode mode, synth::Encoding encoding,
+    const timing::DelayModel& model = timing::xc4000e_speed3());
 
 /// Memoized behavioral synthesis of the N-input round-robin FSM under the
 /// Express-like flow, keyed by (N, encoding, hardening).  This is the

@@ -17,7 +17,9 @@ const char* to_string(Policy p) {
 }
 
 Arbiter::Arbiter(int n) : n_(n) {
-  RCARB_CHECK(n >= 2 && n <= 64, "arbiter size must be in [2, 64]");
+  // N=1 is degenerate (the sole requester always wins) but well-defined;
+  // the self-checking model checks cover it.
+  RCARB_CHECK(n >= 1 && n <= 64, "arbiter size must be in [1, 64]");
 }
 
 // ---------------------------------------------------------------- RoundRobin

@@ -1,0 +1,180 @@
+// Graceful degradation: permanent-fault classification and online remap
+// planning.
+//
+// PR 1's resilience machinery treats every fault as transient: recover the
+// register, force-release the grant, retry the burst.  A *permanent* fault
+// — a stuck channel wire, a dead bank, a latched-up arbiter — defeats all
+// of that: the retry fails forever and the system wedges or silently
+// corrupts.  This library supplies the missing policy layer:
+//
+//   * StrikeTracker — distinguishes permanent from transient by evidence
+//     accumulation: K strikes against one resource within W cycles
+//     classifies the fault as permanent (a one-shot SEU never re-strikes;
+//     a dead bank strikes on every access).
+//   * Remap planners — once a resource is quarantined, its logical load
+//     moves to survivors.  Both planners *group-move* (every segment of a
+//     dead bank onto ONE surviving bank; every logical channel of a dead
+//     physical channel onto ONE survivor), which keeps "old resource ->
+//     live resource" a function — the property that lets the system
+//     simulator translate operations whose programs bake in resource ids.
+//   * Reconfiguration pricing — the stall for regenerating an arbiter for
+//     the survivor's grown contention set, priced off the CLB count from
+//     the process-wide synthesis memo (PR 4), as a partial-reconfiguration
+//     write-time model.
+//
+// The supervisory controller itself lives in rcsim::SystemSimulator (it
+// needs the cycle loop); everything policy-shaped is here so tests and
+// benches can exercise it in isolation.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "core/selfcheck.hpp"
+#include "partition/channel_map.hpp"
+#include "synth/encoding.hpp"
+
+namespace rcarb::degrade {
+
+/// Tuning of the supervisory recovery controller.
+struct DegradeOptions {
+  /// Master switch.  Off, permanent faults are still *injected* by the
+  /// simulator but never classified or repaired (the stall-only baseline
+  /// the degradation bench compares against).
+  bool enabled = false;
+  /// Permanent-fault classification: K strikes within W cycles.
+  int strikes = 3;                   // K
+  std::uint64_t strike_window = 64;  // W
+  /// Drain bound: cycles to wait for in-flight bursts to reach the <=M
+  /// batch boundary (Fig. 8) before the supervisor force-aborts them — a
+  /// dead resource never retires the access that would end the burst.
+  std::uint64_t drain_timeout = 64;
+  /// Reconfiguration stall model: base + per-CLB write time for the
+  /// regenerated arbiter's region.
+  std::uint64_t reconfig_base_cycles = 8;
+  std::uint64_t reconfig_cycles_per_clb = 4;
+  /// Optional partition-layer channel map.  When use_channel_map is set
+  /// the supervisor re-merges quarantined channels via
+  /// part::remap_channels (PE-pair and width feasibility enforced);
+  /// otherwise the Binding-level least-loaded fallback is used.
+  bool use_channel_map = false;
+  part::ChannelMapResult channel_map;
+};
+
+/// Evidence classes feeding the strike tracker.
+enum class StrikeSource : std::uint8_t {
+  kSelfCheckError,  // self-checking arbiter's comparator fired
+  kWatchdogTrip,    // hung-grant watchdog fired on the resource
+  kChannelFailure,  // a send on the physical channel failed
+  kBankFailure,     // a bank access failed
+};
+
+[[nodiscard]] const char* to_string(StrikeSource s);
+
+/// Per-resource K-in-W classifier.  Strikes outside the sliding window
+/// expire, so isolated transients (SEUs, one-off watchdog trips) never
+/// accumulate to a classification.
+class StrikeTracker {
+ public:
+  StrikeTracker() = default;
+  StrikeTracker(std::size_t num_resources, int strikes,
+                std::uint64_t window);
+
+  /// Records one strike; returns true when this strike is the K-th within
+  /// the window — the classification point at which the caller should
+  /// quarantine the resource.
+  bool strike(int resource, std::uint64_t cycle, StrikeSource source);
+
+  /// Forgets a resource's history (after repair or remap).
+  void clear(int resource);
+
+  [[nodiscard]] std::uint64_t total() const { return total_; }
+  [[nodiscard]] std::uint64_t count(StrikeSource s) const {
+    return by_source_[static_cast<std::size_t>(s)];
+  }
+
+ private:
+  int strikes_ = 3;
+  std::uint64_t window_ = 64;
+  std::vector<std::vector<std::uint64_t>> recent_;  // per resource, sorted
+  std::uint64_t total_ = 0;
+  std::array<std::uint64_t, 4> by_source_{};
+};
+
+/// Quarantine lifecycle of one resource (the supervisor's per-resource
+/// FSM; Fig. 8's batch boundary bounds the drain).
+enum class QuarantineState : std::uint8_t {
+  kHealthy,
+  kDraining,         // masking new grants, waiting out in-flight bursts
+  kReconfiguring,    // survivors' arbiters being regenerated (stall)
+  kRemapped,         // load moved; resource permanently retired
+  kCapacityExhausted // no survivor could take the load; stall-with-diag
+};
+
+[[nodiscard]] const char* to_string(QuarantineState s);
+
+/// Cycle-stamped lifecycle record (MTTR accounting).
+struct QuarantineRecord {
+  int resource = -1;
+  QuarantineState state = QuarantineState::kHealthy;
+  std::uint64_t classified_cycle = 0;  // K-th strike observed
+  std::uint64_t drained_cycle = 0;     // last in-flight burst retired
+  std::uint64_t restored_cycle = 0;    // service resumed on survivors
+  bool drain_aborted = false;          // drain_timeout force-abort used
+  int remap_target = -1;  // live resource now serving the load (-1 = none)
+
+  /// Mean-time-to-repair contribution: classification -> restored.
+  [[nodiscard]] std::uint64_t repair_cycles() const {
+    return restored_cycle - classified_cycle;
+  }
+};
+
+/// Group-move plan for a dead bank: every segment it held moves to ONE
+/// surviving bank with enough free capacity.  Deterministic best-fit:
+/// the tightest-fitting survivor (smallest sufficient free space, then
+/// lowest index).  Pure — the caller applies the move.
+struct BankRemapPlan {
+  bool feasible = false;
+  int dead_bank = -1;
+  int target_bank = -1;
+  std::vector<int> moved_segments;  // SegmentIds
+  std::size_t moved_bytes = 0;
+};
+
+[[nodiscard]] BankRemapPlan plan_bank_remap(
+    const std::vector<std::size_t>& segment_bytes,
+    const std::vector<int>& bank_of_segment,
+    const std::vector<std::size_t>& bank_free_bytes, int dead_bank,
+    const std::vector<bool>& failed);
+
+/// Group-move plan for a dead physical channel at the Binding level:
+/// every logical channel it carried moves to the least-loaded surviving
+/// physical channel (fewest logical channels, then lowest index).  Used
+/// when no partition-layer channel map is available; with one,
+/// part::remap_channels additionally enforces PE-pair and width
+/// feasibility.
+struct ChannelRemapPlan {
+  bool feasible = false;
+  int dead_phys = -1;
+  int target_phys = -1;
+  std::vector<int> moved_channels;  // ChannelIds
+};
+
+[[nodiscard]] ChannelRemapPlan plan_channel_remap(
+    const std::vector<int>& channel_to_phys, std::size_t num_phys,
+    int dead_phys, const std::vector<bool>& failed);
+
+/// Reconfiguration stall for a region of `clbs` CLBs.
+[[nodiscard]] std::uint64_t reconfig_cycles(const DegradeOptions& options,
+                                            std::size_t clbs);
+
+/// Reconfiguration stall for regenerating the round-robin arbiter of a
+/// grown contention set of `n` ports (plain or self-checking), priced off
+/// the pre-characterized CLB count from the process-wide synthesis memo.
+/// n < 2 needs no arbiter (base cost only).
+[[nodiscard]] std::uint64_t arbiter_reconfig_cycles(
+    const DegradeOptions& options, int n, core::CheckMode mode,
+    synth::Encoding encoding = synth::Encoding::kOneHot);
+
+}  // namespace rcarb::degrade

@@ -16,8 +16,28 @@ const char* to_string(FaultKind k) {
     case FaultKind::kGrantStuck0: return "grant-stuck-0";
     case FaultKind::kGrantDrop: return "grant-drop";
     case FaultKind::kChannelCorrupt: return "channel-corrupt";
+    case FaultKind::kPermanentStuckChannel: return "permanent-stuck-channel";
+    case FaultKind::kBankFailure: return "bank-failure";
+    case FaultKind::kArbiterLatchup: return "arbiter-latchup";
   }
   return "?";
+}
+
+bool is_permanent(FaultKind k) {
+  switch (k) {
+    case FaultKind::kPermanentStuckChannel:
+    case FaultKind::kBankFailure:
+    case FaultKind::kArbiterLatchup:
+      return true;
+    case FaultKind::kFsmBitFlip:
+    case FaultKind::kReqStuck0:
+    case FaultKind::kReqStuck1:
+    case FaultKind::kGrantStuck0:
+    case FaultKind::kGrantDrop:
+    case FaultKind::kChannelCorrupt:
+      return false;
+  }
+  return false;
 }
 
 const std::vector<FaultKind>& all_fault_kinds() {
@@ -29,12 +49,22 @@ const std::vector<FaultKind>& all_fault_kinds() {
   return kinds;
 }
 
+const std::vector<FaultKind>& permanent_fault_kinds() {
+  static const std::vector<FaultKind> kinds = {
+      FaultKind::kPermanentStuckChannel,
+      FaultKind::kBankFailure,
+      FaultKind::kArbiterLatchup,
+  };
+  return kinds;
+}
+
 std::string FaultEvent::describe() const {
   std::string s = std::string(to_string(kind)) + "@" + std::to_string(cycle);
   if (arbiter >= 0) s += " arbiter=" + std::to_string(arbiter);
   if (port >= 0) s += " port=" + std::to_string(port);
   if (bit >= 0) s += " bit=" + std::to_string(bit);
   if (channel >= 0) s += " channel=" + std::to_string(channel);
+  if (bank >= 0) s += " bank=" + std::to_string(bank);
   if (xor_mask != 0) s += " mask=0x" + std::to_string(xor_mask);
   if (duration > 1) s += " for=" + std::to_string(duration);
   return s;
@@ -45,12 +75,16 @@ namespace {
 bool kind_applicable(FaultKind k, const FaultTargets& targets) {
   switch (k) {
     case FaultKind::kChannelCorrupt:
+    case FaultKind::kPermanentStuckChannel:
       return targets.num_phys_channels > 0;
+    case FaultKind::kBankFailure:
+      return targets.num_banks > 0;
     case FaultKind::kFsmBitFlip:
     case FaultKind::kReqStuck0:
     case FaultKind::kReqStuck1:
     case FaultKind::kGrantStuck0:
     case FaultKind::kGrantDrop:
+    case FaultKind::kArbiterLatchup:
       return !targets.arbiter_ports.empty();
   }
   return false;
@@ -84,6 +118,23 @@ std::vector<FaultEvent> plan_faults(const FaultTargets& targets,
         e.channel = static_cast<int>(
             rng.next_below(static_cast<std::uint64_t>(targets.num_phys_channels)));
         e.xor_mask = 1ull << rng.next_below(32);  // single-bit SEU
+        break;
+      }
+      case FaultKind::kPermanentStuckChannel: {
+        e.channel = static_cast<int>(
+            rng.next_below(static_cast<std::uint64_t>(targets.num_phys_channels)));
+        e.duration = 0;  // permanent: never expires
+        break;
+      }
+      case FaultKind::kBankFailure: {
+        e.bank = static_cast<int>(
+            rng.next_below(static_cast<std::uint64_t>(targets.num_banks)));
+        e.duration = 0;
+        break;
+      }
+      case FaultKind::kArbiterLatchup: {
+        e.arbiter = static_cast<int>(rng.next_below(targets.arbiter_ports.size()));
+        e.duration = 0;
         break;
       }
       case FaultKind::kFsmBitFlip: {

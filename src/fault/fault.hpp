@@ -27,12 +27,26 @@ enum class FaultKind : std::uint8_t {
   kGrantStuck0,    // the holder's grant line reads 0 (hung grant)
   kGrantDrop,      // one grant pulse is swallowed (1-cycle stuck-0)
   kChannelCorrupt, // the next word on a physical channel is XOR-corrupted
+
+  // ---- Permanent faults (graceful-degradation campaigns). ----
+  kPermanentStuckChannel, // a physical channel stops carrying words forever
+  kBankFailure,           // a memory bank stops acknowledging accesses
+  kArbiterLatchup,        // one arbiter FSM copy freezes at its state
 };
 
 [[nodiscard]] const char* to_string(FaultKind k);
 
-/// All selectable kinds, in enum order (campaign sweeps iterate this).
+/// True for the permanent kinds: the fault never clears on its own, so
+/// detection must lead to quarantine + remap rather than retry.
+[[nodiscard]] bool is_permanent(FaultKind k);
+
+/// All *transient* kinds, in enum order (campaign sweeps iterate this).
+/// Deliberately excludes the permanent kinds so existing resilience
+/// campaigns keep their cell sets; see permanent_fault_kinds().
 [[nodiscard]] const std::vector<FaultKind>& all_fault_kinds();
+
+/// The permanent kinds, in enum order (degradation campaigns iterate this).
+[[nodiscard]] const std::vector<FaultKind>& permanent_fault_kinds();
 
 /// One scheduled fault.  Fields beyond `cycle`/`kind` are target
 /// coordinates; unused ones stay -1/0.
@@ -42,7 +56,8 @@ struct FaultEvent {
   int arbiter = -1;            // arbiter index (FSM / line faults)
   int port = -1;               // request-line index within the arbiter
   int bit = -1;                // state-register bit (kFsmBitFlip)
-  int channel = -1;            // physical channel (kChannelCorrupt)
+  int channel = -1;            // physical channel (channel faults)
+  int bank = -1;               // memory bank (kBankFailure)
   std::uint64_t xor_mask = 0;  // data corruption mask (kChannelCorrupt)
   std::uint64_t duration = 1;  // cycles a stuck-at persists
 
@@ -55,9 +70,10 @@ struct FaultTargets {
   std::vector<int> arbiter_ports;      // ports per arbiter
   std::vector<int> arbiter_state_bits; // state-register width per arbiter
   int num_phys_channels = 0;
+  int num_banks = 0;                   // memory banks (kBankFailure)
 
   [[nodiscard]] bool empty() const {
-    return arbiter_ports.empty() && num_phys_channels == 0;
+    return arbiter_ports.empty() && num_phys_channels == 0 && num_banks == 0;
   }
 };
 

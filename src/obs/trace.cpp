@@ -19,6 +19,9 @@ const char* to_string(TraceKind k) {
     case TraceKind::kRetry: return "retry";
     case TraceKind::kFault: return "fault";
     case TraceKind::kDiagnostic: return "diagnostic";
+    case TraceKind::kQuarantine: return "quarantine";
+    case TraceKind::kDrain: return "drain";
+    case TraceKind::kRemap: return "remap";
   }
   return "unknown";
 }
@@ -194,6 +197,9 @@ void write_chrome_trace(std::ostream& os,
         break;
       case TraceKind::kFault:
       case TraceKind::kDiagnostic:
+      case TraceKind::kQuarantine:
+      case TraceKind::kDrain:
+      case TraceKind::kRemap:
         w.instant(apid >= 1 ? apid : 0, e.task >= 0 ? e.task : 0,
                   std::string(to_string(e.kind)) + " #" +
                       std::to_string(e.value),

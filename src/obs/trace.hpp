@@ -28,6 +28,9 @@ enum class TraceKind : std::uint8_t {
   kRetry = 7,       // Req re-asserted after a backoff
   kFault = 8,       // fault injected; value = fault kind
   kDiagnostic = 9,  // simulator diagnostic; value = rcsim::DiagKind
+  kQuarantine = 10, // resource classified permanent; value = strike count
+  kDrain = 11,      // quarantine drain finished; value = 1 if force-aborted
+  kRemap = 12,      // load moved; resource = old id, value = live resource
 };
 
 [[nodiscard]] const char* to_string(TraceKind k);

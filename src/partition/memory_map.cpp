@@ -21,6 +21,13 @@ MemoryMapResult map_memory(const tg::TaskGraph& graph,
   for (board::BankId b = 0; b < board.num_banks(); ++b)
     result.bank_free_bytes[b] = board.bank(b).bytes;
 
+  std::vector<bool> failed(board.num_banks(), false);
+  for (board::BankId b : options.failed_banks) {
+    RCARB_CHECK(b < board.num_banks(), "failed bank out of range");
+    failed[b] = true;
+    result.bank_free_bytes[b] = 0;  // quarantined capacity is gone
+  }
+
   // Active segments and their accessors within this partition.
   std::vector<bool> in_set(graph.num_tasks(), false);
   for (tg::TaskId t : tasks) in_set[t] = true;
@@ -55,6 +62,7 @@ MemoryMapResult map_memory(const tg::TaskGraph& graph,
     int best_bank = -1;
     double best_score = 0.0;
     for (board::BankId b = 0; b < board.num_banks(); ++b) {
+      if (failed[b]) continue;
       if (result.bank_free_bytes[b] < seg.bytes) continue;
       // Score: prefer local banks, low contention, tight fit.
       const double locality =

@@ -21,6 +21,12 @@ struct MemoryMapOptions {
   /// Extra packing cost per distinct accessor task already on a bank
   /// (steers the packer away from building big contention groups).
   double contention_weight = 0.25;
+  /// Banks the mapper must not place anything on (quarantined by the
+  /// graceful-degradation supervisor).  Re-running map_memory with the
+  /// failed bank listed here yields the segment assignment for the
+  /// shrunken pool; throws as usual if the survivors cannot hold the
+  /// active segments.
+  std::vector<board::BankId> failed_banks;
 };
 
 struct MemoryMapResult {

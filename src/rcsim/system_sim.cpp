@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <bit>
+#include <limits>
+#include <numeric>
 #include <utility>
 
 #include "support/check.hpp"
@@ -64,6 +66,9 @@ const char* to_string(DiagKind k) {
     case DiagKind::kDeadlock: return "deadlock";
     case DiagKind::kNoProgress: return "no-progress";
     case DiagKind::kMaxCycles: return "max-cycles";
+    case DiagKind::kQuarantine: return "quarantine";
+    case DiagKind::kRemap: return "remap";
+    case DiagKind::kCapacityExhausted: return "capacity-exhausted";
   }
   return "?";
 }
@@ -103,6 +108,15 @@ struct SystemSimulator::TaskCtx {
   int retry_resource = -1;
   std::uint64_t retry_until = 0;
   int retry_backoff = 1;
+  // Resources this task drives without inserted Req/Rel ops (it was the
+  // sole client pre-remap, so the insertion pass elided its protocol);
+  // the simulator retrofits a per-access Req / release instead.
+  std::vector<int> implicit_protocol;
+  [[nodiscard]] bool implicit_for(int resource) const {
+    for (const int res : implicit_protocol)
+      if (res == resource) return true;
+    return false;
+  }
   TaskStats stats;
 };
 
@@ -158,10 +172,18 @@ SimResult SystemSimulator::run(const std::vector<TaskId>& tasks) {
   // ---- Instantiate behavioral arbiters from the plan. ----
   std::vector<std::unique_ptr<core::Arbiter>> arbiters;
   std::vector<core::RoundRobinArbiter*> rr(plan_.arbiters.size(), nullptr);
+  std::vector<core::SelfCheckingArbiter*> sc(plan_.arbiters.size(), nullptr);
   std::vector<int> grant_holder(plan_.arbiters.size(), -1);  // port index
   for (const core::ArbiterInstance& inst : plan_.arbiters) {
     const int n = static_cast<int>(inst.ports.size());
-    if (inst.policy == core::Policy::kRoundRobin) {
+    if (inst.policy == core::Policy::kRoundRobin &&
+        options_.self_check != core::CheckMode::kNone) {
+      auto arb = std::make_unique<core::SelfCheckingArbiter>(
+          n, options_.self_check,
+          core::RoundRobinOptions{options_.rr_max_hold, options_.harden});
+      sc[arbiters.size()] = arb.get();
+      arbiters.push_back(std::move(arb));
+    } else if (inst.policy == core::Policy::kRoundRobin) {
       auto arb = std::make_unique<core::RoundRobinArbiter>(
           n, core::RoundRobinOptions{options_.rr_max_hold, options_.harden});
       rr[arbiters.size()] = arb.get();
@@ -177,9 +199,14 @@ SimResult SystemSimulator::run(const std::vector<TaskId>& tasks) {
 
   // ---- Observability: metric probes and the trace sink. ----
   // arbiter_obs is sized once, before any probe borrows an element, so the
-  // probes' pointers stay valid for the whole run.
+  // probes' pointers stay valid for the whole run.  The reserve leaves room
+  // for arbiters regenerated by the degradation supervisor (at most one per
+  // quarantined resource), so mid-run push_backs never reallocate under the
+  // existing probes' pointers.
   std::vector<std::unique_ptr<obs::ArbiterProbe>> probes;
   if (options_.arbiter_metrics) {
+    result.arbiter_obs.reserve(plan_.arbiters.size() +
+                               binding_.num_resources());
     result.arbiter_obs.resize(plan_.arbiters.size());
     probes.reserve(plan_.arbiters.size());
     for (std::size_t a = 0; a < arbiters.size(); ++a) {
@@ -203,6 +230,10 @@ SimResult SystemSimulator::run(const std::vector<TaskId>& tasks) {
   std::vector<std::vector<std::pair<std::uint64_t, std::uint64_t>>>
       chan_corrupt(binding_.num_phys_channels);
   std::vector<std::size_t> chan_corrupt_next(binding_.num_phys_channels, 0);
+  // Permanent faults: (cycle, resource id) activations and arbiter
+  // latch-ups, applied in Phase 0 and never expiring.
+  std::vector<std::pair<std::uint64_t, int>> perm_res;  // (cycle, resource)
+  std::vector<std::pair<std::uint64_t, std::size_t>> latchups;
   for (const fault::FaultEvent& e : options_.faults) {
     switch (e.kind) {
       case fault::FaultKind::kFsmBitFlip:
@@ -227,6 +258,21 @@ SimResult SystemSimulator::run(const std::vector<TaskId>& tasks) {
           chan_corrupt[static_cast<std::size_t>(e.channel)].push_back(
               {e.cycle, e.xor_mask});
         break;
+      case fault::FaultKind::kPermanentStuckChannel:
+        if (e.channel >= 0 &&
+            static_cast<std::size_t>(e.channel) < binding_.num_phys_channels)
+          perm_res.push_back({e.cycle, binding_.channel_resource(e.channel)});
+        break;
+      case fault::FaultKind::kBankFailure:
+        if (e.bank >= 0 &&
+            static_cast<std::size_t>(e.bank) < binding_.num_banks)
+          perm_res.push_back({e.cycle, binding_.bank_resource(e.bank)});
+        break;
+      case fault::FaultKind::kArbiterLatchup:
+        if (e.arbiter >= 0 &&
+            static_cast<std::size_t>(e.arbiter) < arbiters.size())
+          latchups.push_back({e.cycle, static_cast<std::size_t>(e.arbiter)});
+        break;
     }
   }
   std::stable_sort(flips.begin(), flips.end(),
@@ -234,7 +280,11 @@ SimResult SystemSimulator::run(const std::vector<TaskId>& tasks) {
                      return a.cycle < b.cycle;
                    });
   for (auto& q : chan_corrupt) std::stable_sort(q.begin(), q.end());
+  std::stable_sort(perm_res.begin(), perm_res.end());
+  std::stable_sort(latchups.begin(), latchups.end());
   std::size_t flip_next = 0;
+  std::size_t perm_next = 0;
+  std::size_t latch_next = 0;
 
   // ---- Task contexts. ----
   std::vector<TaskCtx> ctx(graph_.num_tasks());
@@ -308,6 +358,64 @@ SimResult SystemSimulator::run(const std::vector<TaskId>& tasks) {
   // these; the wire-level `requests` alone would let every backoff zero the
   // hold streak and hide a hung holder.
   std::vector<std::uint64_t> pending(plan_.arbiters.size(), 0);
+
+  // ---- Graceful-degradation supervisor state. ----
+  const bool degrade_on = options_.degrade.enabled;
+  const int num_res = static_cast<int>(binding_.num_resources());
+  // Per-resource quarantine lifecycle (Fig. 8's batch boundary bounds the
+  // drain; the remap plan is frozen at drain completion and applied when
+  // the priced reconfiguration stall elapses).
+  enum class Repair : std::uint8_t { kNone, kBank, kChannel, kInPlace };
+  struct QuarCtx {
+    degrade::QuarantineState state = degrade::QuarantineState::kHealthy;
+    std::uint64_t deadline = 0;  // drain timeout, then reconfig end
+    bool drain_aborted = false;
+    std::size_t record = 0;  // index into result.quarantine_events
+    Repair repair = Repair::kNone;
+    int target = -1;              // live bank / phys channel after remap
+    std::vector<int> moved;       // segments (kBank) or channels (kChannel)
+  };
+  std::vector<QuarCtx> quar(static_cast<std::size_t>(num_res));
+  // Resources whose hardware is permanently dead (injected kBankFailure /
+  // kPermanentStuckChannel).  Maintained even with the supervisor off: the
+  // stall-only baseline injects but never repairs.
+  std::vector<char> res_failed(static_cast<std::size_t>(num_res), 0);
+  // Plain arbiters wedged by a latch-up: their register is re-frozen to the
+  // (illegal) all-zero code before every sample — reset and hardening
+  // cannot clear a latch-up, only reconfiguration can.
+  std::vector<char> latched_plain(plan_.arbiters.size(), 0);
+  // Old resource id -> live resource id after remaps (path-compressed).
+  // Group-move remapping keeps this a function, so programs whose acquire/
+  // release ops baked in a resource id keep working after the move.
+  std::vector<int> resource_fwd(static_cast<std::size_t>(num_res));
+  std::iota(resource_fwd.begin(), resource_fwd.end(), 0);
+  auto resolve = [&](int r) -> int {
+    if (r < 0 || r >= num_res) return r;
+    int root = r;
+    while (resource_fwd[static_cast<std::size_t>(root)] != root)
+      root = resource_fwd[static_cast<std::size_t>(root)];
+    while (resource_fwd[static_cast<std::size_t>(r)] != root) {
+      const int next = resource_fwd[static_cast<std::size_t>(r)];
+      resource_fwd[static_cast<std::size_t>(r)] = root;
+      r = next;
+    }
+    return root;
+  };
+  degrade::StrikeTracker strike_tracker;
+  if (degrade_on)
+    strike_tracker = degrade::StrikeTracker(
+        static_cast<std::size_t>(num_res), options_.degrade.strikes,
+        options_.degrade.strike_window);
+  // Capacity model for in-sim bank remaps: the simulator does not know the
+  // physical bank sizes (segments are the memory unit here), so banks are
+  // capacity-unconstrained and feasibility means "a live bank exists".
+  // Capacity-constrained placement is the partition layer's job
+  // (MemoryMapOptions::failed_banks).
+  const std::vector<std::size_t> bank_free(
+      binding_.num_banks, std::numeric_limits<std::size_t>::max() / 2);
+  std::vector<std::size_t> seg_bytes(graph_.num_segments());
+  for (tg::SegmentId s = 0; s < graph_.num_segments(); ++s)
+    seg_bytes[s] = graph_.segment(s).bytes;
 
   // ---- Stall attribution: wait-for-graph over outstanding waits. ----
   // Returns true when a cycle was found (deadlock); otherwise reports the
@@ -419,12 +527,333 @@ SimResult SystemSimulator::run(const std::vector<TaskId>& tasks) {
                 " dropped=" + std::to_string(c.dropped_request);
       if (!why[t].empty()) detail += " [" + why[t] + "]";
     }
-    for (std::size_t a = 0; a < arbiters.size(); ++a)
+    for (std::size_t a = 0; a < arbiters.size(); ++a) {
       if (rr[a] != nullptr && !rr[a]->state_legal())
         detail += "\n  arbiter " + plan_.arbiters[a].resource_name +
                   " register illegal (state=0x" +
                   std::to_string(rr[a]->state_bits()) + ")";
+      else if (sc[a] != nullptr && sc[a]->error())
+        detail += "\n  arbiter " + plan_.arbiters[a].resource_name +
+                  " self-check error asserted";
+    }
+    for (int r = 0; r < num_res; ++r) {
+      if (res_failed[static_cast<std::size_t>(r)] != 0)
+        detail += "\n  resource " + binding_.resource_name(r) +
+                  " permanently failed (" +
+                  degrade::to_string(
+                      quar[static_cast<std::size_t>(r)].state) +
+                  ")";
+    }
     diagnose(DiagKind::kNoProgress, cyc, -1, -1, [&] { return detail; });
+  };
+
+  // ---- Graceful-degradation supervisor. ----
+  // Set anywhere in the cycle that degradation affected service; cleared
+  // after the serving-cycle accounting at the end of the loop body.
+  bool degraded_cycle = false;
+
+  // Instantiates a regenerated arbiter over `ports` guarding `resource`,
+  // growing every per-arbiter table in lockstep with the plan.
+  auto add_arbiter = [&](int resource, std::vector<TaskId> ports) {
+    const std::size_t idx = arbiters.size();
+    core::ArbiterInstance inst;
+    inst.resource = resource;
+    inst.resource_name = binding_.resource_name(resource);
+    inst.ports = std::move(ports);
+    inst.policy = core::Policy::kRoundRobin;  // regenerated arbiters are RR
+    const int n = static_cast<int>(inst.ports.size());
+    rr.push_back(nullptr);
+    sc.push_back(nullptr);
+    if (options_.self_check != core::CheckMode::kNone) {
+      auto arb = std::make_unique<core::SelfCheckingArbiter>(
+          n, options_.self_check,
+          core::RoundRobinOptions{options_.rr_max_hold, options_.harden});
+      sc.back() = arb.get();
+      arbiters.push_back(std::move(arb));
+    } else {
+      auto arb = std::make_unique<core::RoundRobinArbiter>(
+          n, core::RoundRobinOptions{options_.rr_max_hold, options_.harden});
+      rr.back() = arb.get();
+      arbiters.push_back(std::move(arb));
+    }
+    ArbiterStats st;
+    st.resource_name = inst.resource_name;
+    st.ports = n;
+    result.arbiters.push_back(st);
+    if (options_.arbiter_metrics) {
+      result.arbiter_obs.emplace_back();  // within the up-front reserve
+      obs::ArbiterMetrics& m = result.arbiter_obs.back();
+      m.name = inst.resource_name;
+      m.ports = n;
+      probes.push_back(std::make_unique<obs::ArbiterProbe>(&m));
+      arbiters.back()->set_observer(probes.back().get());
+    }
+    plan_.arbiters.push_back(std::move(inst));
+    grant_holder.push_back(-1);
+    grant_mask_vis.push_back(0);
+    hold_streak.push_back(0);
+    hung_reported.push_back(0);
+    was_illegal.push_back(0);
+    holder_accessed.push_back(0);
+    force_release.push_back(0);
+    prev_recoveries.push_back(0);
+    hold_since.push_back(0);
+    pending.push_back(0);
+    requests.push_back(0);
+    latched_plain.push_back(0);
+    if (options_.record_request_trace) result.request_trace.emplace_back();
+    return idx;
+  };
+
+  // Every running task whose program can drive r1 or r2 — the contention
+  // set of the merged resource after a remap, in deterministic (TaskId)
+  // order.  Derived from the programs rather than the old arbiter tables so
+  // tasks that used the survivor *unarbitrated* (no contention before the
+  // remap) join the regenerated arbiter instead of colliding with the
+  // movers.
+  auto contenders = [&](int r1, int r2) {
+    std::vector<TaskId> ports;
+    for (const TaskId t : tasks) {
+      bool hits = false;
+      for (const Op& op : graph_.task(t).program.ops()) {
+        int dr = -1;
+        if (op.code == OpCode::kAcquire || op.code == OpCode::kRelease)
+          dr = op.a;
+        else
+          dr = driven_resource(op);
+        if (dr < 0) continue;  // no driven resource must not match r2 == -1
+        dr = resolve(dr);
+        if (dr == r1 || dr == r2) {
+          hits = true;
+          break;
+        }
+      }
+      if (hits) ports.push_back(t);
+    }
+    std::sort(ports.begin(), ports.end());
+    return ports;
+  };
+
+  // One piece of permanent-fault evidence against a resource.  The K-th
+  // strike within the sliding window classifies the fault as permanent and
+  // opens the quarantine (kDraining).
+  auto supervisor_strike = [&](int resource, degrade::StrikeSource src,
+                               std::uint64_t cyc) {
+    if (!degrade_on || resource < 0 || resource >= num_res) return;
+    const int r = resolve(resource);
+    QuarCtx& q = quar[static_cast<std::size_t>(r)];
+    if (q.state != degrade::QuarantineState::kHealthy) return;
+    ++result.strikes;
+    if (!strike_tracker.strike(r, cyc, src)) return;
+    ++result.quarantined;
+    q.state = degrade::QuarantineState::kDraining;
+    q.deadline = cyc + options_.degrade.drain_timeout;
+    q.record = result.quarantine_events.size();
+    degrade::QuarantineRecord rec;
+    rec.resource = r;
+    rec.state = degrade::QuarantineState::kDraining;
+    rec.classified_cycle = cyc;
+    result.quarantine_events.push_back(rec);
+    diagnose(DiagKind::kQuarantine, cyc, -1, r, [&] {
+      return "resource " + binding_.resource_name(r) +
+             " classified permanently faulty (" +
+             std::string(degrade::to_string(src)) + " strikes: " +
+             std::to_string(options_.degrade.strikes) + " within " +
+             std::to_string(options_.degrade.strike_window) +
+             " cycles); draining in-flight bursts";
+    });
+    trace(obs::TraceKind::kQuarantine, cyc, -1, -1, r,
+          static_cast<std::int64_t>(options_.degrade.strikes));
+  };
+
+  // Advances every open quarantine one step: waits out the drain (force-
+  // aborting holders at the timeout — a burst pinned on a dead resource
+  // can never reach its <=M batch boundary on its own), freezes the remap
+  // plan, prices the reconfiguration stall via the synthesis memo, and
+  // finally applies the group move.
+  auto supervisor_step = [&](std::uint64_t cyc) {
+    for (int r = 0; r < num_res; ++r) {
+      QuarCtx& q = quar[static_cast<std::size_t>(r)];
+      if (q.state == degrade::QuarantineState::kDraining) {
+        degraded_cycle = true;
+        const auto& arbs =
+            plan_.arbiters_of_resource[static_cast<std::size_t>(r)];
+        bool busy = false;
+        for (const int a : arbs)
+          if (grant_holder[static_cast<std::size_t>(a)] >= 0) busy = true;
+        if (busy) {
+          if (cyc >= q.deadline) {
+            if (!q.drain_aborted) {
+              q.drain_aborted = true;
+              ++result.drain_aborts;
+            }
+            for (const int a : arbs) {
+              const int h = grant_holder[static_cast<std::size_t>(a)];
+              if (h >= 0)
+                force_release[static_cast<std::size_t>(a)] |= 1ull << h;
+            }
+          }
+          continue;
+        }
+        // Drained.  Freeze the remap plan now so the feasibility verdict
+        // (and kCapacityExhausted) is known before the reconfig stall.
+        degrade::QuarantineRecord& rec = result.quarantine_events[q.record];
+        rec.drained_cycle = cyc;
+        rec.drain_aborted = q.drain_aborted;
+        trace(obs::TraceKind::kDrain, cyc, -1, -1, r, q.drain_aborted ? 1 : 0);
+        bool feasible = true;
+        if (res_failed[static_cast<std::size_t>(r)] == 0) {
+          // The guarded hardware is healthy (arbiter-region fault, e.g. a
+          // latch-up): regenerate the arbiter in place.
+          q.repair = Repair::kInPlace;
+        } else if (binding_.resource_is_bank(r)) {
+          std::vector<bool> failed(binding_.num_banks, false);
+          for (std::size_t b = 0; b < binding_.num_banks; ++b) {
+            const int br = binding_.bank_resource(static_cast<int>(b));
+            failed[b] = res_failed[static_cast<std::size_t>(br)] != 0 ||
+                        quar[static_cast<std::size_t>(br)].state !=
+                            degrade::QuarantineState::kHealthy;
+          }
+          const degrade::BankRemapPlan plan = degrade::plan_bank_remap(
+              seg_bytes, binding_.segment_to_bank, bank_free, r, failed);
+          feasible = plan.feasible;
+          q.repair = Repair::kBank;
+          q.target = plan.moved_segments.empty() ? -1 : plan.target_bank;
+          q.moved = plan.moved_segments;
+        } else {
+          const int dead_phys = r - static_cast<int>(binding_.num_banks);
+          std::vector<bool> failed(binding_.num_phys_channels, false);
+          for (std::size_t p = 0; p < binding_.num_phys_channels; ++p) {
+            const int cr = binding_.channel_resource(static_cast<int>(p));
+            failed[p] = res_failed[static_cast<std::size_t>(cr)] != 0 ||
+                        quar[static_cast<std::size_t>(cr)].state !=
+                            degrade::QuarantineState::kHealthy;
+          }
+          q.repair = Repair::kChannel;
+          if (options_.degrade.use_channel_map) {
+            const part::ChannelRemap cm = part::remap_channels(
+                graph_, options_.degrade.channel_map, dead_phys, failed);
+            feasible = cm.feasible;
+            q.target = cm.moved.empty() ? -1 : cm.target_phys;
+            q.moved.assign(cm.moved.begin(), cm.moved.end());
+          } else {
+            const degrade::ChannelRemapPlan plan = degrade::plan_channel_remap(
+                binding_.channel_to_phys, binding_.num_phys_channels,
+                dead_phys, failed);
+            feasible = plan.feasible;
+            q.target = plan.moved_channels.empty() ? -1 : plan.target_phys;
+            q.moved = plan.moved_channels;
+          }
+        }
+        if (!feasible) {
+          q.state = degrade::QuarantineState::kCapacityExhausted;
+          rec.state = q.state;
+          diagnose(DiagKind::kCapacityExhausted, cyc, -1, r, [&] {
+            return "no survivor can take the load of " +
+                   binding_.resource_name(r) +
+                   "; its tasks stall (no remap possible)";
+          });
+          continue;
+        }
+        const int live = q.repair == Repair::kInPlace ? r
+                         : q.target < 0              ? r
+                         : q.repair == Repair::kBank
+                             ? binding_.bank_resource(q.target)
+                             : binding_.channel_resource(q.target);
+        const int n_ports = static_cast<int>(
+            contenders(r, live == r ? -1 : live).size());
+        q.state = degrade::QuarantineState::kReconfiguring;
+        q.deadline = cyc + degrade::arbiter_reconfig_cycles(
+                               options_.degrade, n_ports, options_.self_check);
+        continue;
+      }
+      if (q.state == degrade::QuarantineState::kReconfiguring) {
+        degraded_cycle = true;
+        if (cyc < q.deadline) continue;
+        // Reconfiguration done: apply the frozen group move, retire the old
+        // arbiters and bring up the regenerated one on the survivor.
+        degrade::QuarantineRecord& rec = result.quarantine_events[q.record];
+        int live = r;
+        if (q.repair == Repair::kBank && q.target >= 0) {
+          for (const int s : q.moved)
+            binding_.segment_to_bank[static_cast<std::size_t>(s)] = q.target;
+          live = binding_.bank_resource(q.target);
+        } else if (q.repair == Repair::kChannel && q.target >= 0) {
+          for (const int lc : q.moved)
+            binding_.channel_to_phys[static_cast<std::size_t>(lc)] = q.target;
+          live = binding_.channel_resource(q.target);
+        }
+        std::vector<TaskId> ports = contenders(r, live == r ? -1 : live);
+        // A port task whose program carries no Acquire for either merged
+        // resource was the sole client of its resource pre-fault — the
+        // insertion pass elided its protocol ops.  It cannot follow Fig. 8
+        // on the shared survivor, so the simulator retrofits an implicit
+        // per-access Req/release for it.
+        for (const TaskId pt : ports) {
+          bool has_protocol = false;
+          for (const Op& op : graph_.task(pt).program.ops())
+            if (op.code == OpCode::kAcquire) {
+              const int ra = resolve(op.a);
+              if (ra == live || ra == r) {
+                has_protocol = true;
+                break;
+              }
+            }
+          if (!has_protocol && !ctx[pt].implicit_for(live))
+            ctx[pt].implicit_protocol.push_back(live);
+        }
+        auto retire = [&](int res) {
+          for (const int a :
+               plan_.arbiters_of_resource[static_cast<std::size_t>(res)]) {
+            requests[static_cast<std::size_t>(a)] = 0;
+            pending[static_cast<std::size_t>(a)] = 0;
+            hold_streak[static_cast<std::size_t>(a)] = 0;
+            hung_reported[static_cast<std::size_t>(a)] = 0;
+          }
+        };
+        retire(r);
+        if (live != r) retire(live);
+        plan_.arbiters_of_resource[static_cast<std::size_t>(r)].clear();
+        if (!ports.empty()) {
+          const std::size_t idx = add_arbiter(live, std::move(ports));
+          plan_.arbiters_of_resource[static_cast<std::size_t>(live)].assign(
+              1, static_cast<int>(idx));
+        }
+        if (live != r) {
+          resource_fwd[static_cast<std::size_t>(r)] = live;
+          // Translate the live protocol state of every task still pointed
+          // at the retired id (ops translate lazily via resolve()).
+          for (TaskId t : tasks) {
+            TaskCtx& c = ctx[t];
+            if (c.requesting == r) c.requesting = live;
+            if (c.retry_resource == r) c.retry_resource = live;
+            if (c.dropped_request == r) c.dropped_request = live;
+          }
+        }
+        strike_tracker.clear(r);
+        q.state = degrade::QuarantineState::kRemapped;
+        rec.state = q.state;
+        rec.restored_cycle = cyc;
+        rec.remap_target = live;
+        ++result.remaps;
+        diagnose(DiagKind::kRemap, cyc, -1, r, [&] {
+          return q.repair == Repair::kInPlace
+                     ? "arbiter region of " + binding_.resource_name(r) +
+                           " regenerated in place; service restored"
+                     : "load of " + binding_.resource_name(r) +
+                           " remapped onto " + binding_.resource_name(live) +
+                           " (" + std::to_string(q.moved.size()) +
+                           " logical unit(s) moved); service restored";
+        });
+        trace(obs::TraceKind::kRemap, cyc, -1, -1, r, live);
+        continue;
+      }
+      if (q.state == degrade::QuarantineState::kCapacityExhausted) {
+        for (const int a :
+             plan_.arbiters_of_resource[static_cast<std::size_t>(r)])
+          if (pending[static_cast<std::size_t>(a)] != 0) degraded_cycle = true;
+      }
+    }
   };
 
   // ---- Main loop. ----
@@ -456,14 +885,49 @@ SimResult SystemSimulator::run(const std::vector<TaskId>& tasks) {
     while (flip_next < flips.size() && flips[flip_next].cycle <= cycle) {
       const fault::FaultEvent& e = flips[flip_next++];
       const auto a = static_cast<std::size_t>(e.arbiter);
-      if (rr[a] != nullptr) {
+      if (rr[a] != nullptr || sc[a] != nullptr) {
         const int bits = 2 * result.arbiters[a].ports;
-        rr[a]->inject_bit_flip(e.bit >= 0 ? e.bit % bits : 0);
+        const int bit = e.bit >= 0 ? e.bit % bits : 0;
+        if (rr[a] != nullptr)
+          rr[a]->inject_bit_flip(bit);
+        else
+          sc[a]->inject_bit_flip(0, bit);  // upsets hit one copy at a time
         trace(obs::TraceKind::kFault, cycle, -1, static_cast<int>(a),
               plan_.arbiters[a].resource,
               static_cast<std::int64_t>(e.kind));
       }
     }
+
+    // Phase 0b: activate the permanent faults scheduled for this cycle and
+    // advance the degradation supervisor's per-resource quarantine FSMs.
+    while (perm_next < perm_res.size() && perm_res[perm_next].first <= cycle) {
+      const int r = perm_res[perm_next++].second;
+      if (res_failed[static_cast<std::size_t>(r)] == 0) {
+        res_failed[static_cast<std::size_t>(r)] = 1;
+        trace(obs::TraceKind::kFault, cycle, -1, -1, r,
+              static_cast<std::int64_t>(
+                  binding_.resource_is_bank(r)
+                      ? fault::FaultKind::kBankFailure
+                      : fault::FaultKind::kPermanentStuckChannel));
+      }
+    }
+    while (latch_next < latchups.size() &&
+           latchups[latch_next].first <= cycle) {
+      const std::size_t a = latchups[latch_next++].second;
+      if (sc[a] != nullptr) {
+        sc[a]->latch_up(0);  // freeze copy 0's register at its current state
+      } else if (rr[a] != nullptr && result.arbiters[a].ports <= 32) {
+        // A latched plain register is modeled as frozen at the illegal
+        // all-zero code: the FSM grants nobody, and neither reset nor
+        // hardening clears a latch-up (it is re-frozen before every
+        // sample in Phase 1) — only reconfiguration can.
+        latched_plain[a] = 1;
+      }
+      trace(obs::TraceKind::kFault, cycle, -1, static_cast<int>(a),
+            plan_.arbiters[a].resource,
+            static_cast<std::int64_t>(fault::FaultKind::kArbiterLatchup));
+    }
+    if (degrade_on) supervisor_step(cycle);
 
     // Phase 1: arbiters sample the request lines asserted in prior cycles,
     // as seen through any active stuck-at faults.
@@ -485,6 +949,30 @@ SimResult SystemSimulator::run(const std::vector<TaskId>& tasks) {
           case fault::FaultKind::kGrantStuck0:
           case fault::FaultKind::kGrantDrop: grant_suppress |= bit; break;
           default: break;
+        }
+      }
+      // Latch-up freeze: re-assert the frozen all-zero state before the
+      // register samples, so reset/hardening cannot clear it.
+      if (latched_plain[a] != 0 && rr[a] != nullptr) {
+        std::uint64_t bits = rr[a]->state_bits();
+        while (bits != 0) {
+          rr[a]->inject_bit_flip(std::countr_zero(bits));
+          bits &= bits - 1;
+        }
+      }
+      // Quarantine gating: a draining resource only lets its current
+      // holder's request through (so the in-flight burst can reach its <=M
+      // batch boundary); a reconfiguring or capacity-exhausted resource is
+      // offline entirely.
+      if (degrade_on) {
+        const auto st =
+            quar[static_cast<std::size_t>(plan_.arbiters[a].resource)].state;
+        if (st == degrade::QuarantineState::kDraining) {
+          const int h = grant_holder[a];
+          eff &= h >= 0 ? (1ull << h) : 0ull;
+        } else if (st == degrade::QuarantineState::kReconfiguring ||
+                   st == degrade::QuarantineState::kCapacityExhausted) {
+          eff = 0;
         }
       }
       // The watchdog's force-release masks the request *inside* the
@@ -509,12 +997,48 @@ SimResult SystemSimulator::run(const std::vector<TaskId>& tasks) {
                    });
         }
         was_illegal[a] = illegal ? 1 : 0;
+        // Without a checker the illegal register is invisible to the
+        // supervisor (no error wire — the monitor here is simulator
+        // omniscience), but the availability metric still records the
+        // outage.
+        if (illegal) degraded_cycle = true;
       }
 
       const int g = arbiters[a]->step(eff);
       std::uint64_t mask =
-          rr[a] != nullptr ? rr[a]->last_grant_mask()
-                           : (g >= 0 ? (1ull << g) : 0);
+          rr[a] != nullptr   ? rr[a]->last_grant_mask()
+          : sc[a] != nullptr ? sc[a]->last_grant_mask()
+                             : (g >= 0 ? (1ull << g) : 0);
+
+      // Self-checking arbiters expose a real error wire: every comparator-
+      // high cycle is supervisor evidence (and a service gap under DMR,
+      // whose grants are gated by ~error).
+      if (sc[a] != nullptr) {
+        if (sc[a]->error()) {
+          ++result.self_check_errors;
+          degraded_cycle = true;
+          if (!was_illegal[a]) {
+            ++result.illegal_fsm_states;
+            diagnose(DiagKind::kIllegalFsmState, cycle, -1,
+                     plan_.arbiters[a].resource, [&] {
+                       return "self-checking arbiter " +
+                              plan_.arbiters[a].resource_name +
+                              " raised its error output (copy state "
+                              "mismatch)";
+                     });
+          }
+          was_illegal[a] = 1;
+          supervisor_strike(plan_.arbiters[a].resource,
+                            degrade::StrikeSource::kSelfCheckError, cycle);
+        } else {
+          was_illegal[a] = 0;
+        }
+        const std::uint64_t rs = sc[a]->resyncs();
+        if (rs != prev_recoveries[a]) {
+          result.self_check_resyncs += rs - prev_recoveries[a];
+          prev_recoveries[a] = rs;
+        }
+      }
 
       if (rr[a] != nullptr) {
         const std::uint64_t rec = rr[a]->recoveries();
@@ -651,6 +1175,20 @@ SimResult SystemSimulator::run(const std::vector<TaskId>& tasks) {
             }
             return true;
           }
+          if (c.implicit_for(resource)) {
+            // Retrofitted protocol: the access attempt is the Req:=1 cycle.
+            c.requesting = resource;
+            c.request_since = cycle;
+            c.retry_resource = -1;
+            ++c.stats.acquires;
+            if (sink != nullptr) {
+              const auto [ai2, port2] = arbiter_port(t, resource);
+              (void)port2;
+              trace(obs::TraceKind::kRequest, cycle, static_cast<int>(t),
+                    ai2, resource, 0);
+            }
+            return true;
+          }
           fail(DiagKind::kProtocolViolation, cycle, static_cast<int>(t),
                resource, [&] {
                  return "task " + graph_.task(t).name +
@@ -687,6 +1225,14 @@ SimResult SystemSimulator::run(const std::vector<TaskId>& tasks) {
         }
         ++c.stats.grant_wait_cycles;  // stall, request stays up
         return true;
+      };
+
+      // Req:=0 right after a retrofitted access retires, so the arbiter
+      // rotates per access instead of pinning the grant until task end.
+      auto implicit_release = [&](int resource) {
+        if (resource >= 0 && c.requesting == resource &&
+            c.implicit_for(resource))
+          c.requesting = -1;
       };
 
       // Retire zero-cost control ops freely; execute at most one costed op
@@ -772,23 +1318,26 @@ SimResult SystemSimulator::run(const std::vector<TaskId>& tasks) {
             last_progress_cycle = cycle;
             break;
           case OpCode::kAcquire: {
-            if (c.requesting >= 0 && c.requesting != op.a) {
+            // Programs bake resource ids in at insertion time; resolve()
+            // translates ids retired by an online remap to the live one.
+            const int res_a = resolve(op.a);
+            if (c.requesting >= 0 && c.requesting != res_a) {
               fail(DiagKind::kProtocolViolation, cycle, static_cast<int>(t),
-                   op.a, [&] {
+                   res_a, [&] {
                      return "task " + graph_.task(t).name +
                             " acquires a second resource while holding one";
                    });
               ++result.protocol_violations;
             }
-            c.requesting = op.a;
+            c.requesting = res_a;
             c.request_since = cycle;
             c.retry_resource = -1;
             ++c.stats.acquires;
             if (sink != nullptr) {
-              const auto [ai, port] = arbiter_port(t, op.a);
+              const auto [ai, port] = arbiter_port(t, res_a);
               (void)port;
               trace(obs::TraceKind::kRequest, cycle, static_cast<int>(t), ai,
-                    op.a, 0);
+                    res_a, 0);
             }
             ++c.pc;
             ++c.stats.ops_retired;
@@ -797,9 +1346,10 @@ SimResult SystemSimulator::run(const std::vector<TaskId>& tasks) {
             break;
           }
           case OpCode::kRelease: {
-            if (c.requesting != op.a) {
+            const int res_a = resolve(op.a);
+            if (c.requesting != res_a) {
               fail(DiagKind::kProtocolViolation, cycle, static_cast<int>(t),
-                   op.a, [&] {
+                   res_a, [&] {
                      return "task " + graph_.task(t).name +
                             " releases a resource it does not hold";
                    });
@@ -808,10 +1358,10 @@ SimResult SystemSimulator::run(const std::vector<TaskId>& tasks) {
             c.requesting = -1;
             c.retry_resource = -1;
             if (sink != nullptr) {
-              const auto [ai, port] = arbiter_port(t, op.a);
+              const auto [ai, port] = arbiter_port(t, res_a);
               (void)port;
               trace(obs::TraceKind::kRelease, cycle, static_cast<int>(t), ai,
-                    op.a, 0);
+                    res_a, 0);
             }
             ++c.pc;
             ++c.stats.ops_retired;
@@ -823,13 +1373,22 @@ SimResult SystemSimulator::run(const std::vector<TaskId>& tasks) {
           case OpCode::kStore: {
             const int resource = driven_resource(op);
             const auto [ai, port] = arbiter_port(t, resource);
-            if (ai >= 0 && port >= 0) {
-              if (await_grant(resource)) {
-                spent_cycle = true;
-                break;
-              }
-              note_access(t, resource);
+            if (ai >= 0 && port >= 0 && await_grant(resource)) {
+              spent_cycle = true;
+              break;
             }
+            if (resource >= 0 &&
+                res_failed[static_cast<std::size_t>(resource)] != 0) {
+              // Fail-stop: the dead bank acknowledges nothing.  The op does
+              // not retire (it replays on the survivor once the remap
+              // lands), so data is stalled, never silently corrupted.
+              supervisor_strike(resource, degrade::StrikeSource::kBankFailure,
+                                cycle);
+              degraded_cycle = true;
+              spent_cycle = true;
+              break;
+            }
+            if (ai >= 0 && port >= 0) note_access(t, resource);
             // Single-port bank conflict detection.
             const int bank =
                 binding_.segment_to_bank[static_cast<std::size_t>(op.b)];
@@ -865,6 +1424,7 @@ SimResult SystemSimulator::run(const std::vector<TaskId>& tasks) {
             } else {
               mem[static_cast<std::size_t>(addr)] = c.regs[op.a];
             }
+            implicit_release(resource);
             ++c.stats.mem_accesses;
             ++c.pc;
             ++c.stats.ops_retired;
@@ -912,13 +1472,22 @@ SimResult SystemSimulator::run(const std::vector<TaskId>& tasks) {
               spent_cycle = true;
               break;
             }
-            if (ai >= 0 && port >= 0) {
-              if (await_grant(resource)) {
-                spent_cycle = true;
-                break;
-              }
-              note_access(t, resource);
+            if (ai >= 0 && port >= 0 && await_grant(resource)) {
+              spent_cycle = true;
+              break;
             }
+            if (resource >= 0 &&
+                res_failed[static_cast<std::size_t>(resource)] != 0) {
+              // Fail-stop: the stuck channel delivers nothing, the word is
+              // never latched into the receiver register — the send stalls
+              // and replays on the survivor after the remap.
+              supervisor_strike(resource,
+                                degrade::StrikeSource::kChannelFailure, cycle);
+              degraded_cycle = true;
+              spent_cycle = true;
+              break;
+            }
+            if (ai >= 0 && port >= 0) note_access(t, resource);
             const int phys = binding_.channel_to_phys[ch];
             std::int64_t value = c.regs[op.a];
             if (phys >= 0) {
@@ -979,6 +1548,7 @@ SimResult SystemSimulator::run(const std::vector<TaskId>& tasks) {
               chan_reg[ch].valid = true;
               chan_reg[ch].value = value;
             }
+            implicit_release(resource);
             ++c.stats.channel_ops;
             ++c.pc;
             ++c.stats.ops_retired;
@@ -1075,6 +1645,22 @@ SimResult SystemSimulator::run(const std::vector<TaskId>& tasks) {
       for (std::size_t a = 0; a < arbiters.size(); ++a) {
         const int h = grant_holder[a];
         if (h < 0) continue;
+        if (degrade_on) {
+          const auto st =
+              quar[static_cast<std::size_t>(plan_.arbiters[a].resource)]
+                  .state;
+          if (st == degrade::QuarantineState::kDraining ||
+              st == degrade::QuarantineState::kReconfiguring) {
+            // The quarantine drain masks the peers' requests, so the
+            // holder's apparent idle-hold is the supervisor's doing — not
+            // a hung grant.  Counting these cycles would trip the watchdog
+            // mid-drain and force-release the very burst the drain is
+            // waiting out (the supervisor's own drain_timeout bounds it).
+            hold_streak[a] = 0;
+            hung_reported[a] = 0;
+            continue;
+          }
+        }
         const bool others_waiting =
             (pending[a] & ~(1ull << h)) != 0;
         if (holder_accessed[a] || !others_waiting) {
@@ -1088,6 +1674,8 @@ SimResult SystemSimulator::run(const std::vector<TaskId>& tasks) {
         if (!hung_reported[a]) {
           hung_reported[a] = 1;
           ++result.hung_grants;
+          supervisor_strike(plan_.arbiters[a].resource,
+                            degrade::StrikeSource::kWatchdogTrip, cycle);
           if (!result.arbiter_obs.empty())
             ++result.arbiter_obs[a].watchdog_fires;
           diagnose(DiagKind::kHungGrant, cycle,
@@ -1119,6 +1707,34 @@ SimResult SystemSimulator::run(const std::vector<TaskId>& tasks) {
         }
       }
     }
+
+    // Phase 6: serving-cycle (availability) accounting.  A cycle serves
+    // unless a quarantine was in progress, an access failed, or a live task
+    // is stuck against a failed / capacity-exhausted resource.
+    if (degrade_on || perm_next > 0 || latch_next > 0) {
+      if (!degraded_cycle) {
+        for (TaskId t : tasks) {
+          const TaskCtx& c = ctx[t];
+          if (!c.started || c.finished) continue;
+          int res = c.requesting >= 0       ? c.requesting
+                    : c.retry_resource >= 0 ? c.retry_resource
+                                            : c.dropped_request;
+          const auto& ops = graph_.task(t).program.ops();
+          if (res < 0 && c.pc < ops.size()) res = driven_resource(ops[c.pc]);
+          if (res >= 0 && res < num_res &&
+              (res_failed[static_cast<std::size_t>(res)] != 0 ||
+               quar[static_cast<std::size_t>(res)].state ==
+                   degrade::QuarantineState::kCapacityExhausted)) {
+            degraded_cycle = true;
+            break;
+          }
+        }
+      }
+      if (!degraded_cycle) ++result.serving_cycles;
+    } else {
+      ++result.serving_cycles;  // no permanent fault active yet
+    }
+    degraded_cycle = false;
 
     ++cycle;
   }

@@ -18,6 +18,8 @@
 
 #include "core/insertion.hpp"
 #include "core/policy.hpp"
+#include "core/selfcheck.hpp"
+#include "degrade/degrade.hpp"
 #include "fault/fault.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -61,6 +63,19 @@ struct SimOptions {
   /// this run's arbiters and physical channels.
   std::vector<fault::FaultEvent> faults;
 
+  // ---- Graceful degradation (permanent faults). ----
+  /// Replicate every round-robin arbiter as a self-checking variant
+  /// (duplicate-and-compare or TMR-voted).  The comparator's `error`
+  /// output is the evidence stream the degradation supervisor classifies;
+  /// kNone (the default) instantiates the plain single-copy arbiters.
+  core::CheckMode self_check = core::CheckMode::kNone;
+  /// Supervisory recovery controller: classify permanent faults (K strikes
+  /// in W cycles), quarantine the resource, drain in-flight bursts at the
+  /// Fig. 8 batch boundary and remap its load onto survivors.  Disabled by
+  /// default (permanent faults then stall the affected tasks forever —
+  /// the bench's stall-only baseline).
+  degrade::DegradeOptions degrade;
+
   // ---- Observability. ----
   /// Borrowed trace-event sink.  nullptr (the default) disables emission
   /// entirely: every candidate event costs one pointer test, and no names
@@ -101,6 +116,9 @@ enum class DiagKind : std::uint8_t {
   kDeadlock,          // wait-for-graph cycle over requests/grants/channels
   kNoProgress,        // stall with no wait-for cycle (hang / livelock)
   kMaxCycles,         // simulation exceeded max_cycles
+  kQuarantine,        // supervisor classified a resource fault as permanent
+  kRemap,             // quarantined resource's load moved onto a survivor
+  kCapacityExhausted, // no survivor can take the load; stall-with-diagnostic
 };
 
 [[nodiscard]] const char* to_string(DiagKind k);
@@ -158,6 +176,20 @@ struct SimResult {
   /// True when the run stopped on a deadlock / no-progress attribution
   /// instead of finishing every task.
   bool deadlocked = false;
+
+  // ---- Graceful-degradation accounting. ----
+  std::uint64_t self_check_errors = 0;  // comparator-high cycles
+  std::uint64_t self_check_resyncs = 0; // copy re-synchronizations
+  std::uint64_t strikes = 0;            // evidence fed to the classifier
+  std::uint64_t quarantined = 0;        // resources classified permanent
+  std::uint64_t remaps = 0;             // successful online remaps
+  std::uint64_t drain_aborts = 0;       // drain_timeout force-aborts
+  /// Cycles on which no resource was mid-quarantine (draining or
+  /// reconfiguring) and no task was stuck against a failed, not-yet-
+  /// remapped resource.  availability = serving_cycles / cycles.
+  std::uint64_t serving_cycles = 0;
+  /// One lifecycle record per quarantined resource (MTTR accounting).
+  std::vector<degrade::QuarantineRecord> quarantine_events;
 
   std::vector<SimDiagnostic> diagnostics;
 

@@ -227,8 +227,11 @@ TEST(RoundRobinPreemption, DisabledByDefault) {
 }
 
 TEST(Arbiter, RejectsBadSizes) {
-  EXPECT_THROW(RoundRobinArbiter(1), CheckError);
+  EXPECT_THROW(RoundRobinArbiter(0), CheckError);
   EXPECT_THROW(RoundRobinArbiter(65), CheckError);
+  // n = 1 is a degenerate but legal arbiter (a remap can merge every
+  // contender away but one); n = 64 is the lane-sim word width.
+  EXPECT_NO_THROW(RoundRobinArbiter(1));
   EXPECT_NO_THROW(RoundRobinArbiter(64));
 }
 

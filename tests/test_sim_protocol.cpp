@@ -261,5 +261,49 @@ TEST(Watchdog, StuckGrantWindowDoesNotLeakStreakToNextHolder) {
   EXPECT_EQ(r.hung_grants, 0u);
 }
 
+TEST(Watchdog, QuarantineDrainMustNotTripTheWatchdog) {
+  // A holds the bank mid-burst when the bank dies.  The supervisor
+  // classifies the fault and starts draining: B's request is masked and
+  // A's stores fail-stop, so A "idles" on the grant while B waits — which
+  // is exactly the watchdog's hung-grant signature.  But the idle-hold is
+  // the supervisor's doing: tripping the watchdog here would flag (and,
+  // hardened, force-release) the very burst the drain is waiting out.
+  // The drain's own drain_timeout is the bound for that burst, so the
+  // watchdog must stay silent for the whole quarantine.
+  BankRig rig;
+  Program a;
+  a.acquire(0).load_imm(0, 0);
+  for (int k = 0; k < 12; ++k) a.store(0, 0, k % 8);
+  a.release(0).halt();
+  Program b;
+  b.load_imm(0, 0).acquire(0).store(0, 0, 15).release(0).halt();
+  const TaskId ta = rig.add("A", a);
+  const TaskId tb = rig.add("B", b);
+  rig.finish({ta, tb});
+  fault::FaultEvent dead;
+  dead.kind = fault::FaultKind::kBankFailure;
+  dead.cycle = 4;
+  dead.bank = 0;
+  SimOptions so;
+  so.strict = false;
+  so.watchdog_timeout = 6;
+  so.no_progress_window = 120;
+  so.degrade.enabled = true;
+  so.degrade.strikes = 3;
+  so.degrade.strike_window = 32;
+  so.degrade.drain_timeout = 40;  // > watchdog_timeout: the hazard window
+  so.faults = {dead};
+  SystemSimulator sim(rig.graph, rig.binding, rig.plan, so);
+  const SimResult r = sim.run({ta, tb});
+
+  EXPECT_EQ(r.quarantined, 1u) << "the dead bank must still be classified";
+  EXPECT_EQ(r.count(DiagKind::kQuarantine), 1u);
+  EXPECT_EQ(r.hung_grants, 0u)
+      << "the watchdog fired on a supervisor-induced idle-hold";
+  EXPECT_EQ(r.count(DiagKind::kHungGrant), 0u);
+  EXPECT_EQ(r.drain_aborts, 1u)
+      << "the dead bank never retires A's burst; drain_timeout bounds it";
+}
+
 }  // namespace
 }  // namespace rcarb
