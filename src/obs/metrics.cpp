@@ -3,24 +3,63 @@
 #include <algorithm>
 #include <bit>
 #include <cstdio>
+#include <limits>
 
 namespace rcarb::obs {
 
 namespace {
 
-/// Bucket index of `value`: 0 -> 0, otherwise 1 + floor(log2(value)).
+/// Major bucket index of `value`: 0 -> 0, otherwise 1 + floor(log2(value)).
 int bucket_of(std::uint64_t value) {
   if (value == 0) return 0;
   return 1 + (63 - std::countl_zero(value));
 }
 
+/// Linear sub-bucket of `value` within major bucket m >= 1.  Major bucket m
+/// spans 2^(m-1) values starting at 2^(m-1); spans wider than kSubBuckets
+/// are divided into kSubBuckets equal linear slices.
+int sub_of(std::uint64_t value, int m) {
+  if (m == 0) return 0;
+  const std::uint64_t lo = 1ull << (m - 1);
+  if (m - 1 <= Histogram::kSubBits)
+    return static_cast<int>(value - lo);  // span <= kSubBuckets: exact
+  return static_cast<int>((value - lo) >> (m - 1 - Histogram::kSubBits));
+}
+
+/// Inclusive upper bound of sub-bucket s of major bucket m.
+std::uint64_t sub_upper(int m, int s) {
+  if (m == 0) return 0;
+  const std::uint64_t lo = 1ull << (m - 1);
+  if (m - 1 <= Histogram::kSubBits) return lo + static_cast<std::uint64_t>(s);
+  const int shift = m - 1 - Histogram::kSubBits;
+  return lo + (static_cast<std::uint64_t>(s + 1) << shift) - 1;
+}
+
+/// a + b pinned at UINT64_MAX instead of wrapping (merge of many
+/// already-huge histograms must not make counts smaller).
+std::uint64_t sat_add(std::uint64_t a, std::uint64_t b) {
+  const std::uint64_t s = a + b;
+  return s < a ? std::numeric_limits<std::uint64_t>::max() : s;
+}
+
 }  // namespace
 
 void Histogram::record(std::uint64_t value) {
-  buckets_[static_cast<std::size_t>(bucket_of(value))] += 1;
-  count_ += 1;
-  sum_ += value;
+  const int m = bucket_of(value);
+  auto& cell = sub_[static_cast<std::size_t>(m) * kSubBuckets +
+                    static_cast<std::size_t>(sub_of(value, m))];
+  cell = sat_add(cell, 1);
+  count_ = sat_add(count_, 1);
+  sum_ = sat_add(sum_, value);
   max_ = std::max(max_, value);
+}
+
+void Histogram::merge(const Histogram& other) {
+  for (std::size_t i = 0; i < sub_.size(); ++i)
+    sub_[i] = sat_add(sub_[i], other.sub_[i]);
+  count_ = sat_add(count_, other.count_);
+  sum_ = sat_add(sum_, other.sum_);
+  max_ = std::max(max_, other.max_);
 }
 
 double Histogram::mean() const {
@@ -29,7 +68,11 @@ double Histogram::mean() const {
 }
 
 std::uint64_t Histogram::bucket(int i) const {
-  return buckets_[static_cast<std::size_t>(i)];
+  std::uint64_t total = 0;
+  for (int s = 0; s < kSubBuckets; ++s)
+    total = sat_add(total, sub_[static_cast<std::size_t>(i) * kSubBuckets +
+                                static_cast<std::size_t>(s)]);
+  return total;
 }
 
 std::pair<std::uint64_t, std::uint64_t> Histogram::bucket_range(int i) {
@@ -44,20 +87,22 @@ std::uint64_t Histogram::percentile(double p) const {
   // of flowing it into the rank cast (which would be UB).
   if (!(p >= 0.0)) p = 0.0;
   if (p > 1.0) p = 1.0;
-  // 0-based nearest rank.  p = 0.0 targets rank 0 (the minimum's bucket),
-  // p = 1.0 targets rank count-1 (the maximum's bucket): `seen > target`
-  // fires on the first bucket whose cumulative count covers the rank, so
-  // a histogram with every sample in one bucket answers that bucket for
-  // every p.
+  // 0-based nearest rank.  p = 0.0 targets rank 0 (the minimum's
+  // sub-bucket), p = 1.0 targets rank count-1 (the maximum's): `seen >
+  // target` fires on the first sub-bucket whose cumulative count covers
+  // the rank, so a histogram with every sample in one sub-bucket answers
+  // that sub-bucket for every p.
   const auto target = static_cast<std::uint64_t>(
       p * static_cast<double>(count_ - 1));
   std::uint64_t seen = 0;
-  for (int i = 0; i < kBuckets; ++i) {
-    seen += buckets_[static_cast<std::size_t>(i)];
-    // The bucket upper bound can overshoot the largest value actually
-    // recorded (64 lands in [64,127]); clamping keeps percentile() <= max()
-    // so p100 is exact instead of up to 2x high.
-    if (seen > target) return std::min(bucket_range(i).second, max_);
+  for (int m = 0; m < kBuckets; ++m) {
+    for (int s = 0; s < kSubBuckets; ++s) {
+      seen += sub_[static_cast<std::size_t>(m) * kSubBuckets +
+                   static_cast<std::size_t>(s)];
+      // The sub-bucket upper bound can overshoot the largest value actually
+      // recorded; clamping keeps percentile() <= max() so p100 is exact.
+      if (seen > target) return std::min(sub_upper(m, s), max_);
+    }
   }
   return max_;
 }

@@ -18,32 +18,51 @@
 
 namespace rcarb::obs {
 
-/// Power-of-two-bucketed histogram of non-negative cycle counts.
-/// Bucket 0 holds value 0; bucket i >= 1 holds [2^(i-1), 2^i - 1].
+/// HDR-style histogram of non-negative cycle counts: 65 power-of-two major
+/// buckets (bucket 0 holds value 0; bucket i >= 1 holds [2^(i-1), 2^i - 1]),
+/// each subdivided into kSubBuckets linear sub-buckets.  The linear
+/// subdivision bounds the quantization error of every percentile to
+/// 1/kSubBuckets of the value (values below 2^kSubBits are exact) — the
+/// pure pow-2 form answered p999 up to 2x high, which is useless for tail
+/// latency SLOs.
 class Histogram {
  public:
-  static constexpr int kBuckets = 33;
+  // 65 major buckets cover the full uint64 domain (the old 33 silently
+  // indexed out of bounds for values >= 2^32).
+  static constexpr int kBuckets = 65;
+  static constexpr int kSubBits = 4;
+  static constexpr int kSubBuckets = 1 << kSubBits;  // 16: <= 6.25% error
 
   void record(std::uint64_t value);
+
+  /// Element-wise accumulation of `other` (per-worker service histograms
+  /// are combined this way in parallel sweep reductions).  All counters use
+  /// saturating arithmetic, so merging many full histograms pins at
+  /// UINT64_MAX instead of wrapping.  Deterministic: merge order never
+  /// changes any bucket, and max/percentiles are order-independent.
+  void merge(const Histogram& other);
 
   [[nodiscard]] std::uint64_t count() const { return count_; }
   [[nodiscard]] std::uint64_t sum() const { return sum_; }
   [[nodiscard]] std::uint64_t max() const { return max_; }
   [[nodiscard]] double mean() const;
+  /// Total count of major bucket i (sum of its sub-buckets).
   [[nodiscard]] std::uint64_t bucket(int i) const;
-  /// Inclusive value range covered by bucket i.
+  /// Inclusive value range covered by major bucket i.
   [[nodiscard]] static std::pair<std::uint64_t, std::uint64_t> bucket_range(
       int i);
-  /// Upper bound of the bucket holding the p-quantile (p in [0, 1],
+  /// Upper bound of the *sub-bucket* holding the p-quantile (p in [0, 1],
   /// 0-based nearest rank), clamped to max() so it never exceeds any value
-  /// actually recorded; p = 0.0 answers the minimum's bucket, p = 1.0 the
-  /// maximum's.  An empty histogram returns 0 by definition.
+  /// actually recorded; p = 0.0 answers the minimum's sub-bucket, p = 1.0
+  /// the maximum's.  NaN p clamps to 0.0.  An empty histogram returns 0 by
+  /// definition.
   [[nodiscard]] std::uint64_t percentile(double p) const;
   /// "n=12 mean=3.4 max=9 p50<=4 p99<=16" (empty: "n=0").
   [[nodiscard]] std::string summarize() const;
 
  private:
-  std::array<std::uint64_t, kBuckets> buckets_{};
+  std::array<std::uint64_t, static_cast<std::size_t>(kBuckets) * kSubBuckets>
+      sub_{};
   std::uint64_t count_ = 0;
   std::uint64_t sum_ = 0;
   std::uint64_t max_ = 0;

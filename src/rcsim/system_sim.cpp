@@ -69,6 +69,9 @@ const char* to_string(DiagKind k) {
     case DiagKind::kQuarantine: return "quarantine";
     case DiagKind::kRemap: return "remap";
     case DiagKind::kCapacityExhausted: return "capacity-exhausted";
+    case DiagKind::kRejected: return "rejected";
+    case DiagKind::kTimedOut: return "timed-out";
+    case DiagKind::kShed: return "shed";
   }
   return "?";
 }
@@ -108,6 +111,10 @@ struct SystemSimulator::TaskCtx {
   int retry_resource = -1;
   std::uint64_t retry_until = 0;
   int retry_backoff = 1;
+  // Overload control (SimOptions::admission_limit / retry_budget).
+  int retry_rounds = 0;          // backoff rounds this burst
+  bool budget_spent = false;     // kTimedOut fired; now waiting patiently
+  bool reject_reported = false;  // one kRejected diagnostic per burst
   // Resources this task drives without inserted Req/Rel ops (it was the
   // sole client pre-remap, so the insertion pass elided its protocol);
   // the simulator retrofits a per-access Req / release instead.
@@ -1152,6 +1159,61 @@ SimResult SystemSimulator::run(const std::vector<TaskId>& tasks) {
         spent_cycle = true;  // zero-cost ops may still drain below
       }
 
+      // Overload-control bookkeeping shared by the request-edge paths.  A
+      // backoff round is one Req-drop (retry timeout or admission
+      // refusal); once the per-burst budget is spent the client stops
+      // churning its Req line and waits with the request held — a typed
+      // diagnostic instead of a livelock, and never a deadlock.
+      auto note_backoff_round = [&](int resource) {
+        ++c.retry_rounds;
+        if (options_.retry_budget > 0 && !c.budget_spent &&
+            c.retry_rounds >= options_.retry_budget) {
+          c.budget_spent = true;
+          ++result.budget_exhausted;
+          diagnose(DiagKind::kTimedOut, cycle, static_cast<int>(t), resource,
+                   [&] {
+                     return "task " + graph_.task(t).name +
+                            " spent its retry budget (" +
+                            std::to_string(options_.retry_budget) + ") on " +
+                            binding_.resource_name(resource) +
+                            "; falling back to a held request";
+                   });
+        }
+      };
+      // Admission control: refuse a newcomer while the arbiter's previous-
+      // cycle request wire already carries admission_limit other
+      // requesters.  A budget-exhausted client bypasses the check — it
+      // must eventually be allowed to wait in line, or a persistently full
+      // wire could starve it forever.
+      auto admission_full = [&](int resource) -> bool {
+        if (options_.admission_limit <= 0 || c.budget_spent) return false;
+        const auto [ai, port] = arbiter_port(t, resource);
+        if (ai < 0 || port < 0) return false;
+        const std::uint64_t others =
+            requests[static_cast<std::size_t>(ai)] & ~(1ull << port);
+        return std::popcount(others) >= options_.admission_limit;
+      };
+      // Refused at the request edge: bounded exponential backoff, then the
+      // request op replays.
+      auto admission_reject = [&](int resource) {
+        c.retry_resource = resource;
+        c.retry_until = cycle + static_cast<std::uint64_t>(c.retry_backoff);
+        c.retry_backoff =
+            std::min(c.retry_backoff * 2, plan_.retry_backoff_limit);
+        ++result.admission_rejects;
+        if (!c.reject_reported) {
+          c.reject_reported = true;
+          diagnose(DiagKind::kRejected, cycle, static_cast<int>(t), resource,
+                   [&] {
+                     return "admission control refused " +
+                            graph_.task(t).name + " on " +
+                            binding_.resource_name(resource) + " (limit " +
+                            std::to_string(options_.admission_limit) + ")";
+                   });
+        }
+        note_backoff_round(resource);
+      };
+
       // Protocol retry bookkeeping shared by the arbitrated access ops:
       // returns true when the access must wait this cycle (stall, backoff,
       // or the Req re-assertion cycle), false when it may proceed.
@@ -1160,6 +1222,10 @@ SimResult SystemSimulator::run(const std::vector<TaskId>& tasks) {
           // Backing off, or re-asserting after the backoff expired.
           if (c.retry_resource == resource) {
             if (cycle >= c.retry_until) {
+              if (admission_full(resource)) {
+                admission_reject(resource);  // extends the backoff
+                return true;
+              }
               c.requesting = resource;
               c.retry_resource = -1;
               c.request_since = cycle;
@@ -1176,6 +1242,10 @@ SimResult SystemSimulator::run(const std::vector<TaskId>& tasks) {
             return true;
           }
           if (c.implicit_for(resource)) {
+            if (admission_full(resource)) {
+              admission_reject(resource);
+              return true;
+            }
             // Retrofitted protocol: the access attempt is the Req:=1 cycle.
             c.requesting = resource;
             c.request_since = cycle;
@@ -1201,13 +1271,16 @@ SimResult SystemSimulator::run(const std::vector<TaskId>& tasks) {
         }
         if (has_grant(t, resource)) {
           c.retry_backoff = 1;
+          c.retry_rounds = 0;
+          c.budget_spent = false;
+          c.reject_reported = false;
           return false;
         }
         // No grant.  With retry enabled, give the attempt up after the
         // timeout and back off boundedly (Req:=0 for backoff cycles).
         const int rt = plan_.retry_timeout;
-        if (rt > 0 && cycle - c.request_since >=
-                          static_cast<std::uint64_t>(rt)) {
+        if (rt > 0 && !c.budget_spent &&
+            cycle - c.request_since >= static_cast<std::uint64_t>(rt)) {
           c.requesting = -1;
           c.retry_resource = resource;
           c.retry_until = cycle + static_cast<std::uint64_t>(c.retry_backoff);
@@ -1221,6 +1294,7 @@ SimResult SystemSimulator::run(const std::vector<TaskId>& tasks) {
           }
           c.retry_backoff =
               std::min(c.retry_backoff * 2, plan_.retry_backoff_limit);
+          note_backoff_round(resource);
           return true;
         }
         ++c.stats.grant_wait_cycles;  // stall, request stays up
@@ -1328,6 +1402,21 @@ SimResult SystemSimulator::run(const std::vector<TaskId>& tasks) {
                             " acquires a second resource while holding one";
                    });
               ++result.protocol_violations;
+            }
+            if (c.requesting != res_a) {
+              if (c.retry_resource == res_a && cycle < c.retry_until) {
+                // Backing off after an admission refusal: the acquire op
+                // replays (pc does not advance) once the backoff expires.
+                ++c.stats.grant_wait_cycles;
+                spent_cycle = true;
+                break;
+              }
+              if (admission_full(res_a)) {
+                admission_reject(res_a);
+                spent_cycle = true;
+                break;
+              }
+              if (c.retry_resource == res_a) ++result.retries;
             }
             c.requesting = res_a;
             c.request_since = cycle;

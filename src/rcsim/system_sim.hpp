@@ -99,6 +99,21 @@ struct SimOptions {
   /// netlist::LaneSimulator.  Off by default: costs one store per arbiter
   /// per cycle when on, nothing when off.
   bool record_request_trace = false;
+
+  // ---- Overload control (open-loop service frontend, src/service). ----
+  /// Bounded admission per arbiter: a task trying to assert Req while the
+  /// arbiter's previous-cycle request wire already carries this many
+  /// *other* requesters is refused at the request edge — one kRejected
+  /// diagnostic per burst, counted in SimResult::admission_rejects — and
+  /// enters its bounded exponential backoff instead of camping on the
+  /// wire.  0 = unlimited (the existing behavior, byte-identical).
+  int admission_limit = 0;
+  /// Per-burst retry budget: after this many backoff rounds (retry
+  /// timeouts or admission refusals) without a grant, the task emits one
+  /// kTimedOut diagnostic and falls back to a patiently-held request — a
+  /// stalled client surfaces a typed diagnostic instead of a protocol
+  /// violation, and no overload policy can deadlock a run.  0 = unlimited.
+  int retry_budget = 0;
 };
 
 /// What went wrong (or was repaired), as a machine-checkable record.
@@ -119,6 +134,9 @@ enum class DiagKind : std::uint8_t {
   kQuarantine,        // supervisor classified a resource fault as permanent
   kRemap,             // quarantined resource's load moved onto a survivor
   kCapacityExhausted, // no survivor can take the load; stall-with-diagnostic
+  kRejected,          // admission control refused a request at the edge
+  kTimedOut,          // retry budget exhausted; client now waits patiently
+  kShed,              // service frontend shed the request before enqueue
 };
 
 [[nodiscard]] const char* to_string(DiagKind k);
@@ -173,6 +191,8 @@ struct SimResult {
   std::uint64_t corrupted_words = 0;      // delivered corrupted (detected)
   std::uint64_t corrected_words = 0;      // repaired by SECDED
   std::uint64_t retries = 0;              // protocol-level Req re-assertions
+  std::uint64_t admission_rejects = 0;    // requests refused at the edge
+  std::uint64_t budget_exhausted = 0;     // clients that spent a retry budget
   /// True when the run stopped on a deadlock / no-progress attribution
   /// instead of finishing every task.
   bool deadlocked = false;

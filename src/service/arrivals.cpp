@@ -1,0 +1,80 @@
+#include "service/arrivals.hpp"
+
+#include <cmath>
+
+#include "support/check.hpp"
+
+namespace rcarb::service {
+
+namespace {
+
+/// Poisson(lambda) sample by Knuth's inversion (product of uniforms).
+/// Exact for the small per-cycle lambdas used here (lambda < ~10); the
+/// loop length is itself the sample, so the rng draw count varies — which
+/// is fine, every stream owns a private Rng.
+int poisson(Rng& rng, double lambda) {
+  if (lambda <= 0.0) return 0;
+  const double limit = std::exp(-lambda);
+  int k = 0;
+  double p = 1.0;
+  do {
+    ++k;
+    p *= rng.next_double();
+  } while (p > limit);
+  return k - 1;
+}
+
+}  // namespace
+
+const char* to_string(ArrivalKind k) {
+  switch (k) {
+    case ArrivalKind::kPoisson: return "poisson";
+    case ArrivalKind::kBursty: return "bursty";
+    case ArrivalKind::kDiurnal: return "diurnal";
+  }
+  return "?";
+}
+
+ArrivalProcess::ArrivalProcess(const ArrivalOptions& options,
+                               std::uint64_t seed)
+    : opt_(options), rng_(seed) {
+  RCARB_CHECK(opt_.rate >= 0.0, "arrival rate must be non-negative");
+  RCARB_CHECK(opt_.dwell_mean > 0, "dwell_mean must be positive");
+  RCARB_CHECK(opt_.period > 0, "period must be positive");
+}
+
+double ArrivalProcess::current_rate() const {
+  switch (opt_.kind) {
+    case ArrivalKind::kPoisson:
+      return opt_.rate;
+    case ArrivalKind::kBursty: {
+      // Equal mean dwell in both states, so the long-run multiplier is the
+      // midpoint; normalizing by it keeps the *average* load equal to
+      // `rate` regardless of how bursty the shape is.
+      const double mean_mult = (opt_.burst_factor + opt_.quiet_factor) / 2.0;
+      const double mult = bursting_ ? opt_.burst_factor : opt_.quiet_factor;
+      return opt_.rate * mult / mean_mult;
+    }
+    case ArrivalKind::kDiurnal: {
+      const double mean_mult = (opt_.peak_factor + opt_.trough_factor) / 2.0;
+      const auto phase = static_cast<double>(cycle_ % opt_.period) /
+                         static_cast<double>(opt_.period);
+      // Triangle: trough at phase 0 and 1, peak at phase 0.5.
+      const double ramp = phase < 0.5 ? 2.0 * phase : 2.0 * (1.0 - phase);
+      const double mult =
+          opt_.trough_factor + (opt_.peak_factor - opt_.trough_factor) * ramp;
+      return opt_.rate * mult / mean_mult;
+    }
+  }
+  return opt_.rate;
+}
+
+int ArrivalProcess::step() {
+  const int n = poisson(rng_, current_rate());
+  if (opt_.kind == ArrivalKind::kBursty && rng_.chance(1, opt_.dwell_mean))
+    bursting_ = !bursting_;
+  ++cycle_;
+  return n;
+}
+
+}  // namespace rcarb::service

@@ -1,0 +1,328 @@
+#include "service/service.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <deque>
+#include <map>
+#include <memory>
+#include <utility>
+
+#include "core/policy.hpp"
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace rcarb::service {
+
+namespace {
+
+/// One in-flight client request.  `arrival` is the *first* attempt's
+/// cycle, so retry delays count against the client's latency and timeout.
+struct Request {
+  std::uint64_t arrival = 0;
+  int attempts = 0;  // rejections/sheds survived so far
+};
+
+/// One dispatch port of a resource: idle, or a request waiting on the Req
+/// line, or a request being served (holding the grant).
+struct Slot {
+  enum class State : std::uint8_t { kIdle, kWaiting, kServing };
+  State state = State::kIdle;
+  Request req;
+  int service_left = 0;
+};
+
+struct ResourceState {
+  explicit ResourceState(int ports, obs::ArbiterMetrics* metrics)
+      : arb(ports), probe(metrics), slots(static_cast<std::size_t>(ports)) {
+    arb.set_observer(&probe);
+  }
+  core::RoundRobinArbiter arb;
+  obs::ArbiterProbe probe;
+  std::vector<Slot> slots;
+  std::deque<Request> queue;
+  int busy_window = 0;   // serving cycles in the current util window
+  bool shed_armed = false;
+};
+
+/// Re-initializes the measured fields of one ResourceStats in place —
+/// in place, because the attached ArbiterProbe borrows the ArbiterMetrics
+/// object and its port vector must stay sized.
+void reset_resource_stats(ResourceStats& rs, const std::string& name,
+                          int ports) {
+  const auto keep_port = static_cast<std::size_t>(ports);
+  rs = ResourceStats{};
+  rs.name = name;
+  rs.arbiter.name = name;
+  rs.arbiter.ports = ports;
+  rs.arbiter.port.assign(keep_port, obs::PortMetrics{});
+}
+
+class Engine {
+ public:
+  explicit Engine(const ServiceOptions& options)
+      : opt_(options),
+        arrivals_(options.arrivals, derive_seed(options.seed, 1)),
+        route_rng_(derive_seed(options.seed, 2)),
+        jitter_rng_(derive_seed(options.seed, 3)) {
+    RCARB_CHECK(opt_.resources >= 1, "need at least one resource");
+    RCARB_CHECK(opt_.ports >= 1 && opt_.ports <= 64,
+                "ports per resource must be in [1, 64]");
+    RCARB_CHECK(opt_.service_cycles >= 1, "service_cycles must be positive");
+    RCARB_CHECK(opt_.queue_capacity >= 1, "queue_capacity must be positive");
+    RCARB_CHECK(opt_.util_window >= 1, "util_window must be positive");
+    stats_.per_resource.resize(static_cast<std::size_t>(opt_.resources));
+    for (int r = 0; r < opt_.resources; ++r) {
+      auto& rs = stats_.per_resource[static_cast<std::size_t>(r)];
+      reset_resource_stats(rs, "svc" + std::to_string(r), opt_.ports);
+      res_.push_back(
+          std::make_unique<ResourceState>(opt_.ports, &rs.arbiter));
+    }
+  }
+
+  ServiceStats run() {
+    for (std::uint64_t i = 0; i < opt_.warmup_cycles; ++i) step();
+    reset_stats();  // measurement starts now; queues/rng/wheel carry over
+    for (std::uint64_t i = 0; i < opt_.measure_cycles; ++i) step();
+    finalize();
+    return std::move(stats_);
+  }
+
+ private:
+  void step() {
+    // 1. Client retry loop: re-inject attempts whose backoff expired.
+    if (auto it = wheel_.find(cycle_); it != wheel_.end()) {
+      for (const Request& req : it->second) {
+        ++stats_.retries;
+        submit(req);
+      }
+      wheel_.erase(it);
+    }
+    // 2. Open-loop arrivals (these keep coming no matter what).
+    const int n = arrivals_.step();
+    for (int i = 0; i < n; ++i) {
+      ++stats_.offered;
+      submit(Request{cycle_, 0});
+    }
+    // 3. Dispatch + arbitrate + serve, one cycle per resource.
+    for (int r = 0; r < opt_.resources; ++r) serve_one_cycle(r);
+    ++cycle_;
+  }
+
+  void serve_one_cycle(int r) {
+    ResourceState& st = *res_[static_cast<std::size_t>(r)];
+    auto& rs = stats_.per_resource[static_cast<std::size_t>(r)];
+    // Idle dispatch ports take the queue head (FIFO order).
+    for (Slot& slot : st.slots) {
+      if (slot.state != Slot::State::kIdle || st.queue.empty()) continue;
+      slot.req = st.queue.front();
+      st.queue.pop_front();
+      slot.state = Slot::State::kWaiting;
+    }
+    // Fig. 8 request lines: waiting and serving slots keep Req asserted.
+    std::uint64_t mask = 0;
+    for (std::size_t p = 0; p < st.slots.size(); ++p)
+      if (st.slots[p].state != Slot::State::kIdle) mask |= 1ull << p;
+    const int g = st.arb.step(mask);
+    if (g >= 0) {
+      Slot& slot = st.slots[static_cast<std::size_t>(g)];
+      if (slot.state == Slot::State::kWaiting) {
+        slot.state = Slot::State::kServing;
+        slot.service_left = opt_.service_cycles;
+      }
+      if (slot.state == Slot::State::kServing) {
+        ++st.busy_window;
+        if (--slot.service_left == 0) complete(r, slot);
+      }
+    }
+    // Windowed utilization with hysteresis: high_water arms shedding,
+    // low_water disarms it.
+    if ((cycle_ + 1) % static_cast<std::uint64_t>(opt_.util_window) == 0) {
+      const double util = static_cast<double>(st.busy_window) /
+                          static_cast<double>(opt_.util_window);
+      st.shed_armed =
+          st.shed_armed ? (util > opt_.low_water) : (util > opt_.high_water);
+      st.busy_window = 0;
+    }
+    rs.queue_depth.record(st.queue.size());
+  }
+
+  void complete(int r, Slot& slot) {
+    auto& rs = stats_.per_resource[static_cast<std::size_t>(r)];
+    const std::uint64_t sojourn = cycle_ - slot.req.arrival + 1;
+    if (sojourn > static_cast<std::uint64_t>(opt_.retry.timeout)) {
+      // The client gave up long ago: the service was real, the goodput is
+      // not.  This is the mechanism behind blocking's congestion collapse.
+      ++stats_.timed_out;
+      ++rs.timed_out;
+      diag(rcsim::DiagKind::kTimedOut, r);
+    } else {
+      ++stats_.completed;
+      ++rs.completed;
+      rs.latency.record(sojourn);
+    }
+    slot.state = Slot::State::kIdle;
+    // Req drops next cycle's mask; the arbiter rotates to the next waiter.
+  }
+
+  void submit(const Request& req) {
+    const int r =
+        static_cast<int>(route_rng_.next_below(
+            static_cast<std::uint64_t>(opt_.resources)));
+    ResourceState& st = *res_[static_cast<std::size_t>(r)];
+    auto& rs = stats_.per_resource[static_cast<std::size_t>(r)];
+    ++rs.offered;
+    const auto depth = static_cast<int>(st.queue.size());
+    switch (opt_.policy) {
+      case OverloadPolicy::kAdmitShed:
+        if (st.shed_armed && depth >= opt_.admit_queue_threshold) {
+          ++stats_.shed;
+          ++rs.shed;
+          diag(rcsim::DiagKind::kShed, r);
+          retry_or_fail(req);
+          return;
+        }
+        if (depth >= opt_.queue_capacity) {
+          reject(req, r);
+          return;
+        }
+        break;
+      case OverloadPolicy::kTailDrop:
+        if (depth >= opt_.queue_capacity) {
+          reject(req, r);
+          return;
+        }
+        break;
+      case OverloadPolicy::kBlock:
+        // The backlog bound only exists to keep memory finite; a real
+        // blocking producer would simply stall here forever.
+        if (depth >= opt_.queue_capacity * opt_.block_backlog_factor) {
+          reject(req, r);
+          return;
+        }
+        break;
+    }
+    st.queue.push_back(req);
+  }
+
+  void reject(const Request& req, int r) {
+    ++stats_.rejected;
+    ++stats_.per_resource[static_cast<std::size_t>(r)].rejected;
+    diag(rcsim::DiagKind::kRejected, r);
+    retry_or_fail(req);
+  }
+
+  void retry_or_fail(const Request& req) {
+    if (req.attempts >= opt_.retry.max_retries) {
+      ++stats_.budget_exhausted;  // terminal: the retry storm ends here
+      return;
+    }
+    Request next = req;
+    ++next.attempts;
+    std::uint64_t delay = std::min<std::uint64_t>(
+        static_cast<std::uint64_t>(opt_.retry.backoff_base)
+            << (next.attempts - 1),
+        static_cast<std::uint64_t>(opt_.retry.backoff_limit));
+    if (opt_.retry.jitter) delay += jitter_rng_.next_below(delay / 2 + 1);
+    wheel_[cycle_ + delay].push_back(next);
+  }
+
+  void diag(rcsim::DiagKind kind, int resource) {
+    if (static_cast<int>(stats_.diagnostics.size()) >= opt_.max_diagnostics)
+      return;
+    stats_.diagnostics.push_back({kind, cycle_, -1, resource, {}});
+  }
+
+  void reset_stats() {
+    // The probes point into per_resource[r].arbiter, so every reset is in
+    // place: the vector must never reallocate or be replaced.
+    stats_.cycles = 0;
+    stats_.offered = stats_.completed = stats_.timed_out = 0;
+    stats_.rejected = stats_.shed = 0;
+    stats_.retries = stats_.budget_exhausted = 0;
+    stats_.latency = obs::Histogram{};
+    stats_.queue_depth = obs::Histogram{};
+    stats_.diagnostics.clear();
+    for (std::size_t r = 0; r < stats_.per_resource.size(); ++r)
+      reset_resource_stats(stats_.per_resource[r], "svc" + std::to_string(r),
+                           opt_.ports);
+  }
+
+  void finalize() {
+    stats_.cycles = opt_.measure_cycles;
+    for (std::size_t r = 0; r < res_.size(); ++r) {
+      res_[r]->probe.finish();
+      stats_.latency.merge(stats_.per_resource[r].latency);
+      stats_.queue_depth.merge(stats_.per_resource[r].queue_depth);
+    }
+  }
+
+  ServiceOptions opt_;
+  ArrivalProcess arrivals_;
+  Rng route_rng_;
+  Rng jitter_rng_;
+  std::vector<std::unique_ptr<ResourceState>> res_;
+  std::map<std::uint64_t, std::vector<Request>> wheel_;  // retry timers
+  std::uint64_t cycle_ = 0;
+  ServiceStats stats_;
+};
+
+}  // namespace
+
+const char* to_string(OverloadPolicy p) {
+  switch (p) {
+    case OverloadPolicy::kBlock: return "block";
+    case OverloadPolicy::kTailDrop: return "tail-drop";
+    case OverloadPolicy::kAdmitShed: return "admit-shed";
+  }
+  return "?";
+}
+
+double ServiceStats::goodput() const {
+  return cycles == 0 ? 0.0
+                     : static_cast<double>(completed) /
+                           static_cast<double>(cycles);
+}
+
+double ServiceStats::offered_rate() const {
+  return cycles == 0 ? 0.0
+                     : static_cast<double>(offered) /
+                           static_cast<double>(cycles);
+}
+
+std::string ServiceStats::summarize() const {
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "offered=%.4f/cyc goodput=%.4f/cyc timeout=%llu rej=%llu "
+                "shed=%llu retry=%llu spent=%llu p99<=%llu",
+                offered_rate(), goodput(),
+                static_cast<unsigned long long>(timed_out),
+                static_cast<unsigned long long>(rejected),
+                static_cast<unsigned long long>(shed),
+                static_cast<unsigned long long>(retries),
+                static_cast<unsigned long long>(budget_exhausted),
+                static_cast<unsigned long long>(latency.percentile(0.99)));
+  return buf;
+}
+
+ServiceStats run_service(const ServiceOptions& options) {
+  return Engine(options).run();
+}
+
+double measure_capacity(ServiceOptions options) {
+  // Saturate well past any plausible capacity under tail-drop (short,
+  // bounded sojourns: the servers stay busy and almost nothing times
+  // out), with retries off so the arrival stream is the only load.
+  options.policy = OverloadPolicy::kTailDrop;
+  options.arrivals = {};
+  options.arrivals.kind = ArrivalKind::kPoisson;
+  options.arrivals.rate = 2.0 * static_cast<double>(options.resources) /
+                          static_cast<double>(options.service_cycles);
+  options.retry.max_retries = 0;
+  const ServiceStats s = run_service(options);
+  return options.measure_cycles == 0
+             ? 0.0
+             : static_cast<double>(s.completed + s.timed_out) /
+                   static_cast<double>(s.cycles);
+}
+
+}  // namespace rcarb::service

@@ -1,0 +1,145 @@
+// Open-loop arbitration service: bounded queues, overload policies, and a
+// client-side retry/timeout/backoff loop over the core arbiters.
+//
+// The engine models the ROADMAP north star in miniature: a long-running
+// frontend absorbs distribution-driven arrivals (service/arrivals.hpp),
+// routes each request to one of R arbitrated resources, and parks it in
+// that resource's *bounded* FIFO queue.  Up to `ports` requests per
+// resource contend on a core::RoundRobinArbiter (one Req line per dispatch
+// port, Fig. 8 semantics: the grant holds while Req is up, service ends by
+// deasserting it), so queueing discipline, arbitration fairness and the
+// 2-cycle protocol overhead all appear in the measured latencies.
+//
+// Three overload policies decide what happens when a queue is full:
+//  - kBlock: arrivals wait in an (almost) unbounded backlog, like a
+//    blocking producer.  Nothing is lost — but clients time out while
+//    their requests still occupy the server, so sustained overload
+//    collapses goodput (the server does work nobody is waiting for).
+//  - kTailDrop: a full queue refuses the arrival with a typed rejection
+//    (DiagKind::kRejected).  Sojourn stays bounded by the queue depth.
+//  - kAdmitShed: a windowed utilization estimator with hysteresis
+//    (high_water arms, low_water disarms) sheds arrivals *early* —
+//    before the queue fills — once the resource is saturated
+//    (DiagKind::kShed), keeping latency low and goodput at capacity.
+//
+// Rejected and shed requests re-enter through a client-side retry loop:
+// exponential backoff with deterministic jitter and a bounded retry
+// budget, so a retry storm cannot amplify an overload (each failed
+// request injects at most `max_retries` extra attempts, ever).  Requests
+// that complete after the client's timeout count as timed out, not as
+// goodput.  Every random draw comes from rcarb::Rng streams seeded via
+// derive_seed, so a run is a pure function of (options, seed) — the
+// load-sweep bench relies on this for byte-identical parallel sweeps.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "rcsim/system_sim.hpp"
+#include "service/arrivals.hpp"
+
+namespace rcarb::service {
+
+/// What a full bounded queue does to the next arrival.
+enum class OverloadPolicy : std::uint8_t {
+  kBlock,      // wait in a deep backlog (blocking producer)
+  kTailDrop,   // refuse with a typed rejection at the tail
+  kAdmitShed,  // shed early once utilization crosses the high-water mark
+};
+
+[[nodiscard]] const char* to_string(OverloadPolicy p);
+
+/// Client-side failure handling: timeout, retries, backoff.
+struct RetryPolicy {
+  /// Client gives up after this many cycles end-to-end.  A request that
+  /// completes later is wasted work (timed out), not goodput.
+  int timeout = 512;
+  /// Retry budget per request: rejections/sheds beyond this are terminal
+  /// (budget_exhausted).  0 = never retry.
+  int max_retries = 3;
+  int backoff_base = 8;     // first retry delay, cycles
+  int backoff_limit = 256;  // exponential growth cap
+  /// Deterministic jitter: each retry delay gets + rng(0 .. delay/2).
+  bool jitter = true;
+};
+
+struct ServiceOptions {
+  int resources = 4;       // independent arbitrated resources
+  int ports = 8;           // dispatch ports (concurrent slots) per resource
+  int service_cycles = 6;  // granted busy cycles per request
+  int queue_capacity = 32; // bounded FIFO depth per resource
+  OverloadPolicy policy = OverloadPolicy::kBlock;
+
+  // ---- kAdmitShed estimator. ----
+  double high_water = 0.85;       // windowed utilization that arms shedding
+  double low_water = 0.70;        // disarm threshold (hysteresis)
+  int util_window = 256;          // cycles per utilization sample
+  int admit_queue_threshold = 8;  // shed only above this queue depth
+
+  // ---- kBlock backlog bound. ----
+  /// The "blocking" backlog is bounded at queue_capacity * this factor so
+  /// memory stays sane; overflow beyond it is refused like a tail drop.
+  int block_backlog_factor = 64;
+
+  RetryPolicy retry;
+  ArrivalOptions arrivals;
+
+  std::uint64_t warmup_cycles = 10'000;   // run, then reset all stats
+  std::uint64_t measure_cycles = 20'000;  // measured window
+  std::uint64_t seed = 1;
+  /// Typed diagnostics recorded in ServiceStats (counters keep counting
+  /// past the cap; the records just stop growing).
+  int max_diagnostics = 64;
+};
+
+/// Per-resource measurement (one arbiter + one bounded queue).
+struct ResourceStats {
+  std::string name;
+  std::uint64_t offered = 0;    // enqueue attempts routed here
+  std::uint64_t completed = 0;  // finished within the client timeout
+  std::uint64_t timed_out = 0;  // finished too late (wasted service)
+  std::uint64_t rejected = 0;   // refused at the queue tail / backlog cap
+  std::uint64_t shed = 0;       // refused early by admission control
+  obs::Histogram latency;       // end-to-end cycles, goodput only
+  obs::Histogram queue_depth;   // sampled once per cycle
+  obs::ArbiterMetrics arbiter;  // wire-level fairness / wait metrics
+};
+
+struct ServiceStats {
+  std::uint64_t cycles = 0;
+  std::uint64_t offered = 0;  // arrivals (first attempts) in the window
+  std::uint64_t completed = 0;
+  std::uint64_t timed_out = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t retries = 0;           // re-attempts injected by clients
+  std::uint64_t budget_exhausted = 0;  // requests whose retries ran out
+  /// Merged via obs::Histogram::merge from the per-resource histograms
+  /// (same path the parallel sweep reduction uses), so totals are
+  /// deterministic and order-independent.
+  obs::Histogram latency;
+  obs::Histogram queue_depth;
+  std::vector<ResourceStats> per_resource;
+  /// Typed records (kRejected / kShed / kTimedOut), capped at
+  /// ServiceOptions::max_diagnostics.
+  std::vector<rcsim::SimDiagnostic> diagnostics;
+
+  /// Completions-within-timeout per cycle — the robustness headline.
+  [[nodiscard]] double goodput() const;
+  /// First-attempt arrivals per cycle.
+  [[nodiscard]] double offered_rate() const;
+  [[nodiscard]] std::string summarize() const;
+};
+
+/// Runs one open-loop session to completion.  Pure function of `options`.
+[[nodiscard]] ServiceStats run_service(const ServiceOptions& options);
+
+/// Measured saturation throughput (completions per cycle, timeouts
+/// included) of the configuration: the same engine driven far past
+/// saturation under tail-drop, where the servers never idle.  Load sweeps
+/// express offered load as a fraction of this number.
+[[nodiscard]] double measure_capacity(ServiceOptions options);
+
+}  // namespace rcarb::service

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <fstream>
+#include <limits>
 #include <sstream>
 
 #include "core/generator.hpp"
@@ -16,6 +17,7 @@
 #include "obs/trace.hpp"
 #include "rcsim/system_sim.hpp"
 #include "support/parallel.hpp"
+#include "support/rng.hpp"
 
 namespace rcarb {
 namespace {
@@ -99,18 +101,21 @@ TEST(ObsHistogram, PercentileEdges) {
   Histogram empty;
   for (double p : {0.0, 0.25, 0.5, 1.0}) EXPECT_EQ(empty.percentile(p), 0u);
 
-  Histogram one_bucket;  // all counts in bucket [4,7]
+  Histogram one_bucket;  // all counts in major bucket [4,7]
   for (std::uint64_t v : {4ull, 5ull, 6ull, 7ull, 5ull}) one_bucket.record(v);
-  for (double p : {0.0, 0.3, 0.7, 1.0}) {
-    EXPECT_EQ(one_bucket.percentile(p), 7u) << "p=" << p;
-  }
+  // Small values land in exact (1-wide) sub-buckets, so the nearest-rank
+  // answers are the sorted samples {4,5,5,6,7} themselves.
+  EXPECT_EQ(one_bucket.percentile(0.0), 4u);  // rank 0
+  EXPECT_EQ(one_bucket.percentile(0.3), 5u);  // rank 1
+  EXPECT_EQ(one_bucket.percentile(0.7), 5u);  // rank 2
+  EXPECT_EQ(one_bucket.percentile(1.0), 7u);  // rank 4
 
-  Histogram spread;  // min bucket {1}, max bucket [8,15]
+  Histogram spread;  // min sub-bucket {1}, max in major [8,15]
   spread.record(1);
   spread.record(2);
   spread.record(9);
   EXPECT_EQ(spread.percentile(0.0), 1u);   // rank 0
-  EXPECT_EQ(spread.percentile(0.5), 3u);   // rank 1 -> bucket [2,3]
+  EXPECT_EQ(spread.percentile(0.5), 2u);   // rank 1 -> exact sub-bucket {2}
   EXPECT_EQ(spread.percentile(1.0), 9u);   // rank 2, clamped to max
 
   // percentile() never exceeds max(): a single sample at a bucket's lower
@@ -123,6 +128,79 @@ TEST(ObsHistogram, PercentileEdges) {
   // Out-of-domain p is clamped into [0, 1].
   EXPECT_EQ(spread.percentile(-3.0), 1u);
   EXPECT_EQ(spread.percentile(7.0), 9u);
+}
+
+TEST(ObsHistogram, LinearSubBucketsBoundTailQuantization) {
+  // The pure pow-2 form answered any percentile with the enclosing pow-2
+  // bucket's upper edge — up to 2x the true value.  The HDR sub-buckets
+  // bound the overshoot to span/16 (6.25%).  Pinned on 1..1000 recorded
+  // once each:
+  Histogram h;
+  for (std::uint64_t v = 1; v <= 1000; ++v) h.record(v);
+  // p50 rank 499 -> value 500, major [256,511] sliced by 16 (step 16):
+  // sub upper 511 would have been the pow-2 answer too; p90 shows the fix.
+  EXPECT_EQ(h.percentile(0.50), 511u);
+  // p90 rank 899 -> value 900, major [512,1023] step 32 -> upper 927
+  // (the pow-2 form said 1000 after the max clamp; true value 900).
+  EXPECT_EQ(h.percentile(0.90), 927u);
+  // p999 rank 998 -> value 999 -> sub [992,1023] clamped to max 1000.
+  EXPECT_EQ(h.percentile(0.999), 1000u);
+  // Every percentile overshoots its true value by at most 1/16 + the clamp.
+  for (double p : {0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999}) {
+    const auto truth = static_cast<std::uint64_t>(p * 999.0) + 1;
+    EXPECT_GE(h.percentile(p), truth) << p;
+    EXPECT_LE(h.percentile(p), truth + truth / 16 + 1) << p;
+  }
+  // Values below 2^4 stay exact.
+  Histogram small;
+  for (std::uint64_t v : {3ull, 3ull, 3ull, 11ull}) small.record(v);
+  EXPECT_EQ(small.percentile(0.5), 3u);
+  EXPECT_EQ(small.percentile(1.0), 11u);
+}
+
+TEST(ObsHistogram, MergeMatchesRecordingEverything) {
+  // merge() must be indistinguishable from having recorded every value
+  // into one histogram — the contract the parallel sweep reduction needs.
+  Rng rng(77);
+  Histogram parts[4];
+  Histogram whole;
+  for (int i = 0; i < 4000; ++i) {
+    const std::uint64_t v = rng.next_u64() >> (rng.next_below(60));
+    parts[i % 4].record(v);
+    whole.record(v);
+  }
+  Histogram merged;
+  for (const Histogram& part : parts) merged.merge(part);
+  EXPECT_EQ(merged.count(), whole.count());
+  EXPECT_EQ(merged.sum(), whole.sum());
+  EXPECT_EQ(merged.max(), whole.max());
+  for (int i = 0; i < Histogram::kBuckets; ++i)
+    EXPECT_EQ(merged.bucket(i), whole.bucket(i)) << i;
+  for (double p : {0.0, 0.5, 0.9, 0.99, 0.999, 1.0})
+    EXPECT_EQ(merged.percentile(p), whole.percentile(p)) << p;
+  // Merging an empty histogram is a no-op; merging into empty copies.
+  Histogram empty;
+  merged.merge(empty);
+  EXPECT_EQ(merged.count(), whole.count());
+  empty.merge(whole);
+  EXPECT_EQ(empty.percentile(0.99), whole.percentile(0.99));
+}
+
+TEST(ObsHistogram, MergeCountsSaturateInsteadOfWrapping) {
+  // Doubling a one-sample histogram into itself 64+ times would wrap a
+  // plain uint64 counter back through zero; saturating arithmetic pins
+  // every counter at UINT64_MAX and keeps percentiles sane.
+  Histogram h;
+  h.record(5);
+  for (int i = 0; i < 70; ++i) h.merge(h);
+  EXPECT_EQ(h.count(), std::numeric_limits<std::uint64_t>::max());
+  EXPECT_EQ(h.sum(), std::numeric_limits<std::uint64_t>::max());
+  EXPECT_EQ(h.max(), 5u);
+  EXPECT_EQ(h.percentile(0.999), 5u);
+  EXPECT_EQ(h.bucket(3), std::numeric_limits<std::uint64_t>::max());
+  // One more record() on a saturated histogram stays pinned.
+  h.record(5);
+  EXPECT_EQ(h.count(), std::numeric_limits<std::uint64_t>::max());
 }
 
 // ------------------------------------------------------------ metric probes
