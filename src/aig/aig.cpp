@@ -70,6 +70,22 @@ Lit Aig::lor_many(std::vector<Lit> lits) {
   return lit_not(land_many(std::move(lits)));
 }
 
+std::vector<Lit> Aig::lor_prefix(std::vector<Lit> lits) {
+  // Each stage combines in place from the top down, so lits[i - d] is
+  // still the previous stage's value when lits[i] reads it.
+  for (std::size_t d = 1; d < lits.size(); d <<= 1)
+    for (std::size_t i = lits.size(); i-- > d;)
+      lits[i] = lor(lits[i], lits[i - d]);
+  return lits;
+}
+
+std::vector<Lit> Aig::lor_suffix(std::vector<Lit> lits) {
+  std::reverse(lits.begin(), lits.end());
+  lits = lor_prefix(std::move(lits));
+  std::reverse(lits.begin(), lits.end());
+  return lits;
+}
+
 Lit Aig::from_cover(const logic::Cover& cover,
                     const std::vector<Lit>& inputs) {
   RCARB_CHECK(static_cast<int>(inputs.size()) >= cover.num_vars(),

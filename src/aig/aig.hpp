@@ -53,6 +53,14 @@ class Aig {
   [[nodiscard]] Lit land_many(std::vector<Lit> lits);
   [[nodiscard]] Lit lor_many(std::vector<Lit> lits);
 
+  /// Kogge-Stone parallel-prefix OR: out[i] = OR(lits[0..i]).  O(n log n)
+  /// nodes at O(log n) depth, and — unlike a shared reduction tree — every
+  /// intermediate literal feeds at most two later prefix nodes, so no net
+  /// accumulates O(n) fanout when the result drives per-bit logic.  The
+  /// suffix variant is the same network over the reversed list.
+  [[nodiscard]] std::vector<Lit> lor_prefix(std::vector<Lit> lits);
+  [[nodiscard]] std::vector<Lit> lor_suffix(std::vector<Lit> lits);
+
   /// Builds a cover (SOP): inputs[i] is the literal for cover variable i.
   [[nodiscard]] Lit from_cover(const logic::Cover& cover,
                                const std::vector<Lit>& inputs);

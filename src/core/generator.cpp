@@ -105,6 +105,47 @@ GeneratedArbiter generate_self_checking(int n, CheckMode mode,
   return out;
 }
 
+GeneratedArbiter generate_scalable(ArbiterKind kind, int n, int arity,
+                                   const timing::DelayModel& model) {
+  aig::Aig comb;
+  int num_state_bits = 0;
+  switch (kind) {
+    case ArbiterKind::kFlatFsm:
+      comb = build_flat_onehot_aig(n);
+      num_state_bits = 2 * n;
+      break;
+    case ArbiterKind::kHierarchical:
+      comb = build_hierarchical_aig(n, arity);
+      num_state_bits = make_hier_shape(n, arity).num_state_bits();
+      break;
+    case ArbiterKind::kPrefix:
+      comb = build_prefix_aig(n);
+      num_state_bits = n;
+      break;
+  }
+  synth::MapOptions map_options;
+  map_options.objective = synth::MapObjective::kDepth;
+
+  GeneratedArbiter out;
+  out.synth = synth::finish_machine_synthesis(
+      comb, /*num_inputs=*/n, num_state_bits,
+      scalable_reset_bits(kind, n, arity), map_options);
+  out.synth.used_encoding = synth::Encoding::kOneHot;
+  out.timing = timing::analyze(out.synth.netlist, model);
+
+  out.chars.n = n;
+  out.chars.encoding = synth::Encoding::kOneHot;
+  out.chars.flow = synth::FlowKind::kExpressLike;
+  out.chars.clbs = out.synth.clb.clbs;
+  out.chars.luts = out.synth.clb.luts;
+  out.chars.ffs = out.synth.clb.ffs;
+  out.chars.lut_depth = out.synth.map.depth;
+  out.chars.fmax_mhz = out.timing.fmax_mhz;
+  out.chars.aig_ands = out.synth.aig_ands;
+  out.chars.overhead_cycles = kProtocolOverheadCycles;
+  return out;
+}
+
 GeneratedArbiter characterize_fsm(const synth::Fsm& fsm, int n,
                                   synth::FlowKind flow,
                                   synth::Encoding encoding,
@@ -189,6 +230,7 @@ using GenerateKey = std::tuple<int, synth::FlowKind, synth::Encoding,
                                GeneratorMode, ModelKey>;
 using BehavioralKey = std::tuple<int, synth::Encoding, bool>;
 using SelfCheckKey = std::tuple<int, CheckMode, synth::Encoding, ModelKey>;
+using ScalableKey = std::tuple<ArbiterKind, int, int, ModelKey>;
 
 SynthMemo<GenerateKey, GeneratedArbiter>& generate_memo() {
   static auto* memo = new SynthMemo<GenerateKey, GeneratedArbiter>();
@@ -202,6 +244,11 @@ SynthMemo<BehavioralKey, synth::SynthResult>& behavioral_memo() {
 
 SynthMemo<SelfCheckKey, GeneratedArbiter>& self_check_memo() {
   static auto* memo = new SynthMemo<SelfCheckKey, GeneratedArbiter>();
+  return *memo;
+}
+
+SynthMemo<ScalableKey, GeneratedArbiter>& scalable_memo() {
+  static auto* memo = new SynthMemo<ScalableKey, GeneratedArbiter>();
   return *memo;
 }
 
@@ -248,6 +295,16 @@ const synth::SynthResult& synthesize_round_robin_cached(int n,
     options.harden = harden;
     return synth::synthesize_fsm(build_round_robin_fsm(n), options);
   });
+}
+
+const GeneratedArbiter& generate_scalable_cached(
+    ArbiterKind kind, int n, int arity, const timing::DelayModel& model) {
+  // The arity only shapes the hierarchical tree; normalize it for the
+  // other kinds so they don't synthesize once per requested arity.
+  const int used_arity = kind == ArbiterKind::kHierarchical ? arity : 0;
+  const ScalableKey key{kind, n, used_arity, model_key(model)};
+  return scalable_memo().get_or_synthesize(
+      key, [&] { return generate_scalable(kind, n, arity, model); });
 }
 
 const ArbiterCharacteristics& PrecharCache::get(int n) {

@@ -9,6 +9,7 @@
 
 #include <cstdint>
 
+#include "core/hier.hpp"
 #include "core/selfcheck.hpp"
 #include "synth/flow.hpp"
 #include "timing/delay_model.hpp"
@@ -64,6 +65,22 @@ enum class GeneratorMode : std::uint8_t {
 /// side by side to price the redundancy).
 [[nodiscard]] GeneratedArbiter generate_self_checking(
     int n, CheckMode mode, synth::Encoding encoding,
+    const timing::DelayModel& model = timing::xc4000e_speed3());
+
+/// Generates and characterizes a scalable arbiter (core/hier.hpp) of the
+/// given kind at any N in [1, kMaxWideInputs] — the large-N extension of
+/// generate_round_robin.  kFlatFsm builds the width-unlimited one-hot
+/// Fig. 5 chain; kHierarchical uses `arity`-way tree nodes; kPrefix is the
+/// Kogge-Stone variant (arity ignored).  Always one-hot / depth-oriented,
+/// so area/fmax crossovers compare structures, not flows.
+[[nodiscard]] GeneratedArbiter generate_scalable(
+    ArbiterKind kind, int n, int arity = 4,
+    const timing::DelayModel& model = timing::xc4000e_speed3());
+
+/// Memoized generate_scalable, same locking discipline as
+/// generate_round_robin_cached.
+[[nodiscard]] const GeneratedArbiter& generate_scalable_cached(
+    ArbiterKind kind, int n, int arity = 4,
     const timing::DelayModel& model = timing::xc4000e_speed3());
 
 /// Synthesizes and characterizes an arbitrary arbiter FSM (used for the

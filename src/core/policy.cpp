@@ -22,6 +22,11 @@ Arbiter::Arbiter(int n) : n_(n) {
   RCARB_CHECK(n >= 1 && n <= 64, "arbiter size must be in [1, 64]");
 }
 
+Arbiter::Arbiter(WideTag, int n) : n_(n) {
+  RCARB_CHECK(n >= 1 && n <= kMaxWideInputs,
+              "wide arbiter size must be in [1, kMaxWideInputs]");
+}
+
 // ---------------------------------------------------------------- RoundRobin
 
 RoundRobinArbiter::RoundRobinArbiter(int n, RoundRobinOptions options)

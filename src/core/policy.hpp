@@ -36,6 +36,10 @@ enum class Policy : std::uint8_t {
 /// deassert Req) when the grant is immediate.
 inline constexpr int kProtocolOverheadCycles = 2;
 
+/// Largest request-vector width of the wide (vector-request) arbiters in
+/// core/hier.hpp.  Ordinary word-request arbiters stay capped at 64.
+inline constexpr int kMaxWideInputs = 4096;
+
 /// Observation hook over the request/grant wire traffic of one arbiter.
 /// Implementations (src/obs) derive wait/hold/fairness metrics from the raw
 /// stream without the arbiter knowing what is measured.
@@ -57,7 +61,9 @@ class Arbiter {
   /// most one task is ever granted (mutual exclusion).  With no observer
   /// attached the hook costs one pointer test.
   int step(std::uint64_t requests) {
-    requests &= (n_ == 64) ? ~0ull : ((1ull << n_) - 1);
+    // Wide arbiters (n > 64) accept every bit of the word; the rest are
+    // masked to their width (the >= keeps the shift in range for both).
+    requests &= (n_ >= 64) ? ~0ull : ((1ull << n_) - 1);
     const int granted = do_step(requests);
     if (observer_ != nullptr) observer_->on_step(requests, granted);
     return granted;
@@ -74,6 +80,11 @@ class Arbiter {
 
  protected:
   explicit Arbiter(int n);
+  /// Wide-arbiter constructor tag: lifts the 64-input cap to
+  /// kMaxWideInputs.  Word-request step() only addresses the first 64
+  /// ports of a wide arbiter; subclasses expose a vector-request entry.
+  struct WideTag {};
+  Arbiter(WideTag, int n);
   /// Policy-specific transition; `requests` is already width-masked.
   virtual int do_step(std::uint64_t requests) = 0;
   int n_;

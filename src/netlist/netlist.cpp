@@ -85,6 +85,13 @@ std::vector<std::size_t> Netlist::fanout_counts() const {
   return fanout;
 }
 
+std::size_t Netlist::max_fanout() const {
+  const std::vector<std::size_t> fanout = fanout_counts();
+  std::size_t best = 0;
+  for (const std::size_t f : fanout) best = std::max(best, f);
+  return best;
+}
+
 std::vector<std::vector<std::uint32_t>> Netlist::lut_fanouts() const {
   std::vector<std::vector<std::uint32_t>> fanouts(num_nets());
   for (std::size_t i = 0; i < luts_.size(); ++i) {

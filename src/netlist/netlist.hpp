@@ -86,6 +86,11 @@ class Netlist {
   /// Number of LUT/DFF sinks per net (for the fanout-based net delay model).
   [[nodiscard]] std::vector<std::size_t> fanout_counts() const;
 
+  /// Largest fanout_counts() entry (0 for an empty netlist): the widest
+  /// broadcast net.  Wide-fanout nets price directly into the STA's wire
+  /// delay, so the arbiter-scaling bench reports this next to fmax.
+  [[nodiscard]] std::size_t max_fanout() const;
+
   /// LUT sink indices per net: entry [net] lists the LUTs reading that net.
   /// Event-driven simulation seeds its dirty worklist from these lists.
   /// Computed fresh on each call (like fanout_counts) so a shared const

@@ -1,6 +1,7 @@
 #include "service/service.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cstdio>
 #include <deque>
 #include <map>
@@ -12,6 +13,30 @@
 #include "support/rng.hpp"
 
 namespace rcarb::service {
+
+std::uint64_t backoff_delay(const RetryPolicy& retry, int attempts) {
+  RCARB_CHECK(attempts >= 1, "the first retry is attempt 1");
+  const auto base = static_cast<std::uint64_t>(retry.backoff_base);
+  const auto limit = static_cast<std::uint64_t>(retry.backoff_limit);
+  if (base == 0) return 0;
+  // Saturate the exponent: `base << (attempts - 1)` is undefined once the
+  // shift reaches 64 (x86's masked shift silently cycles back to short
+  // delays), and any shift that would push past the limit lands on the
+  // limit anyway.
+  const int shift = attempts - 1;
+  if (shift >= std::countl_zero(base)) return limit;
+  return std::min(base << shift, limit);
+}
+
+std::uint64_t retry_delay(const RetryPolicy& retry, int attempts,
+                          Rng& jitter_rng) {
+  std::uint64_t delay = backoff_delay(retry, attempts);
+  // The jitter draw's bound tracks the pre-clamp delay so the Rng stream
+  // is unchanged by the final clamp; the clamp then re-asserts the cap
+  // (jitter used to be added after it, overshooting by up to 50%).
+  if (retry.jitter) delay += jitter_rng.next_below(delay / 2 + 1);
+  return std::min(delay, static_cast<std::uint64_t>(retry.backoff_limit));
+}
 
 namespace {
 
@@ -218,12 +243,8 @@ class Engine {
     }
     Request next = req;
     ++next.attempts;
-    std::uint64_t delay = std::min<std::uint64_t>(
-        static_cast<std::uint64_t>(opt_.retry.backoff_base)
-            << (next.attempts - 1),
-        static_cast<std::uint64_t>(opt_.retry.backoff_limit));
-    if (opt_.retry.jitter) delay += jitter_rng_.next_below(delay / 2 + 1);
-    wheel_[cycle_ + delay].push_back(next);
+    wheel_[cycle_ + retry_delay(opt_.retry, next.attempts, jitter_rng_)]
+        .push_back(next);
   }
 
   void diag(rcsim::DiagKind kind, int resource) {

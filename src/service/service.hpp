@@ -39,6 +39,7 @@
 #include "obs/metrics.hpp"
 #include "rcsim/system_sim.hpp"
 #include "service/arrivals.hpp"
+#include "support/rng.hpp"
 
 namespace rcarb::service {
 
@@ -61,9 +62,25 @@ struct RetryPolicy {
   int max_retries = 3;
   int backoff_base = 8;     // first retry delay, cycles
   int backoff_limit = 256;  // exponential growth cap
-  /// Deterministic jitter: each retry delay gets + rng(0 .. delay/2).
+  /// Deterministic jitter: each retry delay gets + rng(0 .. delay/2),
+  /// clamped back to backoff_limit (the cap is a hard upper bound).
   bool jitter = true;
 };
+
+/// Pre-jitter delay of retry attempt `attempts` (>= 1): backoff_base
+/// doubled per prior attempt, saturating at backoff_limit.  The shift
+/// exponent saturates too — a large max_retries walks attempts far past
+/// 64, where the naive `base << (attempts - 1)` is undefined behavior
+/// (and, on x86's masked shifts, silently cycles back to *short* delays).
+[[nodiscard]] std::uint64_t backoff_delay(const RetryPolicy& retry,
+                                          int attempts);
+
+/// Full retry delay: backoff_delay plus one jitter draw of
+/// next_below(delay / 2 + 1) when enabled, then clamped to backoff_limit.
+/// The draw bound matches the pre-clamp delay so seeded jitter streams are
+/// unchanged by the final clamp.
+[[nodiscard]] std::uint64_t retry_delay(const RetryPolicy& retry,
+                                        int attempts, Rng& jitter_rng);
 
 struct ServiceOptions {
   int resources = 4;       // independent arbitrated resources

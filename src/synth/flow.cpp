@@ -22,6 +22,21 @@ SynthResult finish_machine_synthesis(const aig::Aig& comb, int num_inputs,
                                      int num_state_bits,
                                      std::uint64_t reset_code,
                                      const MapOptions& map_options) {
+  RCARB_CHECK(num_state_bits <= 64,
+              "a 64-bit reset code covers at most 64 state bits");
+  std::vector<bool> reset_bits(static_cast<std::size_t>(num_state_bits));
+  for (int b = 0; b < num_state_bits; ++b)
+    reset_bits[static_cast<std::size_t>(b)] = ((reset_code >> b) & 1u) != 0;
+  return finish_machine_synthesis(comb, num_inputs, num_state_bits,
+                                  reset_bits, map_options);
+}
+
+SynthResult finish_machine_synthesis(const aig::Aig& comb, int num_inputs,
+                                     int num_state_bits,
+                                     const std::vector<bool>& reset_bits,
+                                     const MapOptions& map_options) {
+  RCARB_CHECK(reset_bits.size() == static_cast<std::size_t>(num_state_bits),
+              "one reset bit per state bit");
   RCARB_CHECK(comb.num_inputs() ==
                   static_cast<std::size_t>(num_inputs + num_state_bits),
               "AIG inputs must be machine inputs plus state bits");
@@ -37,7 +52,7 @@ SynthResult finish_machine_synthesis(const aig::Aig& comb, int num_inputs,
         nl.add_input(comb.input_name(static_cast<std::size_t>(i))));
   std::vector<std::size_t> dff_index;
   for (int b = 0; b < num_state_bits; ++b) {
-    const bool init = ((reset_code >> b) & 1u) != 0;
+    const bool init = reset_bits[static_cast<std::size_t>(b)];
     dff_index.push_back(nl.num_dffs());
     input_nets.push_back(nl.add_dff(
         /*d=*/0, init,

@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "netlist/netlist.hpp"
 #include "synth/clb_pack.hpp"
@@ -68,5 +69,13 @@ struct SynthResult {
                                                    int num_state_bits,
                                                    std::uint64_t reset_code,
                                                    const MapOptions& map_options);
+
+/// Wide-register variant: `reset_bits[b]` is the init value of state bit b,
+/// so machines with more than 64 state bits (the N = 64..1024 scalable
+/// arbiters) can close their register loop.  The std::uint64_t overload
+/// delegates here.
+[[nodiscard]] SynthResult finish_machine_synthesis(
+    const aig::Aig& comb, int num_inputs, int num_state_bits,
+    const std::vector<bool>& reset_bits, const MapOptions& map_options);
 
 }  // namespace rcarb::synth

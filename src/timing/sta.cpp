@@ -16,6 +16,10 @@ TimingReport analyze(const netlist::Netlist& nl, const DelayModel& model) {
   const double neg_inf = -1.0;
   std::vector<double> arr_from_reg(nl.num_nets(), neg_inf);
   std::vector<double> arr_from_input(nl.num_nets(), neg_inf);
+  // route_from_reg[net]: accumulated wire (routing) delay along the worst
+  // register-launched path into the net, so the report can split the
+  // critical period into logic vs routing.
+  std::vector<double> route_from_reg(nl.num_nets(), 0.0);
   std::vector<netlist::NetId> pred(nl.num_nets(), netlist::NetId(-1));
 
   for (netlist::NetId in : nl.inputs()) arr_from_input[in] = 0.0;
@@ -24,13 +28,16 @@ TimingReport analyze(const netlist::Netlist& nl, const DelayModel& model) {
   for (std::size_t i : topo) {
     const netlist::Lut& lut = nl.luts()[i];
     double best_reg = neg_inf;
+    double best_reg_route = 0.0;
     double best_in = neg_inf;
     netlist::NetId best_pred = netlist::NetId(-1);
     double best_any = neg_inf;
     for (netlist::NetId in : lut.inputs) {
       const double wire = model.net_delay(fanout[in]);
-      if (arr_from_reg[in] >= 0.0)
-        best_reg = std::max(best_reg, arr_from_reg[in] + wire);
+      if (arr_from_reg[in] >= 0.0 && arr_from_reg[in] + wire > best_reg) {
+        best_reg = arr_from_reg[in] + wire;
+        best_reg_route = route_from_reg[in] + wire;
+      }
       if (arr_from_input[in] >= 0.0)
         best_in = std::max(best_in, arr_from_input[in] + wire);
       const double any = std::max(arr_from_reg[in], arr_from_input[in]);
@@ -39,7 +46,10 @@ TimingReport analyze(const netlist::Netlist& nl, const DelayModel& model) {
         best_pred = in;
       }
     }
-    if (best_reg >= 0.0) arr_from_reg[lut.output] = best_reg + model.lut_delay;
+    if (best_reg >= 0.0) {
+      arr_from_reg[lut.output] = best_reg + model.lut_delay;
+      route_from_reg[lut.output] = best_reg_route;
+    }
     if (best_in >= 0.0) arr_from_input[lut.output] = best_in + model.lut_delay;
     pred[lut.output] = best_pred;
   }
@@ -52,6 +62,7 @@ TimingReport analyze(const netlist::Netlist& nl, const DelayModel& model) {
       const double path = arr_from_reg[dff.d] + wire + model.setup;
       if (path > report.reg_to_reg_ns) {
         report.reg_to_reg_ns = path;
+        report.reg_to_reg_route_ns = route_from_reg[dff.d] + wire;
         critical_end = dff.d;
       }
     }

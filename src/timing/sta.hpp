@@ -20,6 +20,11 @@ struct TimingReport {
   double reg_to_out_ns = 0.0;   // worst register->PO path incl. clkQ
   double critical_path_ns = 0.0;  // max of the above
   double fmax_mhz = 0.0;          // 1000 / (reg_to_reg + uncertainty)
+  /// Routing share of reg_to_reg_ns: the fanout-priced net delays along the
+  /// worst launch->capture path (the rest is clk-to-q + LUTs + setup).  The
+  /// scaling bench reports it — wide-fanout broadcast nets show up here
+  /// long before they show up in LUT depth.
+  double reg_to_reg_route_ns = 0.0;
   std::vector<std::string> critical_nets;  // nets on the critical r2r path
 };
 

@@ -275,5 +275,80 @@ TEST(ServiceEngine, RejectsNonsenseOptions) {
   EXPECT_THROW((void)run_service(o), CheckError);
 }
 
+// ---------------------------------------------------------- retry/backoff
+
+TEST(RetryDelay, SaturatesInsteadOfOverflowingTheShift) {
+  RetryPolicy r;  // base 8, limit 256
+  EXPECT_EQ(backoff_delay(r, 1), 8u);
+  EXPECT_EQ(backoff_delay(r, 2), 16u);
+  EXPECT_EQ(backoff_delay(r, 6), 256u);
+  EXPECT_EQ(backoff_delay(r, 7), 256u);  // clamped past the limit
+  // The regression: attempts past 64 made `base << (attempts - 1)`
+  // undefined (x86's masked shift cycled the delay back to `base`).
+  // Deep retry budgets are legal, so the exponent must saturate.
+  for (const int attempts : {62, 63, 64, 65, 66, 100, 1'000'000})
+    EXPECT_EQ(backoff_delay(r, attempts), 256u) << "attempts " << attempts;
+
+  RetryPolicy tiny;
+  tiny.backoff_base = 0;
+  tiny.backoff_limit = 256;
+  EXPECT_EQ(backoff_delay(tiny, 1), 0u);
+  EXPECT_EQ(backoff_delay(tiny, 80), 0u);
+}
+
+TEST(RetryDelay, JitterNeverExceedsTheConfiguredCap) {
+  // The regression: jitter used to be added *after* the backoff_limit
+  // clamp, so a capped delay could exceed the cap by 50%.
+  RetryPolicy r;
+  r.backoff_base = 8;
+  r.backoff_limit = 64;
+  r.jitter = true;
+  Rng rng(2024);
+  bool any_jitter = false;
+  for (int attempts = 1; attempts <= 80; ++attempts) {
+    const std::uint64_t d = retry_delay(r, attempts, rng);
+    EXPECT_LE(d, 64u) << "attempts " << attempts;
+    if (d > backoff_delay(r, attempts)) any_jitter = true;
+  }
+  EXPECT_TRUE(any_jitter) << "jitter must still be applied below the cap";
+}
+
+TEST(RetryDelay, JitterStreamIsDeterministicAndBoundMatchesTheDelay) {
+  // The fix must not change how many draws the jitter stream consumes or
+  // their bounds, so seeded runs stay byte-identical: one draw per retry,
+  // bounded by half the pre-jitter (already limit-clamped) delay.
+  RetryPolicy r;
+  Rng a(7), b(7);
+  for (int attempts = 1; attempts <= 70; ++attempts) {
+    const std::uint64_t bd = backoff_delay(r, attempts);
+    const std::uint64_t want =
+        std::min(bd + b.next_below(bd / 2 + 1),
+                 static_cast<std::uint64_t>(r.backoff_limit));
+    EXPECT_EQ(retry_delay(r, attempts, a), want) << "attempts " << attempts;
+  }
+}
+
+TEST(ServiceEngine, HugeRetryBudgetsSurviveDeepBackoff) {
+  // One slow server and a large retry budget walk `attempts` far past 64;
+  // before the saturating fix this tripped UBSan (and silently produced
+  // short delays on x86).  The engine must keep its accounting intact.
+  ServiceOptions o;
+  o.resources = 1;
+  o.ports = 1;
+  o.queue_capacity = 1;
+  o.service_cycles = 1'000'000;  // the one server never finishes
+  o.policy = OverloadPolicy::kTailDrop;
+  o.arrivals.rate = 0.9;
+  o.retry.max_retries = 200;
+  o.retry.backoff_base = 1;
+  o.retry.backoff_limit = 2;
+  o.warmup_cycles = 0;
+  o.measure_cycles = 4'000;
+  o.seed = 5;
+  const ServiceStats s = run_service(o);
+  EXPECT_GT(s.retries, 0u);
+  EXPECT_GT(s.budget_exhausted, 0u);
+}
+
 }  // namespace
 }  // namespace rcarb::service
