@@ -13,14 +13,23 @@
 // is reduced in cell-index order, so BENCH_service_load.json is
 // byte-identical at any job count (CI diffs RCARB_JOBS=1 against 4).
 // RCARB_SERVICE_SMOKE=1 shrinks the windows for CI.
+// The wide-port sweep drives the same engine at 64/256 (and 1024 outside
+// smoke) dispatch ports per resource through all three arbiter structures.
+// Per-cycle goodput is structure-invariant (one grant per cycle either
+// way); the win is the clock: wall goodput scales each cell by the
+// structure's pre-characterized fmax, where the prefix and tree arbiters
+// pull decisively ahead of the flat chain's ~1/N decay.
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "core/generator.hpp"
 #include "obs/bench_report.hpp"
 #include "service/service.hpp"
 #include "support/parallel.hpp"
@@ -187,6 +196,115 @@ void print_sweep(obs::BenchReporter& rep) {
       admit_retention >= 0.80 ? "meets" : "MISSES");
 }
 
+// ------------------------------------------------------- wide-port sweep
+
+constexpr core::ArbiterKind kWideKinds[] = {core::ArbiterKind::kFlatFsm,
+                                            core::ArbiterKind::kHierarchical,
+                                            core::ArbiterKind::kPrefix};
+
+core::ArbiterChoice to_choice(core::ArbiterKind kind) {
+  switch (kind) {
+    case core::ArbiterKind::kFlatFsm: return core::ArbiterChoice::kFlatFsm;
+    case core::ArbiterKind::kHierarchical:
+      return core::ArbiterChoice::kHierarchical;
+    case core::ArbiterKind::kPrefix: return core::ArbiterChoice::kPrefix;
+  }
+  return core::ArbiterChoice::kFlatFsm;
+}
+
+void print_wide_sweep(obs::BenchReporter& rep) {
+  std::vector<int> widths{64, 256};
+  if (!smoke_mode()) widths.push_back(1024);
+  const std::vector<double> loads = {0.5, 0.9, 1.2};
+
+  // Pre-characterized fmax per (kind, width), fetched serially up front:
+  // the parallel cells below must never race the synthesis memo, and the
+  // cells themselves stay pure cycle-level runs.
+  std::map<std::pair<int, int>, double> fmax_mhz;
+  for (const int n : widths)
+    for (const core::ArbiterKind kind : kWideKinds)
+      fmax_mhz[{static_cast<int>(kind), n}] =
+          core::generate_scalable_cached(kind, n).chars.fmax_mhz;
+
+  struct WideCell {
+    core::ArbiterKind kind;
+    int ports;
+    double load;  // fraction of the 2 req/cycle two-resource capacity
+  };
+  std::vector<WideCell> cells;
+  for (const int n : widths)
+    for (const core::ArbiterKind kind : kWideKinds)
+      for (const double l : loads) cells.push_back({kind, n, l});
+
+  Table table("Wide-port service: per-cycle and fmax-scaled goodput by "
+              "arbiter structure (2 resources, 1-cycle service)");
+  table.set_header({"ports", "kind", "fmax MHz", "load", "goodput/cyc",
+                    "wall Mreq/s", "p99", "reject"});
+
+  // wall_goodput at the knee (1.2x) per (kind, width), for the headline
+  // and the CI ordering assertion.
+  std::map<std::pair<int, int>, double> knee_wall;
+
+  ordered_map_reduce<ServiceStats>(
+      cells.size(),
+      [&](std::size_t i) {
+        const WideCell& c = cells[i];
+        ServiceOptions o = base_options();
+        o.resources = 2;
+        o.ports = c.ports;
+        o.service_cycles = 1;
+        o.queue_capacity = 32;
+        o.policy = OverloadPolicy::kTailDrop;
+        o.arbiter_kind = to_choice(c.kind);
+        o.arrivals.rate = c.load * 2.0;
+        // The seed derives from (width, load) only, so the three kinds of
+        // one cell face identical arrival/routing/jitter streams — their
+        // per-cycle counters must tie, which CI cross-checks.
+        o.seed = derive_seed(kMasterSeed,
+                             2000 + static_cast<std::uint64_t>(c.ports) * 8 +
+                                 static_cast<std::uint64_t>(c.load * 10.0));
+        return service::run_service(o);
+      },
+      [&](std::size_t i, ServiceStats s) {
+        const WideCell& c = cells[i];
+        const double fmax = fmax_mhz[{static_cast<int>(c.kind), c.ports}];
+        const double wall = s.goodput() * fmax;  // Mreq/s at the arbiter clock
+        const auto pct = static_cast<int>(c.load * 100.0 + 0.5);
+        if (pct == 120) knee_wall[{static_cast<int>(c.kind), c.ports}] = wall;
+        const std::string tag = "wide_" + std::string(to_string(c.kind)) +
+                                "_" + std::to_string(c.ports) + "_" +
+                                std::to_string(pct);
+        rep.metric("goodput_" + tag, s.goodput(), "req/cycle");
+        rep.metric("p99_" + tag,
+                   static_cast<double>(s.latency.percentile(0.99)), "cycles");
+        rep.metric("wall_goodput_" + tag, wall, "Mreq/s");
+        table.add_row({std::to_string(c.ports), to_string(c.kind),
+                       fmt_fixed(fmax, 1), fmt_fixed(c.load, 2),
+                       fmt_fixed(s.goodput(), 4), fmt_fixed(wall, 2),
+                       std::to_string(s.latency.percentile(0.99)),
+                       std::to_string(s.rejected)});
+      });
+  table.print();
+
+  for (const int n : widths) {
+    const double flat =
+        knee_wall[{static_cast<int>(core::ArbiterKind::kFlatFsm), n}];
+    const double prefix =
+        knee_wall[{static_cast<int>(core::ArbiterKind::kPrefix), n}];
+    const double hier =
+        knee_wall[{static_cast<int>(core::ArbiterKind::kHierarchical), n}];
+    rep.metric("prefix_over_flat_wall_goodput_" + std::to_string(n),
+               flat > 0.0 ? prefix / flat : 0.0, "x");
+    rep.metric("hier_over_flat_wall_goodput_" + std::to_string(n),
+               flat > 0.0 ? hier / flat : 0.0, "x");
+    if (n >= 256)
+      std::printf("wide %d ports: prefix wall goodput %.2f Mreq/s vs flat "
+                  "%.2f — prefix %s the >= flat bar\n",
+                  n, prefix, flat, prefix >= flat ? "meets" : "MISSES");
+  }
+  std::printf("\n");
+}
+
 void BM_ServiceCell(benchmark::State& state) {
   const OverloadPolicy policy = state.range(0) == 0
                                     ? OverloadPolicy::kBlock
@@ -216,6 +334,7 @@ BENCHMARK(BM_ArrivalStep)->Arg(0)->Arg(1)->Arg(2);
 int main(int argc, char** argv) {
   rcarb::obs::BenchReporter rep("service_load");
   print_sweep(rep);
+  print_wide_sweep(rep);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   const std::string path = rep.write();

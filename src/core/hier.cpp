@@ -121,6 +121,13 @@ std::string HierarchicalArbiter::describe() const {
 }
 
 int HierarchicalArbiter::step_wide(const std::vector<std::uint64_t>& requests) {
+  const int g = step_wide_impl(requests);
+  notify_wide(requests, g);
+  return g;
+}
+
+int HierarchicalArbiter::step_wide_impl(
+    const std::vector<std::uint64_t>& requests) {
   RCARB_CHECK(requests.size() >= grant_.size(),
               "request vector narrower than the arbiter");
   std::fill(grant_.begin(), grant_.end(), 0);
@@ -188,9 +195,11 @@ int HierarchicalArbiter::step_wide(const std::vector<std::uint64_t>& requests) {
 }
 
 int HierarchicalArbiter::do_step(std::uint64_t requests) {
+  // step() fires the word-based observer hook itself; going through the
+  // impl avoids notifying twice.
   std::fill(req_scratch_.begin(), req_scratch_.end(), 0);
   req_scratch_[0] = requests;
-  return step_wide(req_scratch_);
+  return step_wide_impl(req_scratch_);
 }
 
 std::uint64_t HierarchicalArbiter::state_bits() const {
@@ -244,6 +253,12 @@ std::string PrefixArbiter::describe() const {
 }
 
 int PrefixArbiter::step_wide(const std::vector<std::uint64_t>& requests) {
+  const int g = step_wide_impl(requests);
+  notify_wide(requests, g);
+  return g;
+}
+
+int PrefixArbiter::step_wide_impl(const std::vector<std::uint64_t>& requests) {
   RCARB_CHECK(requests.size() >= grant_.size(),
               "request vector narrower than the arbiter");
   std::fill(grant_.begin(), grant_.end(), 0);
@@ -291,7 +306,7 @@ int PrefixArbiter::step_wide(const std::vector<std::uint64_t>& requests) {
 int PrefixArbiter::do_step(std::uint64_t requests) {
   std::fill(req_scratch_.begin(), req_scratch_.end(), 0);
   req_scratch_[0] = requests;
-  return step_wide(req_scratch_);
+  return step_wide_impl(req_scratch_);
 }
 
 std::uint64_t PrefixArbiter::state_bits() const {
@@ -305,11 +320,79 @@ void PrefixArbiter::inject_state_bit(int bit) {
       1ull << (static_cast<unsigned>(bit) & 63u);
 }
 
+// ---------------------------------------------------------- FlatWideArbiter
+
+FlatWideArbiter::FlatWideArbiter(int n) : Arbiter(WideTag{}, n) {
+  grant_.assign(word_count(n), 0);
+  req_scratch_.assign(word_count(n), 0);
+}
+
+void FlatWideArbiter::reset() {
+  pos_ = 0;
+  held_ = false;
+  std::fill(grant_.begin(), grant_.end(), 0);
+}
+
+std::string FlatWideArbiter::describe() const {
+  return "flat-rr-wide(n=" + std::to_string(n_) + ")";
+}
+
+int FlatWideArbiter::step_wide(const std::vector<std::uint64_t>& requests) {
+  const int g = step_wide_impl(requests);
+  notify_wide(requests, g);
+  return g;
+}
+
+int FlatWideArbiter::step_wide_impl(
+    const std::vector<std::uint64_t>& requests) {
+  RCARB_CHECK(requests.size() >= grant_.size(),
+              "request vector narrower than the arbiter");
+  std::fill(grant_.begin(), grant_.end(), 0);
+
+  // The Fig. 5 chain scans cyclically from the priority index; the holder
+  // sits at pos_, so while it keeps requesting it is re-found first (the
+  // Ci hold).  Scan words, masking bits below the start and past n.
+  const std::size_t words = grant_.size();
+  int g = -1;
+  for (std::size_t k = 0; k <= words && g < 0; ++k) {
+    // Pass 1 covers [pos_, n); pass 2 wraps to [0, pos_).
+    const std::size_t w = (static_cast<std::size_t>(pos_) / 64 + k) % words;
+    std::uint64_t r = requests[w];
+    if (k == 0) r &= ~0ull << (static_cast<unsigned>(pos_) & 63u);
+    if (w + 1 == words && (n_ & 63) != 0) r &= (1ull << (n_ & 63)) - 1;
+    if (k == words)
+      r &= (static_cast<unsigned>(pos_) & 63u) != 0
+               ? (1ull << (static_cast<unsigned>(pos_) & 63u)) - 1
+               : 0;
+    if (r != 0) g = static_cast<int>(w * 64) + std::countr_zero(r);
+  }
+
+  if (g >= 0) {
+    pos_ = g;
+    held_ = true;
+    grant_[static_cast<std::size_t>(g) >> 6] |=
+        1ull << (static_cast<unsigned>(g) & 63u);
+  } else if (held_) {
+    // Release to idle: the chain retires Ci -> F(i+1), rotating priority
+    // past the finished holder.
+    pos_ = (pos_ + 1) % n_;
+    held_ = false;
+  }
+  return g;
+}
+
+int FlatWideArbiter::do_step(std::uint64_t requests) {
+  std::fill(req_scratch_.begin(), req_scratch_.end(), 0);
+  req_scratch_[0] = requests;
+  return step_wide_impl(req_scratch_);
+}
+
 std::unique_ptr<Arbiter> make_scalable_arbiter(ArbiterKind kind, int n,
                                                int arity) {
   switch (kind) {
     case ArbiterKind::kFlatFsm:
-      return std::make_unique<RoundRobinArbiter>(n);
+      if (n <= 64) return std::make_unique<RoundRobinArbiter>(n);
+      return std::make_unique<FlatWideArbiter>(n);
     case ArbiterKind::kHierarchical:
       return std::make_unique<HierarchicalArbiter>(n, arity);
     case ArbiterKind::kPrefix:

@@ -98,7 +98,7 @@ class HierarchicalArbiter final : public Arbiter {
 
   /// One cycle over a words-encoded request vector (bit i of word i/64 =
   /// port i).  Returns the granted port or -1.
-  int step_wide(const std::vector<std::uint64_t>& requests);
+  int step_wide(const std::vector<std::uint64_t>& requests) override;
 
   /// Grants asserted by the last step, words-encoded (one-hot or empty).
   [[nodiscard]] const std::vector<std::uint64_t>& last_grant_words() const {
@@ -120,6 +120,7 @@ class HierarchicalArbiter final : public Arbiter {
   int do_step(std::uint64_t requests) override;
 
  private:
+  int step_wide_impl(const std::vector<std::uint64_t>& requests);
   HierShape shape_;
   std::vector<int> ptr_;  // per node, in [0, 1 << ptr_bits)
   int held_ = 0;          // holder index, meaningful while valid_
@@ -139,7 +140,7 @@ class PrefixArbiter final : public Arbiter {
   void reset() override;
   [[nodiscard]] std::string describe() const override;
 
-  int step_wide(const std::vector<std::uint64_t>& requests);
+  int step_wide(const std::vector<std::uint64_t>& requests) override;
   [[nodiscard]] const std::vector<std::uint64_t>& last_grant_words() const {
     return grant_;
   }
@@ -156,14 +157,44 @@ class PrefixArbiter final : public Arbiter {
   int do_step(std::uint64_t requests) override;
 
  private:
+  int step_wide_impl(const std::vector<std::uint64_t>& requests);
   std::vector<std::uint64_t> ptr_;
   std::vector<std::uint64_t> grant_;
   std::vector<std::uint64_t> req_scratch_;
 };
 
+/// Behavioral width-unlimited flat Fig. 5 chain: the same grant sequence
+/// as RoundRobinArbiter (scan cyclically from the priority index, hold
+/// while the holder requests, rotate past the holder on an idle release)
+/// without the one-hot state register and its SEU/preemption machinery.
+/// Exists so the wide service layers can run the flat baseline at
+/// N > 64; its netlist twin is build_flat_onehot_aig.
+class FlatWideArbiter final : public Arbiter {
+ public:
+  explicit FlatWideArbiter(int n);
+  void reset() override;
+  [[nodiscard]] std::string describe() const override;
+
+  int step_wide(const std::vector<std::uint64_t>& requests) override;
+  [[nodiscard]] const std::vector<std::uint64_t>& last_grant_words() const {
+    return grant_;
+  }
+
+ protected:
+  int do_step(std::uint64_t requests) override;
+
+ private:
+  int step_wide_impl(const std::vector<std::uint64_t>& requests);
+  int pos_ = 0;        // priority index (the Fi/Ci chain position)
+  bool held_ = false;  // in a Ci state: pos_ granted last cycle
+  std::vector<std::uint64_t> grant_;
+  std::vector<std::uint64_t> req_scratch_;
+};
+
 /// Behavioral factory over the kind.  kFlatFsm returns the Fig. 5
-/// RoundRobinArbiter (n <= 64); the scalable kinds accept up to
-/// kMaxWideInputs.  `arity` only affects kHierarchical.
+/// RoundRobinArbiter up to 64 ports and the FlatWideArbiter chain past
+/// that; every kind accepts up to kMaxWideInputs.  `arity` only affects
+/// kHierarchical.
 [[nodiscard]] std::unique_ptr<Arbiter> make_scalable_arbiter(ArbiterKind kind,
                                                              int n,
                                                              int arity = 4);

@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "core/arbiter_factory.hpp"
 #include "core/line_merge.hpp"
 #include "core/policy.hpp"
 #include "taskgraph/taskgraph.hpp"
@@ -54,6 +55,10 @@ struct ArbiterInstance {
   std::string resource_name;
   std::vector<tg::TaskId> ports;  // request-line order
   Policy policy = Policy::kRoundRobin;
+  /// Round-robin structure, resolved at insertion time (never kAuto) so
+  /// the simulator instantiates — and the synthesis flow characterizes —
+  /// the matching AIG generator.
+  ArbiterKind kind = ArbiterKind::kFlatFsm;
 
   /// Request index of a task, or -1 if the task has no port.
   [[nodiscard]] int port_of(tg::TaskId t) const;
@@ -81,6 +86,13 @@ struct InsertionOptions {
   /// Backoff cap in cycles (backoff doubles per consecutive retry of the
   /// same burst, starting at 1, and never exceeds this).
   int retry_backoff_limit = 64;
+  /// Round-robin arbiter structure recorded on every instance.  kAuto
+  /// resolves per instance from its port count and
+  /// arbiter_fmax_budget_mhz (required > 0) via the pre-characterized
+  /// area/fmax cache.
+  ArbiterChoice arbiter_kind = ArbiterChoice::kFlatFsm;
+  int arbiter_arity = 4;  // tree arity for kHierarchical
+  double arbiter_fmax_budget_mhz = 0.0;
 };
 
 struct InsertionStats {

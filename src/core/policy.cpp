@@ -27,6 +27,13 @@ Arbiter::Arbiter(WideTag, int n) : n_(n) {
               "wide arbiter size must be in [1, kMaxWideInputs]");
 }
 
+int Arbiter::step_wide(const std::vector<std::uint64_t>& requests) {
+  RCARB_CHECK(n_ <= 64,
+              "this arbiter kind is word-width; widths past 64 ports need a "
+              "wide kind (core/hier.hpp)");
+  return step(requests.empty() ? 0 : requests[0]);
+}
+
 // ---------------------------------------------------------------- RoundRobin
 
 RoundRobinArbiter::RoundRobinArbiter(int n, RoundRobinOptions options)

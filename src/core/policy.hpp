@@ -17,6 +17,7 @@
 #include <deque>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "support/rng.hpp"
 
@@ -49,6 +50,14 @@ class ArbiterObserver {
   /// Called once per step() with the sampled request vector (masked to the
   /// arbiter's width) and the resulting grant (-1 = none).
   virtual void on_step(std::uint64_t requests, int grant) = 0;
+  /// Called once per step_wide() on a wide (vector-request) arbiter with
+  /// the words-encoded request vector (bit i of word i/64 = port i; bits
+  /// past the arbiter's width may carry garbage and must be ignored).  The
+  /// default narrows to the first word, exact for widths <= 64.
+  virtual void on_step_wide(const std::vector<std::uint64_t>& requests,
+                            int grant) {
+    on_step(requests.empty() ? 0 : requests[0], grant);
+  }
 };
 
 /// Cycle-level behavioral arbiter.
@@ -69,6 +78,13 @@ class Arbiter {
     return granted;
   }
 
+  /// One clock cycle over a words-encoded request vector (bit i of word
+  /// i/64 = port i).  The base implementation serves word-width arbiters
+  /// by forwarding to step() (and CHECK-fails past 64 ports); the wide
+  /// arbiters in core/hier.hpp override it, notify observers through
+  /// on_step_wide, and accept up to kMaxWideInputs.
+  virtual int step_wide(const std::vector<std::uint64_t>& requests);
+
   /// Attaches (or detaches, with nullptr) a borrowed observer.
   void set_observer(ArbiterObserver* observer) { observer_ = observer; }
 
@@ -87,6 +103,10 @@ class Arbiter {
   Arbiter(WideTag, int n);
   /// Policy-specific transition; `requests` is already width-masked.
   virtual int do_step(std::uint64_t requests) = 0;
+  /// For step_wide overrides: fires the observer's wide hook.
+  void notify_wide(const std::vector<std::uint64_t>& requests, int granted) {
+    if (observer_ != nullptr) observer_->on_step_wide(requests, granted);
+  }
   int n_;
 
  private:

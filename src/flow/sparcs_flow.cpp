@@ -43,9 +43,18 @@ FlowReport run_flow(const tg::TaskGraph& input, const board::Board& board,
 
   // Arbiter synthesis goes through the process-wide memo: one netlist per
   // distinct (port count, flow, encoding) across every run_flow call.
-  auto characterize = [&](int n) -> const core::ArbiterCharacteristics& {
-    return core::generate_round_robin_cached(n, options.synth_flow,
-                                             options.encoding)
+  // Non-flat instances characterize the matching scalable AIG generator
+  // instead, so estimates track the structure the simulator instantiates.
+  auto characterize =
+      [&](const core::ArbiterInstance& inst)
+      -> const core::ArbiterCharacteristics& {
+    const int n = static_cast<int>(inst.ports.size());
+    if (inst.kind == core::ArbiterKind::kFlatFsm)
+      return core::generate_round_robin_cached(n, options.synth_flow,
+                                               options.encoding)
+          .chars;
+    return core::generate_scalable_cached(inst.kind, n,
+                                          options.insertion.arbiter_arity)
         .chars;
   };
 
@@ -79,7 +88,7 @@ FlowReport run_flow(const tg::TaskGraph& input, const board::Board& board,
 
     // ---- Arbiter synthesis & characterization. ----
     for (const core::ArbiterInstance& inst : pr.plan.arbiters) {
-      const auto chars = characterize(static_cast<int>(inst.ports.size()));
+      const auto chars = characterize(inst);
       pr.arbiter_chars.push_back(chars);
       report.total_arbiter_clbs += chars.clbs;
       min_fmax = any_arbiter ? std::min(min_fmax, chars.fmax_mhz)

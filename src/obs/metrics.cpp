@@ -145,12 +145,13 @@ bool ArbiterMetrics::within_n_minus_1_bound() const {
 }
 
 std::string ArbiterMetrics::summarize() const {
+  const std::string label = kind.empty() ? name : name + "/" + kind;
   char buf[256];
   std::snprintf(
       buf, sizeof buf,
       "%s[%d]: latency{%s} hold{%s} jain=%.3f turns<=%llu%s wd=%llu "
       "backoff=%llu",
-      name.c_str(), ports, grant_latency.summarize().c_str(),
+      label.c_str(), ports, grant_latency.summarize().c_str(),
       hold_length.summarize().c_str(), fairness_jain(),
       static_cast<unsigned long long>(worst_turns_waited()),
       within_n_minus_1_bound() ? "" : "(!)",
@@ -164,9 +165,22 @@ ArbiterProbe::ArbiterProbe(ArbiterMetrics* metrics) : m_(metrics) {
   m_->port.assign(n, PortMetrics{});
   wait_.assign(n, 0);
   turns_.assign(n, 0);
+  word_.assign((n + 63) / 64 + (n == 0 ? 1 : 0), 0);
 }
 
 void ArbiterProbe::on_step(std::uint64_t requests, int grant) {
+  word_[0] = requests;
+  on_step_wide(word_, grant);
+}
+
+void ArbiterProbe::on_step_wide(const std::vector<std::uint64_t>& requests,
+                                int grant) {
+  const auto ports = static_cast<std::size_t>(m_->ports);
+  const auto req_bit = [&](std::size_t i) {
+    const std::size_t w = i >> 6;
+    return w < requests.size() && ((requests[w] >> (i & 63)) & 1) != 0;
+  };
+
   // Hold tracking: close the previous interval on any hand-off.
   if (grant != holder_) {
     if (holder_ >= 0) {
@@ -182,11 +196,19 @@ void ArbiterProbe::on_step(std::uint64_t requests, int grant) {
           std::max(m_->port[g].max_turns_waited, turns_[g]);
       wait_[g] = 0;
       turns_[g] = 0;
-      m_->queue_depth.record(
-          static_cast<std::uint64_t>(std::popcount(requests)));
+      // Requesters pending at the hand-off, masked to the width (bits past
+      // `ports` in the last word are the producer's to leave dirty).
+      std::uint64_t depth = 0;
+      for (std::size_t w = 0; w * 64 < ports && w < requests.size(); ++w) {
+        std::uint64_t r = requests[w];
+        if ((w + 1) * 64 > ports && (ports & 63) != 0)
+          r &= (1ull << (ports & 63)) - 1;
+        depth += static_cast<std::uint64_t>(std::popcount(r));
+      }
+      m_->queue_depth.record(depth);
       // Every other in-flight waiter saw one more grant go elsewhere.
       for (std::size_t i = 0; i < turns_.size(); ++i)
-        if (i != g && (requests >> i & 1) != 0) turns_[i] += 1;
+        if (i != g && req_bit(i)) turns_[i] += 1;
     }
     holder_ = grant;
     hold_len_ = 0;
@@ -194,7 +216,7 @@ void ArbiterProbe::on_step(std::uint64_t requests, int grant) {
   if (holder_ >= 0) hold_len_ += 1;
 
   for (std::size_t i = 0; i < wait_.size(); ++i) {
-    if ((requests >> i & 1) == 0) {
+    if (!req_bit(i)) {
       // Req dropped without a grant (release-less backoff): the wait
       // resumes from zero when it re-asserts, matching the protocol's view.
       if (static_cast<int>(i) != holder_) wait_[i] = 0;

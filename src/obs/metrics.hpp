@@ -83,6 +83,8 @@ struct PortMetrics {
 /// Counters and histograms for one arbiter instance.
 struct ArbiterMetrics {
   std::string name;   // guarded resource
+  std::string kind;   // arbiter structure label ("flat"/"hier"/"prefix");
+                      // empty when the producer predates kind threading
   int ports = 0;
 
   Histogram grant_latency;  // request-to-grant, cycles
@@ -114,10 +116,13 @@ struct ArbiterMetrics {
 /// metrics object and must outlive the attachment.
 class ArbiterProbe final : public core::ArbiterObserver {
  public:
-  /// `metrics` must have `ports` set; `port` is resized here.
+  /// `metrics` must have `ports` set; `port` is resized here.  Widths past
+  /// 64 are fed through the wide hook (core::Arbiter::step_wide).
   explicit ArbiterProbe(ArbiterMetrics* metrics);
 
   void on_step(std::uint64_t requests, int grant) override;
+  void on_step_wide(const std::vector<std::uint64_t>& requests,
+                    int grant) override;
 
   /// Flushes the in-flight hold interval (call once, after the last step).
   void finish();
@@ -128,6 +133,7 @@ class ArbiterProbe final : public core::ArbiterObserver {
   std::uint64_t hold_len_ = 0;
   std::vector<std::uint64_t> wait_;   // per-port in-flight wait
   std::vector<std::uint64_t> turns_;  // per-port other-grants while waiting
+  std::vector<std::uint64_t> word_;   // scratch widening word-based steps
 };
 
 }  // namespace rcarb::obs

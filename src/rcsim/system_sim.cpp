@@ -177,30 +177,47 @@ SimResult SystemSimulator::run(const std::vector<TaskId>& tasks) {
     result.request_trace.resize(plan_.arbiters.size());
 
   // ---- Instantiate behavioral arbiters from the plan. ----
+  // Both construction sites — this initial plan walk and the
+  // post-quarantine add_arbiter below — build through the one shared
+  // factory, so the option set (hardening, preemption, self-check, seed,
+  // kind) can never drift between first-build and reconfiguration.
+  auto build_arbiter = [&](const core::ArbiterInstance& inst) {
+    core::SystemArbiterSpec spec;
+    spec.policy = inst.policy;
+    // kAuto follows the plan's per-instance resolved kind; an explicit
+    // SimOptions choice overrides it for every instance.
+    spec.kind = options_.arbiter_kind == core::ArbiterChoice::kAuto
+                    ? inst.kind
+                    : core::resolve_arbiter_choice(
+                          options_.arbiter_kind,
+                          static_cast<int>(inst.ports.size()),
+                          /*timing_budget_mhz=*/0.0, options_.arbiter_arity);
+    spec.arity = options_.arbiter_arity;
+    spec.rr = core::RoundRobinOptions{options_.rr_max_hold, options_.harden};
+    spec.self_check = options_.self_check;
+    spec.seed = options_.seed;
+    return core::make_system_arbiter(static_cast<int>(inst.ports.size()),
+                                     spec);
+  };
   std::vector<std::unique_ptr<core::Arbiter>> arbiters;
   std::vector<core::RoundRobinArbiter*> rr(plan_.arbiters.size(), nullptr);
   std::vector<core::SelfCheckingArbiter*> sc(plan_.arbiters.size(), nullptr);
+  std::vector<core::HierarchicalArbiter*> hier(plan_.arbiters.size(),
+                                               nullptr);
+  std::vector<core::PrefixArbiter*> prefix(plan_.arbiters.size(), nullptr);
   std::vector<int> grant_holder(plan_.arbiters.size(), -1);  // port index
   for (const core::ArbiterInstance& inst : plan_.arbiters) {
     const int n = static_cast<int>(inst.ports.size());
-    if (inst.policy == core::Policy::kRoundRobin &&
-        options_.self_check != core::CheckMode::kNone) {
-      auto arb = std::make_unique<core::SelfCheckingArbiter>(
-          n, options_.self_check,
-          core::RoundRobinOptions{options_.rr_max_hold, options_.harden});
-      sc[arbiters.size()] = arb.get();
-      arbiters.push_back(std::move(arb));
-    } else if (inst.policy == core::Policy::kRoundRobin) {
-      auto arb = std::make_unique<core::RoundRobinArbiter>(
-          n, core::RoundRobinOptions{options_.rr_max_hold, options_.harden});
-      rr[arbiters.size()] = arb.get();
-      arbiters.push_back(std::move(arb));
-    } else {
-      arbiters.push_back(core::make_arbiter(inst.policy, n, options_.seed));
-    }
+    core::SystemArbiter made = build_arbiter(inst);
+    rr[arbiters.size()] = made.rr;
+    sc[arbiters.size()] = made.sc;
+    hier[arbiters.size()] = made.hier;
+    prefix[arbiters.size()] = made.prefix;
+    arbiters.push_back(std::move(made.arbiter));
     ArbiterStats st;
     st.resource_name = inst.resource_name;
     st.ports = n;
+    st.kind = made.kind;
     result.arbiters.push_back(st);
   }
 
@@ -219,6 +236,7 @@ SimResult SystemSimulator::run(const std::vector<TaskId>& tasks) {
     for (std::size_t a = 0; a < arbiters.size(); ++a) {
       obs::ArbiterMetrics& m = result.arbiter_obs[a];
       m.name = plan_.arbiters[a].resource_name;
+      m.kind = core::to_string(result.arbiters[a].kind);
       m.ports = result.arbiters[a].ports;
       probes.push_back(std::make_unique<obs::ArbiterProbe>(&m));
       arbiters[a]->set_observer(probes.back().get());
@@ -568,29 +586,36 @@ SimResult SystemSimulator::run(const std::vector<TaskId>& tasks) {
     inst.resource_name = binding_.resource_name(resource);
     inst.ports = std::move(ports);
     inst.policy = core::Policy::kRoundRobin;  // regenerated arbiters are RR
+    // The regenerated arbiter keeps the structure in effect for this run:
+    // under kAuto, the latest kind planned for the surviving resource
+    // (falling back to the plan's last instance when the survivor was
+    // unarbitrated before the merge); an explicit SimOptions choice is
+    // re-applied by build_arbiter either way.
+    inst.kind = plan_.arbiters.empty() ? core::ArbiterKind::kFlatFsm
+                                       : plan_.arbiters.back().kind;
+    for (const core::ArbiterInstance& prev : plan_.arbiters)
+      if (prev.resource == resource) inst.kind = prev.kind;
     const int n = static_cast<int>(inst.ports.size());
     rr.push_back(nullptr);
     sc.push_back(nullptr);
-    if (options_.self_check != core::CheckMode::kNone) {
-      auto arb = std::make_unique<core::SelfCheckingArbiter>(
-          n, options_.self_check,
-          core::RoundRobinOptions{options_.rr_max_hold, options_.harden});
-      sc.back() = arb.get();
-      arbiters.push_back(std::move(arb));
-    } else {
-      auto arb = std::make_unique<core::RoundRobinArbiter>(
-          n, core::RoundRobinOptions{options_.rr_max_hold, options_.harden});
-      rr.back() = arb.get();
-      arbiters.push_back(std::move(arb));
-    }
+    hier.push_back(nullptr);
+    prefix.push_back(nullptr);
+    core::SystemArbiter made = build_arbiter(inst);
+    rr.back() = made.rr;
+    sc.back() = made.sc;
+    hier.back() = made.hier;
+    prefix.back() = made.prefix;
+    arbiters.push_back(std::move(made.arbiter));
     ArbiterStats st;
     st.resource_name = inst.resource_name;
     st.ports = n;
+    st.kind = made.kind;
     result.arbiters.push_back(st);
     if (options_.arbiter_metrics) {
       result.arbiter_obs.emplace_back();  // within the up-front reserve
       obs::ArbiterMetrics& m = result.arbiter_obs.back();
       m.name = inst.resource_name;
+      m.kind = core::to_string(st.kind);
       m.ports = n;
       probes.push_back(std::make_unique<obs::ArbiterProbe>(&m));
       arbiters.back()->set_observer(probes.back().get());
@@ -899,6 +924,19 @@ SimResult SystemSimulator::run(const std::vector<TaskId>& tasks) {
           rr[a]->inject_bit_flip(bit);
         else
           sc[a]->inject_bit_flip(0, bit);  // upsets hit one copy at a time
+        trace(obs::TraceKind::kFault, cycle, -1, static_cast<int>(a),
+              plan_.arbiters[a].resource,
+              static_cast<std::int64_t>(e.kind));
+      } else if (hier[a] != nullptr || prefix[a] != nullptr) {
+        // The scalable kinds keep packed (pointer/held) registers instead
+        // of the flat one-hot pair; upsets land in that layout.
+        const int bits = hier[a] != nullptr ? hier[a]->num_state_bits()
+                                            : prefix[a]->num_state_bits();
+        const int bit = e.bit >= 0 ? e.bit % bits : 0;
+        if (hier[a] != nullptr)
+          hier[a]->inject_state_bit(bit);
+        else
+          prefix[a]->inject_state_bit(bit);
         trace(obs::TraceKind::kFault, cycle, -1, static_cast<int>(a),
               plan_.arbiters[a].resource,
               static_cast<std::int64_t>(e.kind));

@@ -69,6 +69,16 @@ struct SimOptions {
   /// output is the evidence stream the degradation supervisor classifies;
   /// kNone (the default) instantiates the plain single-copy arbiters.
   core::CheckMode self_check = core::CheckMode::kNone;
+  /// Round-robin arbiter structure (core/arbiter_factory.hpp).  kAuto (the
+  /// default) follows each ArbiterInstance's resolved kind from the
+  /// insertion pass — kFlatFsm unless InsertionOptions::arbiter_kind chose
+  /// otherwise — so plans and simulation stay in agreement; an explicit
+  /// choice overrides the plan for every instance.  The scalable kinds
+  /// have no one-hot register: `harden`/`rr_max_hold` do not apply to
+  /// them, FSM upsets land in their packed state registers, and
+  /// self_check (flat-only replication) must stay kNone.
+  core::ArbiterChoice arbiter_kind = core::ArbiterChoice::kAuto;
+  int arbiter_arity = 4;  // tree arity for kHierarchical
   /// Supervisory recovery controller: classify permanent faults (K strikes
   /// in W cycles), quarantine the resource, drain in-flight bursts at the
   /// Fig. 8 batch boundary and remap its load onto survivors.  Disabled by
@@ -168,6 +178,8 @@ struct TaskStats {
 struct ArbiterStats {
   std::string resource_name;
   int ports = 0;
+  /// Structure actually instantiated (plan kind or SimOptions override).
+  core::ArbiterKind kind = core::ArbiterKind::kFlatFsm;
   std::uint64_t grants = 0;         // grant-holder changes
   std::uint64_t granted_cycles = 0; // cycles with any grant asserted
   std::uint64_t max_wait = 0;       // longest request-to-grant wait

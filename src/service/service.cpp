@@ -8,6 +8,7 @@
 #include <memory>
 #include <utility>
 
+#include "core/arbiter_factory.hpp"
 #include "core/policy.hpp"
 #include "support/check.hpp"
 #include "support/rng.hpp"
@@ -57,13 +58,19 @@ struct Slot {
 };
 
 struct ResourceState {
-  explicit ResourceState(int ports, obs::ArbiterMetrics* metrics)
-      : arb(ports), probe(metrics), slots(static_cast<std::size_t>(ports)) {
-    arb.set_observer(&probe);
+  ResourceState(int ports, core::ArbiterKind kind, int arity,
+                obs::ArbiterMetrics* metrics)
+      : arb(core::make_system_arbiter(
+            ports, {.kind = kind, .arity = arity})),
+        probe(metrics),
+        slots(static_cast<std::size_t>(ports)),
+        req_words(static_cast<std::size_t>((ports + 63) / 64), 0) {
+    arb.arbiter->set_observer(&probe);
   }
-  core::RoundRobinArbiter arb;
+  core::SystemArbiter arb;
   obs::ArbiterProbe probe;
   std::vector<Slot> slots;
+  std::vector<std::uint64_t> req_words;  // Fig. 8 request lines, per word
   std::deque<Request> queue;
   int busy_window = 0;   // serving cycles in the current util window
   bool shed_armed = false;
@@ -73,11 +80,12 @@ struct ResourceState {
 /// in place, because the attached ArbiterProbe borrows the ArbiterMetrics
 /// object and its port vector must stay sized.
 void reset_resource_stats(ResourceStats& rs, const std::string& name,
-                          int ports) {
+                          int ports, core::ArbiterKind kind) {
   const auto keep_port = static_cast<std::size_t>(ports);
   rs = ResourceStats{};
   rs.name = name;
   rs.arbiter.name = name;
+  rs.arbiter.kind = core::to_string(kind);
   rs.arbiter.ports = ports;
   rs.arbiter.port.assign(keep_port, obs::PortMetrics{});
 }
@@ -90,17 +98,26 @@ class Engine {
         route_rng_(derive_seed(options.seed, 2)),
         jitter_rng_(derive_seed(options.seed, 3)) {
     RCARB_CHECK(opt_.resources >= 1, "need at least one resource");
-    RCARB_CHECK(opt_.ports >= 1 && opt_.ports <= 64,
-                "ports per resource must be in [1, 64]");
+    RCARB_CHECK(opt_.ports >= 1 && opt_.ports <= core::kMaxWideInputs,
+                "ports per resource must be in [1, kMaxWideInputs]");
     RCARB_CHECK(opt_.service_cycles >= 1, "service_cycles must be positive");
     RCARB_CHECK(opt_.queue_capacity >= 1, "queue_capacity must be positive");
     RCARB_CHECK(opt_.util_window >= 1, "util_window must be positive");
+    RCARB_CHECK(opt_.arbiter_arity >= 2 && opt_.arbiter_arity <= 4,
+                "arbiter_arity must be in [2, 4]");
+    RCARB_CHECK(opt_.arbiter_kind != core::ArbiterChoice::kAuto ||
+                    opt_.arbiter_fmax_budget_mhz > 0.0,
+                "arbiter_kind kAuto needs arbiter_fmax_budget_mhz > 0 (the "
+                "fmax floor the selected structure must meet)");
+    kind_ = core::resolve_arbiter_choice(opt_.arbiter_kind, opt_.ports,
+                                         opt_.arbiter_fmax_budget_mhz,
+                                         opt_.arbiter_arity);
     stats_.per_resource.resize(static_cast<std::size_t>(opt_.resources));
     for (int r = 0; r < opt_.resources; ++r) {
       auto& rs = stats_.per_resource[static_cast<std::size_t>(r)];
-      reset_resource_stats(rs, "svc" + std::to_string(r), opt_.ports);
-      res_.push_back(
-          std::make_unique<ResourceState>(opt_.ports, &rs.arbiter));
+      reset_resource_stats(rs, "svc" + std::to_string(r), opt_.ports, kind_);
+      res_.push_back(std::make_unique<ResourceState>(
+          opt_.ports, kind_, opt_.arbiter_arity, &rs.arbiter));
     }
   }
 
@@ -144,10 +161,13 @@ class Engine {
       slot.state = Slot::State::kWaiting;
     }
     // Fig. 8 request lines: waiting and serving slots keep Req asserted.
-    std::uint64_t mask = 0;
+    // Words-encoded so widths past 64 work; at <= 64 ports the base
+    // step_wide forwards to the word-based step() unchanged.
+    std::fill(st.req_words.begin(), st.req_words.end(), 0);
     for (std::size_t p = 0; p < st.slots.size(); ++p)
-      if (st.slots[p].state != Slot::State::kIdle) mask |= 1ull << p;
-    const int g = st.arb.step(mask);
+      if (st.slots[p].state != Slot::State::kIdle)
+        st.req_words[p >> 6] |= 1ull << (p & 63);
+    const int g = st.arb.arbiter->step_wide(st.req_words);
     if (g >= 0) {
       Slot& slot = st.slots[static_cast<std::size_t>(g)];
       if (slot.state == Slot::State::kWaiting) {
@@ -160,8 +180,12 @@ class Engine {
       }
     }
     // Windowed utilization with hysteresis: high_water arms shedding,
-    // low_water disarms it.
-    if ((cycle_ + 1) % static_cast<std::uint64_t>(opt_.util_window) == 0) {
+    // low_water disarms it.  Window boundaries are anchored at the last
+    // stats reset so the measured run's first window is always full-width
+    // regardless of the warmup length.
+    if ((cycle_ + 1 - util_anchor_) %
+            static_cast<std::uint64_t>(opt_.util_window) ==
+        0) {
       const double util = static_cast<double>(st.busy_window) /
                           static_cast<double>(opt_.util_window);
       st.shed_armed =
@@ -265,7 +289,17 @@ class Engine {
     stats_.diagnostics.clear();
     for (std::size_t r = 0; r < stats_.per_resource.size(); ++r)
       reset_resource_stats(stats_.per_resource[r], "svc" + std::to_string(r),
-                           opt_.ports);
+                           opt_.ports, kind_);
+    // The admission estimator restarts from a defined state: window phase
+    // re-anchored here, empty busy count, shedding disarmed.  Before this
+    // the warmup's partial window and armed/disarmed flag leaked into the
+    // measured run, so measurements depended on warmup_cycles modulo
+    // util_window.
+    util_anchor_ = cycle_;
+    for (auto& st : res_) {
+      st->busy_window = 0;
+      st->shed_armed = false;
+    }
   }
 
   void finalize() {
@@ -284,6 +318,8 @@ class Engine {
   std::vector<std::unique_ptr<ResourceState>> res_;
   std::map<std::uint64_t, std::vector<Request>> wheel_;  // retry timers
   std::uint64_t cycle_ = 0;
+  std::uint64_t util_anchor_ = 0;  // cycle the util windows count from
+  core::ArbiterKind kind_ = core::ArbiterKind::kFlatFsm;
   ServiceStats stats_;
 };
 

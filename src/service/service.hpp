@@ -5,10 +5,14 @@
 // frontend absorbs distribution-driven arrivals (service/arrivals.hpp),
 // routes each request to one of R arbitrated resources, and parks it in
 // that resource's *bounded* FIFO queue.  Up to `ports` requests per
-// resource contend on a core::RoundRobinArbiter (one Req line per dispatch
-// port, Fig. 8 semantics: the grant holds while Req is up, service ends by
-// deasserting it), so queueing discipline, arbitration fairness and the
-// 2-cycle protocol overhead all appear in the measured latencies.
+// resource contend on a round-robin arbiter of the configured structure
+// (ServiceOptions::arbiter_kind — flat Fig. 5 chain, hierarchical tree,
+// or parallel-prefix; one Req line per dispatch port, Fig. 8 semantics:
+// the grant holds while Req is up, service ends by deasserting it), so
+// queueing discipline, arbitration fairness and the 2-cycle protocol
+// overhead all appear in the measured latencies.  Wide configurations
+// (ports > 64) drive the arbiter through step_wide with vector request
+// words, up to core::kMaxWideInputs ports per resource.
 //
 // Three overload policies decide what happens when a queue is full:
 //  - kBlock: arrivals wait in an (almost) unbounded backlog, like a
@@ -36,6 +40,7 @@
 #include <string>
 #include <vector>
 
+#include "core/arbiter_factory.hpp"
 #include "obs/metrics.hpp"
 #include "rcsim/system_sim.hpp"
 #include "service/arrivals.hpp"
@@ -84,10 +89,24 @@ struct RetryPolicy {
 
 struct ServiceOptions {
   int resources = 4;       // independent arbitrated resources
-  int ports = 8;           // dispatch ports (concurrent slots) per resource
+  /// Dispatch ports (concurrent slots) per resource, in
+  /// [1, core::kMaxWideInputs].  Past 64 the engine drives the arbiter
+  /// through step_wide with vector request words.
+  int ports = 8;
   int service_cycles = 6;  // granted busy cycles per request
   int queue_capacity = 32; // bounded FIFO depth per resource
   OverloadPolicy policy = OverloadPolicy::kBlock;
+
+  // ---- Arbiter structure (core/arbiter_factory.hpp). ----
+  /// kFlatFsm (default) is the paper's Fig. 5 chain; kHierarchical and
+  /// kPrefix are the scalable structures; kAuto picks the cheapest kind
+  /// whose pre-characterized fmax (generate_scalable_cached) meets
+  /// arbiter_fmax_budget_mhz, and therefore runs synthesis on first use.
+  core::ArbiterChoice arbiter_kind = core::ArbiterChoice::kFlatFsm;
+  int arbiter_arity = 4;  // tree arity for kHierarchical, in [2, 4]
+  /// Fmax floor (MHz) the auto-selected structure must meet.  Required
+  /// (> 0) when arbiter_kind == kAuto; unused otherwise.
+  double arbiter_fmax_budget_mhz = 0.0;
 
   // ---- kAdmitShed estimator. ----
   double high_water = 0.85;       // windowed utilization that arms shedding
@@ -103,7 +122,11 @@ struct ServiceOptions {
   RetryPolicy retry;
   ArrivalOptions arrivals;
 
-  std::uint64_t warmup_cycles = 10'000;   // run, then reset all stats
+  /// Warmup: run, then reset all stats *and* the admission estimator
+  /// (window phase, busy count, hysteresis arm) so the measured window
+  /// starts from a defined estimator state.  Queues, RNG streams and the
+  /// retry wheel carry over.
+  std::uint64_t warmup_cycles = 10'000;
   std::uint64_t measure_cycles = 20'000;  // measured window
   std::uint64_t seed = 1;
   /// Typed diagnostics recorded in ServiceStats (counters keep counting

@@ -536,6 +536,52 @@ TEST(DegradeEndToEnd, BankFailureQuarantinesRemapsAndPreservesData) {
   EXPECT_EQ(r.protocol_violations, 0u);
 }
 
+TEST(DegradeEndToEnd, ReconfigurationPreservesTheConfiguredArbiterKind) {
+  // Regression: the post-quarantine rebuild used to hand-roll a flat
+  // round-robin arbiter, silently dropping the configured structure on
+  // exactly the reconfiguration path.  Both construction sites now build
+  // through core::make_system_arbiter, so the regenerated arbiter keeps
+  // the explicit SimOptions kind — and the run still preserves data.
+  TwoBankRig rig;
+  const auto ins = core::insert_arbitration(rig.graph, rig.binding, {});
+  fault::FaultEvent dead;
+  dead.kind = fault::FaultKind::kBankFailure;
+  dead.cycle = 10;
+  dead.bank = 1;
+  rcsim::SimOptions so = degrade_options();
+  so.faults = {dead};
+  so.arbiter_kind = core::ArbiterChoice::kPrefix;
+  rcsim::SystemSimulator sim(ins.graph, rig.binding, ins.plan, so);
+  const rcsim::SimResult r = sim.run(rig.tasks);
+  EXPECT_FALSE(r.deadlocked);
+  EXPECT_EQ(r.remaps, 1u);
+  ASSERT_GT(r.arbiters.size(), ins.plan.arbiters.size())
+      << "the remap must regenerate an arbiter over the survivor";
+  for (const rcsim::ArbiterStats& st : r.arbiters)
+    EXPECT_EQ(st.kind, core::ArbiterKind::kPrefix) << st.resource_name;
+
+  // The default (kAuto) follows the plan's per-instance resolved kind
+  // into the regenerated arbiter instead of resetting it to flat.
+  core::InsertionOptions io;
+  io.arbiter_kind = core::ArbiterChoice::kHierarchical;
+  const auto ins_h = core::insert_arbitration(rig.graph, rig.binding, io);
+  rcsim::SimOptions follow = degrade_options();
+  follow.faults = {dead};
+  rcsim::SystemSimulator sim_h(ins_h.graph, rig.binding, ins_h.plan, follow);
+  const rcsim::SimResult rh = sim_h.run(rig.tasks);
+  EXPECT_EQ(rh.remaps, 1u);
+  ASSERT_GT(rh.arbiters.size(), ins_h.plan.arbiters.size());
+  for (const rcsim::ArbiterStats& st : rh.arbiters)
+    EXPECT_EQ(st.kind, core::ArbiterKind::kHierarchical) << st.resource_name;
+
+  // Data correctness is unchanged by the structure.
+  rcsim::SystemSimulator ref(ins.graph, rig.binding, ins.plan,
+                             degrade_options());
+  (void)ref.run(rig.tasks);
+  EXPECT_EQ(sim.segment_data(0), ref.segment_data(0));
+  EXPECT_EQ(sim.segment_data(1), ref.segment_data(1));
+}
+
 TEST(DegradeEndToEnd, AvailabilityBeatsTheStallOnlyBaseline) {
   TwoBankRig rig;
   const auto ins = core::insert_arbitration(rig.graph, rig.binding, {});

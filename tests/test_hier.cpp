@@ -16,12 +16,14 @@
 #include <string>
 #include <vector>
 
+#include "core/arbiter_factory.hpp"
 #include "core/generator.hpp"
 #include "core/hier.hpp"
 #include "core/policy.hpp"
 #include "core/rr_fsm.hpp"
 #include "core/structural.hpp"
 #include "netlist/simulator.hpp"
+#include "support/check.hpp"
 #include "support/rng.hpp"
 #include "synth/encoding.hpp"
 #include "synth/flow.hpp"
@@ -489,16 +491,20 @@ TEST_P(WideFuzz, OneHotGrantsAndNoStarvationOver1e5Cycles) {
   // Access the wide surface through the concrete types.
   auto* hier = dynamic_cast<HierarchicalArbiter*>(holder.get());
   auto* prefix = dynamic_cast<PrefixArbiter*>(holder.get());
-  ASSERT_TRUE(hier != nullptr || prefix != nullptr);
+  auto* flat = dynamic_cast<core::FlatWideArbiter*>(holder.get());
+  ASSERT_TRUE(hier != nullptr || prefix != nullptr || flat != nullptr);
   auto step_wide = [&](const std::vector<std::uint64_t>& req) {
-    return hier != nullptr ? hier->step_wide(req) : prefix->step_wide(req);
+    return holder->step_wide(req);
   };
   auto grant_words = [&]() -> const std::vector<std::uint64_t>& {
-    return hier != nullptr ? hier->last_grant_words()
-                           : prefix->last_grant_words();
+    if (hier != nullptr) return hier->last_grant_words();
+    if (prefix != nullptr) return prefix->last_grant_words();
+    return flat->last_grant_words();
   };
   auto bound = [&](int i) {
-    return hier != nullptr ? hier->waiting_bound(i) : prefix->waiting_bound(i);
+    if (hier != nullptr) return hier->waiting_bound(i);
+    if (prefix != nullptr) return prefix->waiting_bound(i);
+    return static_cast<std::uint64_t>(n - 1);  // the flat chain's N - 1
   };
 
   const std::size_t words = static_cast<std::size_t>((n + 63) / 64);
@@ -568,13 +574,191 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(WideParam{ArbiterKind::kHierarchical, 64, 4},
                       WideParam{ArbiterKind::kHierarchical, 256, 2},
                       WideParam{ArbiterKind::kPrefix, 64, 0},
-                      WideParam{ArbiterKind::kPrefix, 256, 0}),
+                      WideParam{ArbiterKind::kPrefix, 256, 0},
+                      WideParam{ArbiterKind::kFlatFsm, 128, 0},
+                      WideParam{ArbiterKind::kFlatFsm, 256, 0}),
     [](const auto& pi) {
       return std::string(to_string(pi.param.kind)) + "_n" +
              std::to_string(pi.param.n) +
              (pi.param.arity > 0 ? "_a" + std::to_string(pi.param.arity)
                                  : "");
     });
+
+// ========================================== flat wide == Fig. 5 FSM model
+
+TEST(FlatWide, MatchesTheWordWidthFsmAtEveryWidth) {
+  // FlatWideArbiter is the chain's behavioral model with the 64-port cap
+  // lifted; at word widths it must be grant-for-grant identical to the
+  // proven RoundRobinArbiter — through both the word entry (step) and the
+  // vector entry (step_wide) the service engine drives.
+  for (const int n : {1, 2, 7, 33, 64}) {
+    RoundRobinArbiter rr(n);
+    core::FlatWideArbiter fw(n);
+    const std::uint64_t mask = n == 64 ? ~0ull : (1ull << n) - 1;
+    Rng rng(9000 + static_cast<std::uint64_t>(n));
+    std::vector<std::uint64_t> word(1, 0);
+    for (int cyc = 0; cyc < 50'000; ++cyc) {
+      // Force empty vectors in regularly so the Ci -> F(i+1) retirement
+      // path is exercised at every width.
+      const std::uint64_t req =
+          cyc % 7 == 3 ? 0 : (rng.next_u64() & mask);
+      const int want = rr.step(req);
+      word[0] = req;
+      const int got = cyc % 2 == 0 ? fw.step(req) : fw.step_wide(word);
+      ASSERT_EQ(got, want) << "n=" << n << " cycle " << cyc;
+      ASSERT_EQ(fw.last_grant_words()[0], rr.last_grant_mask())
+          << "n=" << n << " cycle " << cyc;
+    }
+  }
+}
+
+// ==================================================== wide observer routing
+
+struct RecordingObserver final : core::ArbiterObserver {
+  int word_calls = 0;
+  int wide_calls = 0;
+  std::vector<std::uint64_t> last_req;
+  int last_grant = -2;
+  void on_step(std::uint64_t requests, int grant) override {
+    ++word_calls;
+    last_req = {requests};
+    last_grant = grant;
+  }
+  void on_step_wide(const std::vector<std::uint64_t>& requests,
+                    int grant) override {
+    ++wide_calls;
+    last_req = requests;
+    last_grant = grant;
+  }
+};
+
+TEST(WideObserver, EveryEntryPointNotifiesExactlyOnce) {
+  // Wide arbiters notify through on_step_wide from both entry points;
+  // word-width arbiters driven through the base step_wide still notify
+  // through on_step.  No path may notify twice per cycle.
+  core::PrefixArbiter wide(100);
+  RecordingObserver obs;
+  wide.set_observer(&obs);
+  std::vector<std::uint64_t> req = {0, 1ull << 8};  // port 72 only
+  EXPECT_EQ(wide.step_wide(req), 72);
+  EXPECT_EQ(obs.wide_calls, 1);
+  EXPECT_EQ(obs.word_calls, 0);
+  EXPECT_EQ(obs.last_req, req);
+  EXPECT_EQ(obs.last_grant, 72);
+  // The word entry covers ports 0..63 of a wide arbiter and notifies
+  // through the word hook (obs::ArbiterProbe forwards it to the wide one).
+  EXPECT_EQ(wide.step(1ull << 5), 5);
+  EXPECT_EQ(obs.wide_calls, 1);
+  EXPECT_EQ(obs.word_calls, 1);
+  EXPECT_EQ(obs.last_grant, 5);
+
+  RoundRobinArbiter narrow(8);
+  RecordingObserver nobs;
+  narrow.set_observer(&nobs);
+  EXPECT_EQ(narrow.step_wide({0b100}), 2);
+  EXPECT_EQ(nobs.word_calls, 1);
+  EXPECT_EQ(nobs.wide_calls, 0);
+  EXPECT_EQ(nobs.last_grant, 2);
+}
+
+TEST(WideObserver, BaseStepWideRejectsWidthsPast64) {
+  // A word-width arbiter must refuse vector requests it cannot see.
+  RoundRobinArbiter narrow(64);
+  EXPECT_EQ(narrow.step_wide({1ull << 63}), 63);
+  class WordOnly final : public core::Arbiter {
+   public:
+    explicit WordOnly(int n) : Arbiter(WideTag{}, n) {}
+    void reset() override {}
+    [[nodiscard]] std::string describe() const override { return "word"; }
+
+   protected:
+    int do_step(std::uint64_t) override { return -1; }
+  };
+  WordOnly bad(100);
+  EXPECT_THROW((void)bad.step_wide({1, 1}), CheckError);
+}
+
+// ================================================ kind selection + factory
+
+TEST(ArbiterFactory, SelectionHonorsTheBudgetInAreaOrder) {
+  using core::ArbiterChoice;
+  // A floor every structure meets picks the cheapest candidate: the flat
+  // chain at word widths, the tree past them (flat is never synthesized
+  // there — its fmax decays ~1/N and could only lose).
+  EXPECT_EQ(core::select_arbiter_kind(16, 1.0), ArbiterKind::kFlatFsm);
+  EXPECT_EQ(core::select_arbiter_kind(128, 1.0), ArbiterKind::kHierarchical);
+  // An unmeetable floor falls back to the fastest structure.
+  const ArbiterKind fastest = core::select_arbiter_kind(64, 1e9);
+  const double hier_fmax =
+      core::generate_scalable_cached(ArbiterKind::kHierarchical, 64, 4)
+          .chars.fmax_mhz;
+  const double prefix_fmax =
+      core::generate_scalable_cached(ArbiterKind::kPrefix, 64)
+          .chars.fmax_mhz;
+  EXPECT_EQ(fastest, hier_fmax >= prefix_fmax ? ArbiterKind::kHierarchical
+                                              : ArbiterKind::kPrefix);
+  // A budget at the flat chain's own fmax keeps flat; just above loses it.
+  const double flat_fmax =
+      core::generate_scalable_cached(ArbiterKind::kFlatFsm, 64)
+          .chars.fmax_mhz;
+  EXPECT_EQ(core::select_arbiter_kind(64, flat_fmax), ArbiterKind::kFlatFsm);
+  EXPECT_NE(core::select_arbiter_kind(64, flat_fmax + 1.0),
+            ArbiterKind::kFlatFsm);
+  EXPECT_THROW((void)core::select_arbiter_kind(16, 0.0), CheckError);
+  EXPECT_THROW((void)core::select_arbiter_kind(0, 1.0), CheckError);
+
+  EXPECT_EQ(core::resolve_arbiter_choice(ArbiterChoice::kPrefix, 16, 0.0),
+            ArbiterKind::kPrefix);
+  EXPECT_EQ(core::resolve_arbiter_choice(ArbiterChoice::kAuto, 16, 1.0),
+            ArbiterKind::kFlatFsm);
+  EXPECT_THROW(
+      (void)core::resolve_arbiter_choice(ArbiterChoice::kAuto, 16, 0.0),
+      CheckError);
+}
+
+TEST(ArbiterFactory, BuildsTheMatchingSubclassWithTypedViews) {
+  using core::SystemArbiterSpec;
+  auto flat = core::make_system_arbiter(8, SystemArbiterSpec{});
+  ASSERT_NE(flat.rr, nullptr);
+  EXPECT_EQ(flat.rr, flat.arbiter.get());
+  EXPECT_EQ(flat.kind, ArbiterKind::kFlatFsm);
+
+  auto wide = core::make_system_arbiter(
+      128, SystemArbiterSpec{.kind = ArbiterKind::kFlatFsm});
+  ASSERT_NE(wide.flat_wide, nullptr);
+  EXPECT_EQ(wide.rr, nullptr);
+
+  auto hier = core::make_system_arbiter(
+      96, SystemArbiterSpec{.kind = ArbiterKind::kHierarchical, .arity = 2});
+  ASSERT_NE(hier.hier, nullptr);
+  EXPECT_EQ(hier.kind, ArbiterKind::kHierarchical);
+
+  auto prefix = core::make_system_arbiter(
+      96, SystemArbiterSpec{.kind = ArbiterKind::kPrefix});
+  ASSERT_NE(prefix.prefix, nullptr);
+
+  core::SystemArbiterSpec dmr;
+  dmr.self_check = core::CheckMode::kDuplicate;
+  ASSERT_NE(core::make_system_arbiter(8, dmr).sc, nullptr);
+  dmr.kind = ArbiterKind::kPrefix;
+  EXPECT_THROW((void)core::make_system_arbiter(8, dmr), CheckError)
+      << "self-checking is flat-only";
+
+  // rr preemption/hardening have no wide-chain model: refuse, don't drop.
+  core::SystemArbiterSpec held;
+  held.rr.max_hold_cycles = 4;
+  ASSERT_NE(core::make_system_arbiter(8, held).rr, nullptr);
+  EXPECT_THROW((void)core::make_system_arbiter(128, held), CheckError);
+
+  // Non-round-robin policies ignore the kind machinery entirely.
+  core::SystemArbiterSpec fifo;
+  fifo.policy = core::Policy::kFifo;
+  fifo.kind = ArbiterKind::kPrefix;
+  const auto f = core::make_system_arbiter(8, fifo);
+  EXPECT_EQ(f.rr, nullptr);
+  EXPECT_EQ(f.prefix, nullptr);
+  EXPECT_NE(f.arbiter, nullptr);
+}
 
 // ======================================================== synthesis sanity
 

@@ -187,9 +187,15 @@ TEST(ServiceEngine, TypedDiagnosticsPerPolicy) {
   EXPECT_LE(td.diagnostics.size(),
             static_cast<std::size_t>(o.max_diagnostics));
 
+  // The estimator starts the measured window disarmed (the warmup reset
+  // re-initializes it), so the first util_window of overload rejects at
+  // the tail before shedding arms — with retries amplifying each refusal
+  // into several records.  The cap must outlast that whole ramp.
   o.policy = OverloadPolicy::kAdmitShed;
+  o.max_diagnostics = 8192;
   const ServiceStats as = run_service(o);
   EXPECT_GT(kinds_of(as, rcsim::DiagKind::kShed), 0u);
+  o.max_diagnostics = small_options().max_diagnostics;
 
   o.policy = OverloadPolicy::kBlock;
   const ServiceStats bl = run_service(o);
@@ -264,8 +270,13 @@ TEST(ServiceEngine, SweepIsByteIdenticalSerialVsParallel) {
 }
 
 TEST(ServiceEngine, RejectsNonsenseOptions) {
+  // 65 ports used to be the canonical nonsense value; the wide engine made
+  // everything up to kMaxWideInputs legal, so the fence moved there.
   ServiceOptions o = small_options();
-  o.ports = 65;
+  o.ports = core::kMaxWideInputs + 1;
+  EXPECT_THROW((void)run_service(o), CheckError);
+  o = small_options();
+  o.ports = 0;
   EXPECT_THROW((void)run_service(o), CheckError);
   o = small_options();
   o.resources = 0;
@@ -273,6 +284,158 @@ TEST(ServiceEngine, RejectsNonsenseOptions) {
   o = small_options();
   o.queue_capacity = 0;
   EXPECT_THROW((void)run_service(o), CheckError);
+  o = small_options();
+  o.arbiter_arity = 5;
+  EXPECT_THROW((void)run_service(o), CheckError);
+  // kAuto without a timing budget is ambiguous, not a default.
+  o = small_options();
+  o.arbiter_kind = core::ArbiterChoice::kAuto;
+  o.arbiter_fmax_budget_mhz = 0.0;
+  EXPECT_THROW((void)run_service(o), CheckError);
+}
+
+// ------------------------------------------------- arbiter kind threading
+
+TEST(ServiceEngine, ScalableKindsMatchFlatAggregatesAtWordWidths) {
+  // Each resource serves one request at a time (the grant holds until the
+  // slot releases) and all three structures are work-conserving, so the
+  // aggregate counters are kind-invariant at any width: only the rotation
+  // order — and with it individual latencies — may differ.  A timeout far
+  // past any sojourn keeps the counters order-independent.
+  for (const int ports : {4, 48}) {
+    for (const OverloadPolicy pol :
+         {OverloadPolicy::kTailDrop, OverloadPolicy::kAdmitShed}) {
+      ServiceOptions o = small_options();
+      o.ports = ports;
+      o.policy = pol;
+      o.arrivals.rate = 1.5;
+      o.retry.timeout = 1 << 20;
+      o.warmup_cycles = 1'000;
+      o.measure_cycles = 4'000;
+      const ServiceStats flat = run_service(o);
+      EXPECT_EQ(flat.per_resource[0].arbiter.kind, "flat");
+      for (const core::ArbiterChoice kind :
+           {core::ArbiterChoice::kHierarchical, core::ArbiterChoice::kPrefix}) {
+        o.arbiter_kind = kind;
+        const ServiceStats s = run_service(o);
+        const char* label = core::to_string(kind);
+        EXPECT_EQ(s.per_resource[0].arbiter.kind, label);
+        EXPECT_EQ(s.offered, flat.offered) << label;
+        EXPECT_EQ(s.completed, flat.completed) << label;
+        EXPECT_EQ(s.rejected, flat.rejected) << label;
+        EXPECT_EQ(s.shed, flat.shed) << label;
+        EXPECT_EQ(s.timed_out, flat.timed_out) << label;
+        EXPECT_EQ(s.retries, flat.retries) << label;
+        EXPECT_EQ(s.queue_depth.sum(), flat.queue_depth.sum()) << label;
+      }
+      o.arbiter_kind = core::ArbiterChoice::kFlatFsm;
+    }
+  }
+}
+
+TEST(ServiceEngine, WidePortsServeThroughEveryKind) {
+  // Past 64 ports the engine drives the arbiter via step_wide; all three
+  // kinds (flat through FlatWideArbiter) must carry a 256-port resource.
+  for (const core::ArbiterChoice kind :
+       {core::ArbiterChoice::kFlatFsm, core::ArbiterChoice::kHierarchical,
+        core::ArbiterChoice::kPrefix}) {
+    ServiceOptions o;
+    o.resources = 2;
+    o.ports = 256;
+    o.service_cycles = 1;
+    o.queue_capacity = 64;
+    o.policy = OverloadPolicy::kTailDrop;
+    o.arbiter_kind = kind;
+    o.arrivals.rate = 1.2;  // under the 2/cycle capacity
+    o.warmup_cycles = 500;
+    o.measure_cycles = 2'000;
+    o.seed = 7;
+    const ServiceStats s = run_service(o);
+    const char* label = core::to_string(kind);
+    EXPECT_EQ(s.per_resource[0].arbiter.ports, 256) << label;
+    EXPECT_EQ(s.per_resource[0].arbiter.kind,
+              kind == core::ArbiterChoice::kFlatFsm ? "flat" : label);
+    EXPECT_GT(s.completed, 0u) << label;
+    EXPECT_NEAR(s.goodput(), s.offered_rate(), 0.05) << label;
+    EXPECT_EQ(s.timed_out, 0u) << label;
+  }
+}
+
+TEST(ServiceEngine, WideSweepIsByteIdenticalSerialVsParallel) {
+  // The bench's wide-port cells in miniature: 256 ports, all three kinds,
+  // two loads — the rendered lines must not depend on the job count.
+  auto sweep = [](int jobs) {
+    std::vector<std::string> lines;
+    ordered_map_reduce<ServiceStats>(
+        6,
+        [&](std::size_t i) {
+          ServiceOptions o;
+          o.resources = 2;
+          o.ports = 256;
+          o.service_cycles = 1;
+          o.queue_capacity = 32;
+          o.policy = OverloadPolicy::kTailDrop;
+          o.arbiter_kind = static_cast<core::ArbiterChoice>(1 + i % 3);
+          o.arrivals.rate = 0.8 + 0.6 * static_cast<double>(i / 3);
+          o.warmup_cycles = 200;
+          o.measure_cycles = 1'500;
+          o.seed = derive_seed(77, i);
+          return run_service(o);
+        },
+        [&](std::size_t i, ServiceStats s) {
+          lines.push_back(std::to_string(i) + ": " + s.summarize());
+        },
+        jobs);
+    return lines;
+  };
+  EXPECT_EQ(sweep(1), sweep(4));
+}
+
+TEST(ServiceEngine, EstimatorRestartsAtTheMeasurementBoundary) {
+  // Regression for the warmup -> measure reset: the estimator's window
+  // phase and armed/disarmed flag used to leak across reset_stats, so the
+  // first shed could land less than one full util_window into the measured
+  // run — and *where* it landed depended on warmup_cycles modulo
+  // util_window.  Post-fix the estimator cannot arm before one full
+  // window, whatever the warmup length.
+  for (const std::uint64_t warmup : {0ull, 128ull, 384ull}) {
+    ServiceOptions o = small_options();
+    o.policy = OverloadPolicy::kAdmitShed;
+    o.arrivals.rate = 1.5;  // saturating: util ~1.0 in every window
+    o.util_window = 256;
+    o.warmup_cycles = warmup;
+    o.measure_cycles = 4'000;
+    o.max_diagnostics = 4'096;
+    const ServiceStats s = run_service(o);
+    EXPECT_GT(s.shed, 0u) << "warmup " << warmup;
+    std::uint64_t first_shed = 0;
+    bool found = false;
+    for (const auto& d : s.diagnostics) {
+      if (d.kind != rcsim::DiagKind::kShed) continue;
+      first_shed = d.cycle;
+      found = true;
+      break;
+    }
+    ASSERT_TRUE(found) << "warmup " << warmup;
+    EXPECT_GE(first_shed, warmup + 256) << "warmup " << warmup;
+  }
+}
+
+TEST(ServiceEngine, AutoKindResolvesFromTheBudget) {
+  // A floor every structure meets keeps the flat chain at word widths —
+  // and the kAuto run is byte-identical to asking for kFlatFsm.
+  ServiceOptions o = small_options();
+  o.arrivals.rate = 0.6;
+  const ServiceStats flat = run_service(o);
+  o.arbiter_kind = core::ArbiterChoice::kAuto;
+  o.arbiter_fmax_budget_mhz = 1.0;
+  const ServiceStats chosen = run_service(o);
+  EXPECT_EQ(chosen.summarize(), flat.summarize());
+  EXPECT_EQ(chosen.per_resource[0].arbiter.kind, "flat");
+  // Past word widths the flat chain is no longer a candidate.
+  o.ports = 96;
+  const ServiceStats wide = run_service(o);
+  EXPECT_EQ(wide.per_resource[0].arbiter.kind, "hier");
 }
 
 // ---------------------------------------------------------- retry/backoff
