@@ -18,8 +18,10 @@
 #include "core/generator.hpp"
 #include "core/insertion.hpp"
 #include "fault/fault.hpp"
-#include "netlist/lane_simulator.hpp"
+#include "fault/replica_batch.hpp"
+#include "netlist/wide_simulator.hpp"
 #include "obs/bench_report.hpp"
+#include "support/cpu.hpp"
 #include "rcsim/system_sim.hpp"
 #include "support/parallel.hpp"
 #include "support/rng.hpp"
@@ -276,12 +278,15 @@ void BM_CampaignCell(benchmark::State& state) {
 }
 BENCHMARK(BM_CampaignCell)->Arg(0)->Arg(1);
 
-/// Lane-batched SEU replicas of the campaign's bank arbiter: record the
+/// Wide-lane SEU replicas of the campaign's bank arbiter: record the
 /// effective request stream the behavioral arbiter saw during one clean
 /// run, then replay it against the memo-cached hardened *synthesized*
-/// netlist — 64 replicas at once, each lane's SEU staggered across the
+/// netlist through fault::run_replica_batch — 4096 replicas fanned out as
+/// (batches x lanes) over the widest SIMD kernel this machine has, batch
+/// workers on $RCARB_JOBS.  Each replica's SEU is staggered across the
 /// stream.  This is the netlist-level fault batch the campaign's cycle
-/// budget goes into, timed end to end.
+/// budget goes into, timed end to end; the per-replica checksums are
+/// byte-identical to 4096 scalar runs at any width, tier or job count.
 void BM_LaneReplicaCampaign(benchmark::State& state) {
   const Workload w;
   core::InsertionOptions io;
@@ -300,42 +305,37 @@ void BM_LaneReplicaCampaign(benchmark::State& state) {
 
   const auto& rr3 = core::synthesize_round_robin_cached(
       3, synth::Encoding::kOneHot, /*harden=*/true);
-  std::vector<netlist::NetId> req, grant, regs;
+  fault::ReplicaBatchSpec spec;
+  spec.netlist = &rr3.netlist;
   for (int i = 0; i < 3; ++i) {
-    req.push_back(*rr3.netlist.find_net("req" + std::to_string(i)));
-    grant.push_back(*rr3.netlist.find_net("grant" + std::to_string(i)));
+    spec.req.push_back(*rr3.netlist.find_net("req" + std::to_string(i)));
+    spec.grant.push_back(*rr3.netlist.find_net("grant" + std::to_string(i)));
   }
   for (std::size_t s = 0;; ++s) {
     const auto net = rr3.netlist.find_net("state" + std::to_string(s));
     if (!net.has_value()) break;
-    regs.push_back(*net);
+    spec.state.push_back(*net);
   }
-  const std::size_t stride = trace.size() / 64 + 1;
+  spec.requests = trace;
+  constexpr std::size_t kReplicas = 4096;
+  for (std::size_t r = 0; r < kReplicas; ++r)
+    spec.seu.push_back({static_cast<std::uint32_t>(r * 37 % trace.size()),
+                        static_cast<std::uint32_t>(r % spec.state.size())});
 
-  netlist::LaneSimulator lane(rr3.netlist);
+  std::uint64_t folded = 0;
   for (auto _ : state) {
-    lane.reset();
-    std::uint64_t checksum = 0;
-    for (std::size_t c = 0; c < trace.size(); ++c) {
-      for (std::size_t i = 0; i < req.size(); ++i)
-        lane.set_input(req[i],
-                       ((trace[c] >> i) & 1) ? ~std::uint64_t{0} : 0);
-      lane.settle();
-      for (std::size_t i = 0; i < grant.size(); ++i)
-        checksum = checksum * 31 + lane.get(grant[i]);
-      if (c % stride == 0 && c / stride < netlist::LaneSimulator::kLanes) {
-        const std::size_t l = c / stride;
-        const netlist::NetId target = regs[l % regs.size()];
-        lane.poke_register_lane(target, l, !lane.get_lane(target, l));
-      }
-      lane.clock();
+    const fault::ReplicaBatchResult batch = fault::run_replica_batch(spec);
+    if (folded == 0) {
+      folded = batch.folded;
+    } else if (folded != batch.folded) {
+      state.SkipWithError("replica checksums diverged across iterations");
     }
-    benchmark::DoNotOptimize(checksum);
+    benchmark::DoNotOptimize(batch.folded);
   }
-  state.SetItemsProcessed(
-      static_cast<std::int64_t>(state.iterations()) *
-      static_cast<std::int64_t>(netlist::LaneSimulator::kLanes *
-                                trace.size()));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kReplicas *
+                                                    trace.size()));
+  state.SetLabel(std::string("simd=") + to_string(simd_tier()));
 }
 BENCHMARK(BM_LaneReplicaCampaign);
 
@@ -343,6 +343,9 @@ BENCHMARK(BM_LaneReplicaCampaign);
 
 int main(int argc, char** argv) {
   rcarb::obs::BenchReporter rep("fault_campaign");
+  // Resolved once per process: the SIMD kernel tier the replica batches
+  // dispatch to ($RCARB_SIMD can cap it below the machine's).
+  rep.note("simd_tier", rcarb::to_string(rcarb::simd_tier()));
   print_campaign(rep);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

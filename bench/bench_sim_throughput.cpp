@@ -1,18 +1,29 @@
-// Netlist-simulation throughput: scalar vs bit-parallel 64-lane engine.
+// Netlist-simulation throughput: scalar vs bit-parallel lane engines at
+// 64, 256 and 512 lanes.
 //
 // The workload is the fault campaign's inner loop: replay one request
-// stream against a synthesized round-robin arbiter 64 times, each replica
+// stream against a synthesized round-robin arbiter R times, each replica
 // with its own SEU (a register bit flipped at a replica-specific cycle).
-// The scalar baseline runs the proven one-bit netlist::Simulator 64 times;
-// the lane engine packs all 64 replicas into uint64_t words and advances
-// them in one pass per cycle (netlist::LaneSimulator), with the
-// event-driven settle additionally skipping LUTs whose inputs are quiet.
+// The scalar baseline runs the proven one-bit netlist::Simulator once per
+// replica; the lane engines pack replicas into 64-bit words — one word
+// (netlist::WideLaneSimulator's portable kernel), four words (AVX2) or
+// eight words (AVX-512), with the SIMD kernel chosen at runtime
+// (support/cpu.hpp, $RCARB_SIMD caps it) — and advance all lanes in one
+// pass per cycle.  Event-driven settle additionally skips LUTs whose
+// inputs are quiet; the grid sweeps both settle modes at every width.
+// The `batched` cell fans a 4096-replica campaign out as (batches x
+// lanes) across $RCARB_JOBS workers (fault::run_replica_batch).
 //
-// Reported in BENCH_sim_throughput.json as replica-cycles per second
-// (64 replicas x stream length, divided by wall time), per netlist config;
-// `speedup_x` is the headline lane-vs-scalar ratio on the campaign-shaped
-// hardened arbiter.  Every timed loop resolves net names to NetIds up
-// front — the name_lookups() counters are asserted flat across the runs.
+// Reported in BENCH_sim_throughput.json as lane-cycles per second
+// (replicas x stream length, divided by kernel wall time), per netlist
+// config, plus LUT-evals/sec at the widest width.  `w256_over_w64_x` /
+// `w512_over_w64_x` are the headline wide-vs-64-lane ratios on the
+// campaign-shaped hardened arbiter, `batched_over_w64_x` the threaded
+// whole-campaign ratio.  Every grid cell's per-replica checksums are
+// cross-checked: scalar vs every width, event vs full settle, and the
+// folded value lands in the `checksum_<config>` notes — byte-identical
+// across $RCARB_SIMD tiers and $RCARB_JOBS counts, which CI pins by
+// diffing the notes across forced-tier reruns.
 #include <benchmark/benchmark.h>
 
 #include <chrono>
@@ -21,78 +32,70 @@
 #include <vector>
 
 #include "core/generator.hpp"
-#include "netlist/lane_simulator.hpp"
+#include "fault/replica_batch.hpp"
 #include "netlist/simulator.hpp"
+#include "netlist/wide_simulator.hpp"
 #include "obs/bench_report.hpp"
+#include "support/cpu.hpp"
 #include "support/rng.hpp"
 #include "support/table.hpp"
 
 namespace {
 
 using namespace rcarb;
-using netlist::LaneSimulator;
 using netlist::Netlist;
 using netlist::NetId;
 using netlist::SettleMode;
 using netlist::Simulator;
+using netlist::WideLaneSimulator;
 
 constexpr std::uint64_t kSeed = 20260805;
-constexpr std::size_t kCycles = 2048;   // stream length per replica
-constexpr std::size_t kLanes = LaneSimulator::kLanes;
+constexpr std::size_t kCycles = 2048;      // stream length per replica
+constexpr std::size_t kReplicas = 512;     // grid cells: one widest batch
+constexpr std::size_t kScalarReplicas = 64;  // scalar baseline prefix
+constexpr std::size_t kBatchedReplicas = 4096;  // threaded campaign cell
 
-/// Resolved ports of an arbiter netlist plus the shared fault batch: one
-/// request stream and one SEU (cycle, state bit) per replica.
-struct ReplicaBatch {
-  const Netlist* nl = nullptr;
-  std::vector<NetId> req, grant, state;
-  std::vector<std::uint64_t> requests;              // per cycle, low n bits
-  std::vector<std::pair<std::uint32_t, std::uint32_t>> seu;  // per lane
-  std::vector<std::vector<std::pair<std::uint32_t, std::uint32_t>>>
-      seu_by_cycle;  // [cycle] -> (lane, state bit)
-};
-
-ReplicaBatch make_batch(const Netlist& nl, int n, std::uint64_t seed) {
-  ReplicaBatch b;
-  b.nl = &nl;
+/// The shared fault batch: request stream plus one SEU per replica,
+/// resolved against one arbiter netlist.
+fault::ReplicaBatchSpec make_spec(const Netlist& nl, int n,
+                                  std::uint64_t seed, std::size_t replicas) {
+  fault::ReplicaBatchSpec spec;
+  spec.netlist = &nl;
   for (int i = 0; i < n; ++i) {
-    b.req.push_back(*nl.find_net("req" + std::to_string(i)));
-    b.grant.push_back(*nl.find_net("grant" + std::to_string(i)));
+    spec.req.push_back(*nl.find_net("req" + std::to_string(i)));
+    spec.grant.push_back(*nl.find_net("grant" + std::to_string(i)));
   }
   for (std::size_t s = 0;; ++s) {
     const auto net = nl.find_net("state" + std::to_string(s));
     if (!net.has_value()) break;
-    b.state.push_back(*net);
+    spec.state.push_back(*net);
   }
   Rng rng(seed);
-  b.requests.reserve(kCycles);
+  spec.requests.reserve(kCycles);
   for (std::size_t c = 0; c < kCycles; ++c)
-    b.requests.push_back(rng.next_below(std::uint64_t{1} << n));
-  b.seu_by_cycle.resize(kCycles);
-  for (std::size_t lane = 0; lane < kLanes; ++lane) {
-    const auto cycle = static_cast<std::uint32_t>(rng.next_below(kCycles));
-    const auto bit =
-        static_cast<std::uint32_t>(rng.next_below(b.state.size()));
-    b.seu.push_back({cycle, bit});
-    b.seu_by_cycle[cycle].push_back(
-        {static_cast<std::uint32_t>(lane), bit});
-  }
-  return b;
+    spec.requests.push_back(rng.next_below(std::uint64_t{1} << n));
+  for (std::size_t r = 0; r < replicas; ++r)
+    spec.seu.push_back(
+        {static_cast<std::uint32_t>(rng.next_below(kCycles)),
+         static_cast<std::uint32_t>(rng.next_below(spec.state.size()))});
+  return spec;
 }
 
 /// One replica on the scalar simulator; returns a grant-stream checksum.
-std::uint64_t run_scalar_replica(Simulator& sim, const ReplicaBatch& b,
-                                 std::size_t lane) {
+std::uint64_t run_scalar_replica(Simulator& sim,
+                                 const fault::ReplicaBatchSpec& spec,
+                                 std::size_t replica) {
   sim.reset();
   std::uint64_t checksum = 0;
   for (std::size_t c = 0; c < kCycles; ++c) {
-    const std::uint64_t req = b.requests[c];
-    for (std::size_t i = 0; i < b.req.size(); ++i)
-      sim.set_input(b.req[i], (req >> i) & 1);
+    const std::uint64_t req = spec.requests[c];
+    for (std::size_t i = 0; i < spec.req.size(); ++i)
+      sim.set_input(spec.req[i], (req >> i) & 1);
     sim.settle();
-    for (std::size_t i = 0; i < b.grant.size(); ++i)
-      checksum = checksum * 31 + (sim.get(b.grant[i]) ? i + 1 : 0);
-    if (b.seu[lane].first == c) {
-      const NetId net = b.state[b.seu[lane].second];
+    for (std::size_t i = 0; i < spec.grant.size(); ++i)
+      checksum = checksum * 31 + (sim.get(spec.grant[i]) ? i + 1 : 0);
+    if (spec.seu[replica].cycle == c) {
+      const NetId net = spec.state[spec.seu[replica].state_bit];
       sim.poke_register(net, !sim.get(net));
     }
     sim.clock();
@@ -100,103 +103,105 @@ std::uint64_t run_scalar_replica(Simulator& sim, const ReplicaBatch& b,
   return checksum;
 }
 
-/// All 64 replicas on the lane simulator; returns the same checksum folded
-/// over lanes in lane order (so it can be compared against 64 scalar runs).
-std::uint64_t run_lane_batch(LaneSimulator& sim, const ReplicaBatch& b) {
-  sim.reset();
-  std::vector<std::uint64_t> grant_words(b.grant.size() * kCycles);
-  for (std::size_t c = 0; c < kCycles; ++c) {
-    const std::uint64_t req = b.requests[c];
-    for (std::size_t i = 0; i < b.req.size(); ++i)
-      sim.set_input(b.req[i], ((req >> i) & 1) ? ~std::uint64_t{0} : 0);
-    sim.settle();
-    for (std::size_t i = 0; i < b.grant.size(); ++i)
-      grant_words[c * b.grant.size() + i] = sim.get(b.grant[i]);
-    for (const auto& [lane, bit] : b.seu_by_cycle[c]) {
-      const NetId net = b.state[bit];
-      sim.poke_register_lane(net, lane, !sim.get_lane(net, lane));
-    }
-    sim.clock();
-  }
-  // Fold per lane in the scalar replica's order.
-  std::uint64_t folded = 0;
-  for (std::size_t lane = 0; lane < kLanes; ++lane) {
-    std::uint64_t checksum = 0;
-    for (std::size_t c = 0; c < kCycles; ++c)
-      for (std::size_t i = 0; i < b.grant.size(); ++i)
-        checksum = checksum * 31 +
-                   (((grant_words[c * b.grant.size() + i] >> lane) & 1)
-                        ? i + 1
-                        : 0);
-    folded = folded * 1099511628211ull + checksum;
-  }
-  return folded;
-}
-
 double seconds_since(std::chrono::steady_clock::time_point t0) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
       .count();
 }
 
+/// One (width, settle mode) grid cell over the shared 512-replica batch.
+struct Cell {
+  double cps = 0.0;            // lane-cycles per second
+  double evals_per_sec = 0.0;  // LUT evaluations per second
+  std::uint64_t luts_evaluated = 0;
+  std::vector<std::uint64_t> checksums;
+  std::uint64_t folded = 0;
+  SimdTier tier = SimdTier::kScalar;
+};
+
+Cell run_cell(const fault::ReplicaBatchSpec& spec, std::size_t lanes,
+              SettleMode mode) {
+  fault::ReplicaBatchOptions opt;
+  opt.lanes = lanes;
+  opt.mode = mode;
+  opt.jobs = 1;  // grid cells time the kernel, not the worker pool
+  const fault::ReplicaBatchResult r = fault::run_replica_batch(spec, opt);
+  Cell cell;
+  cell.cps = static_cast<double>(spec.seu.size() * kCycles) /
+             r.kernel_seconds;
+  cell.evals_per_sec =
+      static_cast<double>(r.luts_evaluated) / r.kernel_seconds;
+  cell.luts_evaluated = r.luts_evaluated;
+  cell.checksums = r.checksums;
+  cell.folded = r.folded;
+  cell.tier = r.kernel_tier;
+  return cell;
+}
+
 struct ConfigResult {
   double scalar_cps = 0.0;
-  double lane_event_cps = 0.0;
-  double lane_full_cps = 0.0;
-  double event_eval_fraction = 0.0;  // event-driven LUT evals / full evals
+  Cell event[3];  // widths 64 / 256 / 512, event-driven settle
+  Cell full[3];   // widths 64 / 256 / 512, full-topo settle
+  double batched_cps = 0.0;        // 4096 replicas, widest width, RCARB_JOBS
+  double event_eval_fraction = 0.0;  // event evals / full evals at 512 lanes
+  std::uint64_t folded = 0;          // the shared 512-replica checksum fold
   bool checksums_match = false;
 };
 
-ConfigResult measure_config(const Netlist& nl, int n, std::uint64_t seed) {
-  const ReplicaBatch b = make_batch(nl, n, seed);
-  const double replica_cycles = static_cast<double>(kLanes * kCycles);
+constexpr std::size_t kWidths[3] = {64, 256, 512};
 
+ConfigResult measure_config(const Netlist& nl, int n, std::uint64_t seed) {
+  const fault::ReplicaBatchSpec spec = make_spec(nl, n, seed, kReplicas);
+
+  // Scalar baseline: the first kScalarReplicas replicas, one at a time.
   Simulator scalar(nl);
-  std::uint64_t scalar_folded = 0;
+  std::vector<std::uint64_t> scalar_checksums(kScalarReplicas);
   const auto t_scalar = std::chrono::steady_clock::now();
-  for (std::size_t lane = 0; lane < kLanes; ++lane)
-    scalar_folded = scalar_folded * 1099511628211ull +
-                    run_scalar_replica(scalar, b, lane);
+  for (std::size_t r = 0; r < kScalarReplicas; ++r)
+    scalar_checksums[r] = run_scalar_replica(scalar, spec, r);
   const double scalar_s = seconds_since(t_scalar);
 
-  LaneSimulator lane_event(nl, SettleMode::kEventDriven);
-  const std::uint64_t evals_before = lane_event.luts_evaluated();
-  const auto t_event = std::chrono::steady_clock::now();
-  const std::uint64_t event_folded = run_lane_batch(lane_event, b);
-  const double event_s = seconds_since(t_event);
-  const std::uint64_t event_evals =
-      lane_event.luts_evaluated() - evals_before;
+  ConfigResult res;
+  res.scalar_cps =
+      static_cast<double>(kScalarReplicas * kCycles) / scalar_s;
 
-  LaneSimulator lane_full(nl, SettleMode::kFullTopo);
-  const std::uint64_t full_evals_before = lane_full.luts_evaluated();
-  const auto t_full = std::chrono::steady_clock::now();
-  const std::uint64_t full_folded = run_lane_batch(lane_full, b);
-  const double full_s = seconds_since(t_full);
-  const std::uint64_t full_evals =
-      lane_full.luts_evaluated() - full_evals_before;
+  bool match = true;
+  for (std::size_t w = 0; w < 3; ++w) {
+    res.event[w] = run_cell(spec, kWidths[w], SettleMode::kEventDriven);
+    res.full[w] = run_cell(spec, kWidths[w], SettleMode::kFullTopo);
+    // Event and full settle must agree replica for replica, and the scalar
+    // baseline must match the leading replicas of every width — a
+    // throughput number from a diverging simulator would be meaningless.
+    match = match && res.event[w].checksums == res.full[w].checksums;
+    for (std::size_t r = 0; r < kScalarReplicas; ++r)
+      match = match && res.event[w].checksums[r] == scalar_checksums[r];
+    match = match && res.event[w].folded == res.event[0].folded;
+  }
+  res.folded = res.event[0].folded;
+  res.event_eval_fraction =
+      res.full[2].luts_evaluated == 0
+          ? 0.0
+          : static_cast<double>(res.event[2].luts_evaluated) /
+                static_cast<double>(res.full[2].luts_evaluated);
 
-  // All three engines must agree bit for bit — a throughput number from a
-  // diverging simulator would be meaningless.
-  const bool match =
-      scalar_folded == event_folded && event_folded == full_folded;
+  // The threaded campaign cell: 4096 replicas at the widest width, batch
+  // workers on $RCARB_JOBS.  Same stream, fresh SEU draw per replica.
+  const fault::ReplicaBatchSpec campaign =
+      make_spec(nl, n, seed, kBatchedReplicas);
+  fault::ReplicaBatchOptions opt;
+  const fault::ReplicaBatchResult batched =
+      fault::run_replica_batch(campaign, opt);
+  res.batched_cps = static_cast<double>(kBatchedReplicas * kCycles) /
+                    batched.kernel_seconds;
+  match = match && batched.checksums.size() == kBatchedReplicas;
 
   // The timed loops resolved every name up front; any hidden per-cycle
   // string hashing would show up here.
-  if (scalar.name_lookups() != 0 || lane_event.name_lookups() != 0 ||
-      lane_full.name_lookups() != 0) {
+  if (scalar.name_lookups() != 0) {
     std::fputs("unexpected name lookups inside the timed loops\n", stderr);
     std::exit(1);
   }
-
-  ConfigResult r;
-  r.scalar_cps = replica_cycles / scalar_s;
-  r.lane_event_cps = replica_cycles / event_s;
-  r.lane_full_cps = replica_cycles / full_s;
-  r.event_eval_fraction = full_evals == 0
-                              ? 0.0
-                              : static_cast<double>(event_evals) /
-                                    static_cast<double>(full_evals);
-  r.checksums_match = match;
-  return r;
+  res.checksums_match = match;
+  return res;
 }
 
 struct Config {
@@ -204,6 +209,13 @@ struct Config {
   const Netlist* nl;
   int n;
 };
+
+std::string hex64(std::uint64_t v) {
+  char buf[19];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
 
 int report_throughput(obs::BenchReporter& rep) {
   // Campaign-shaped hardened arbiter (the fault campaign's bank arbiter is
@@ -221,11 +233,12 @@ int report_throughput(obs::BenchReporter& rep) {
       {"n16_structural", &n16.synth.netlist, 16},
   };
 
-  Table table(
-      "simulation throughput — 64 SEU replicas x " +
-      std::to_string(kCycles) + " cycles (replica-cycles/sec)");
-  table.set_header({"netlist", "LUTs", "scalar", "lane event", "lane full",
-                    "speedup", "event evals"});
+  rep.note("simd_tier", to_string(simd_tier()));
+  Table table("simulation throughput — " + std::to_string(kReplicas) +
+              " SEU replicas x " + std::to_string(kCycles) +
+              " cycles (lane-cycles/sec, event-driven | full settle)");
+  table.set_header({"netlist", "LUTs", "scalar", "w64", "w256", "w512",
+                    "256/64", "512/64", "batched", "evals/s", "event%"});
 
   bool all_match = true;
   for (std::size_t i = 0; i < configs.size(); ++i) {
@@ -233,69 +246,106 @@ int report_throughput(obs::BenchReporter& rep) {
     const ConfigResult r =
         measure_config(*cfg.nl, cfg.n, derive_seed(kSeed, i));
     all_match = all_match && r.checksums_match;
-    const double speedup = r.lane_event_cps / r.scalar_cps;
+    const double w256_x = r.event[1].cps / r.event[0].cps;
+    const double w512_x = r.event[2].cps / r.event[0].cps;
+    const double batched_x = r.batched_cps / r.event[0].cps;
+    auto cell = [](const Cell& ev, const Cell& fu) {
+      return fmt_fixed(ev.cps / 1e6, 0) + "|" + fmt_fixed(fu.cps / 1e6, 0) +
+             "M";
+    };
     table.add_row({cfg.name, std::to_string(cfg.nl->num_luts()),
                    fmt_fixed(r.scalar_cps / 1e6, 2) + "M",
-                   fmt_fixed(r.lane_event_cps / 1e6, 2) + "M",
-                   fmt_fixed(r.lane_full_cps / 1e6, 2) + "M",
-                   fmt_fixed(speedup, 1) + "x",
+                   cell(r.event[0], r.full[0]), cell(r.event[1], r.full[1]),
+                   cell(r.event[2], r.full[2]), fmt_fixed(w256_x, 1) + "x",
+                   fmt_fixed(w512_x, 1) + "x",
+                   fmt_fixed(r.batched_cps / 1e6, 0) + "M",
+                   fmt_fixed(r.event[2].evals_per_sec / 1e6, 0) + "M",
                    fmt_fixed(r.event_eval_fraction * 100.0, 1) + "%"});
+    // The folded per-replica checksum of the shared 512-replica batch —
+    // identical across engines, widths, settle modes, SIMD tiers and job
+    // counts.  CI reruns the bench under forced $RCARB_SIMD / $RCARB_JOBS
+    // and diffs these notes.
+    rep.note("checksum_" + cfg.name, hex64(r.folded));
     if (cfg.name == "n3_hardened") {
-      // The headline acceptance numbers: scalar vs lane on the
-      // campaign-shaped 64-replica fault batch.
+      // The headline acceptance numbers on the campaign-shaped batch.
       rep.metric("scalar_cycles_per_sec", r.scalar_cps, "cycles/s");
-      rep.metric("lane_cycles_per_sec", r.lane_event_cps, "cycles/s");
-      rep.metric("speedup_x", speedup, "x");
+      rep.metric("lane_cycles_per_sec", r.event[0].cps, "cycles/s");
+      rep.metric("speedup_x", r.event[0].cps / r.scalar_cps, "x");
+      rep.metric("w256_lane_cycles_per_sec", r.event[1].cps, "cycles/s");
+      rep.metric("w512_lane_cycles_per_sec", r.event[2].cps, "cycles/s");
+      rep.metric("w256_over_w64_x", w256_x, "x");
+      rep.metric("w512_over_w64_x", w512_x, "x");
+      rep.metric("batched_lane_cycles_per_sec", r.batched_cps, "cycles/s");
+      rep.metric("batched_over_w64_x", batched_x, "x");
+      rep.metric("lut_evals_per_sec", r.event[2].evals_per_sec, "evals/s");
       rep.metric("event_eval_fraction", r.event_eval_fraction, "ratio");
     } else {
-      rep.metric(cfg.name + "_speedup_x", speedup, "x");
+      rep.metric(cfg.name + "_w512_over_w64_x", w512_x, "x");
     }
   }
-  rep.note("batch", "64 lanes x " + std::to_string(kCycles) +
-                        " cycles, one register-bit SEU per lane");
+  rep.note("batch",
+           std::to_string(kReplicas) + " replicas x " +
+               std::to_string(kCycles) +
+               " cycles, one register-bit SEU per replica; batched cell: " +
+               std::to_string(kBatchedReplicas) + " replicas across " +
+               "$RCARB_JOBS workers at the widest width");
   table.print();
   if (!all_match) {
-    std::fputs("scalar/lane/event checksums diverged\n", stderr);
+    std::fputs("scalar/wide/event/full checksums diverged\n", stderr);
     return 1;
   }
   std::puts(
-      "one lane pass advances 64 replicas: the per-cycle cost is one LUT\n"
-      "mux-tree fold per dirty LUT instead of 64 scalar topo passes.\n");
+      "one wide pass advances `lanes` replicas: the per-cycle cost is one\n"
+      "LUT mux-tree fold per dirty LUT (1, 4 or 8 SIMD words) instead of\n"
+      "`lanes` scalar topo passes.\n");
   return 0;
 }
 
 void BM_ScalarReplicaBatch(benchmark::State& state) {
   const auto& g = core::synthesize_round_robin_cached(
       static_cast<int>(state.range(0)), synth::Encoding::kOneHot, true);
-  const ReplicaBatch b =
-      make_batch(g.netlist, static_cast<int>(state.range(0)), kSeed);
+  const fault::ReplicaBatchSpec spec = make_spec(
+      g.netlist, static_cast<int>(state.range(0)), kSeed, kScalarReplicas);
   Simulator sim(g.netlist);
   for (auto _ : state) {
     std::uint64_t folded = 0;
-    for (std::size_t lane = 0; lane < kLanes; ++lane)
-      folded = folded * 1099511628211ull + run_scalar_replica(sim, b, lane);
+    for (std::size_t r = 0; r < kScalarReplicas; ++r)
+      folded = folded * 1099511628211ull + run_scalar_replica(sim, spec, r);
     benchmark::DoNotOptimize(folded);
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          static_cast<std::int64_t>(kLanes * kCycles));
+                          static_cast<std::int64_t>(kScalarReplicas *
+                                                    kCycles));
 }
 BENCHMARK(BM_ScalarReplicaBatch)->Arg(3);
 
-void BM_LaneReplicaBatch(benchmark::State& state) {
+/// One grid cell as a google-benchmark: args are (ports, lanes, mode).
+void BM_WideReplicaBatch(benchmark::State& state) {
   const auto& g = core::synthesize_round_robin_cached(
       static_cast<int>(state.range(0)), synth::Encoding::kOneHot, true);
-  const ReplicaBatch b =
-      make_batch(g.netlist, static_cast<int>(state.range(0)), kSeed);
-  const auto mode = state.range(1) == 0 ? SettleMode::kEventDriven
-                                        : SettleMode::kFullTopo;
-  LaneSimulator sim(g.netlist, mode);
+  const auto lanes = static_cast<std::size_t>(state.range(1));
+  const fault::ReplicaBatchSpec spec =
+      make_spec(g.netlist, static_cast<int>(state.range(0)), kSeed, lanes);
+  fault::ReplicaBatchOptions opt;
+  opt.lanes = lanes;
+  opt.mode = state.range(2) == 0 ? SettleMode::kEventDriven
+                                 : SettleMode::kFullTopo;
+  opt.jobs = 1;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(run_lane_batch(sim, b));
+    benchmark::DoNotOptimize(fault::run_replica_batch(spec, opt).folded);
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          static_cast<std::int64_t>(kLanes * kCycles));
+                          static_cast<std::int64_t>(lanes * kCycles));
+  fault::ReplicaBatchOptions probe = opt;
+  state.SetLabel(std::string("simd=") +
+                 to_string(fault::run_replica_batch(spec, probe).kernel_tier));
 }
-BENCHMARK(BM_LaneReplicaBatch)->Args({3, 0})->Args({3, 1});
+BENCHMARK(BM_WideReplicaBatch)
+    ->Args({3, 64, 0})
+    ->Args({3, 64, 1})
+    ->Args({3, 256, 0})
+    ->Args({3, 512, 0})
+    ->Args({3, 512, 1});
 
 }  // namespace
 

@@ -1,0 +1,133 @@
+#include "fault/replica_batch.hpp"
+
+#include <chrono>
+
+#include "support/check.hpp"
+#include "support/parallel.hpp"
+
+namespace rcarb::fault {
+
+namespace {
+
+using netlist::NetId;
+using netlist::WideLaneSimulator;
+
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+/// One batch's map() output: checksums for its active replicas plus the
+/// instrumentation the reducer aggregates.
+struct BatchOut {
+  std::vector<std::uint64_t> checksums;
+  std::uint64_t luts_evaluated = 0;
+  SimdTier kernel_tier = SimdTier::kScalar;
+  double kernel_seconds = 0.0;
+};
+
+BatchOut run_one_batch(const ReplicaBatchSpec& spec,
+                       const ReplicaBatchOptions& options,
+                       std::size_t first_replica, std::size_t active) {
+  const std::size_t lanes = options.lanes;
+  const std::size_t cycles = spec.requests.size();
+  const std::size_t num_grants = spec.grant.size();
+
+  // (lane, state bit) pokes by cycle, for this batch's replicas.
+  std::vector<std::vector<std::pair<std::uint32_t, std::uint32_t>>>
+      seu_by_cycle(cycles);
+  for (std::size_t l = 0; l < active; ++l) {
+    const ReplicaSeu& seu = spec.seu[first_replica + l];
+    if (seu.cycle < cycles)
+      seu_by_cycle[seu.cycle].push_back(
+          {static_cast<std::uint32_t>(l), seu.state_bit});
+  }
+
+  WideLaneSimulator sim(*spec.netlist, lanes, options.mode, options.tier);
+  const std::size_t words = sim.words();
+  // Grant rows per cycle, folded into per-replica checksums after the
+  // timed loop (the fold is O(R * cycles * grants) scalar work; keeping it
+  // out of the kernel time matches the scalar baseline, which also folds
+  // outside its settle/clock calls).
+  std::vector<std::uint64_t> grant_rows(cycles * num_grants * words);
+  const std::uint64_t evals_before = sim.luts_evaluated();
+
+  const auto t0 = std::chrono::steady_clock::now();
+  sim.reset();
+  for (std::size_t c = 0; c < cycles; ++c) {
+    const std::uint64_t req = spec.requests[c];
+    for (std::size_t i = 0; i < spec.req.size(); ++i)
+      sim.set_input_all(spec.req[i], (req >> i) & 1);
+    sim.settle();
+    for (std::size_t i = 0; i < num_grants; ++i)
+      sim.get(spec.grant[i], grant_rows.data() + (c * num_grants + i) * words);
+    for (const auto& [lane, bit] : seu_by_cycle[c]) {
+      const NetId net = spec.state[bit];
+      sim.poke_register_lane(net, lane, !sim.get_lane(net, lane));
+    }
+    sim.clock();
+  }
+  BatchOut out;
+  out.kernel_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  out.luts_evaluated = sim.luts_evaluated() - evals_before;
+  out.kernel_tier = sim.kernel_tier();
+
+  // Fold each active lane's grant stream exactly as the scalar replica
+  // runner does.
+  out.checksums.resize(active, 0);
+  for (std::size_t l = 0; l < active; ++l) {
+    std::uint64_t checksum = 0;
+    for (std::size_t c = 0; c < cycles; ++c)
+      for (std::size_t i = 0; i < num_grants; ++i) {
+        const std::uint64_t row =
+            grant_rows[(c * num_grants + i) * words + l / 64];
+        checksum = checksum * 31 + (((row >> (l % 64)) & 1u) ? i + 1 : 0);
+      }
+    out.checksums[l] = checksum;
+  }
+  return out;
+}
+
+}  // namespace
+
+ReplicaBatchResult run_replica_batch(const ReplicaBatchSpec& spec,
+                                     const ReplicaBatchOptions& options) {
+  RCARB_CHECK(spec.netlist != nullptr, "replica batch needs a netlist");
+  RCARB_CHECK(!spec.seu.empty(), "replica batch needs at least one replica");
+  RCARB_CHECK(spec.req.size() <= 64,
+              "replica batch request streams carry <= 64 request bits");
+  for (const ReplicaSeu& seu : spec.seu)
+    RCARB_CHECK(seu.state_bit < spec.state.size(),
+                "replica SEU targets a state bit outside the register");
+  const std::size_t lanes = options.lanes;
+  RCARB_CHECK(lanes >= 64 && lanes <= WideLaneSimulator::kMaxLanes &&
+                  lanes % 64 == 0,
+              "replica batch lanes must be a multiple of 64 in [64, 512]");
+
+  const std::size_t replicas = spec.seu.size();
+  const std::size_t batches = (replicas + lanes - 1) / lanes;
+
+  ReplicaBatchResult result;
+  result.batches = batches;
+  result.lanes = lanes;
+  result.checksums.reserve(replicas);
+  ordered_map_reduce<BatchOut>(
+      batches,
+      [&](std::size_t b) {
+        const std::size_t first = b * lanes;
+        const std::size_t active = std::min(lanes, replicas - first);
+        return run_one_batch(spec, options, first, active);
+      },
+      [&](std::size_t, BatchOut out) {
+        for (const std::uint64_t checksum : out.checksums) {
+          result.checksums.push_back(checksum);
+          result.folded = result.folded * kFnvPrime + checksum;
+        }
+        result.luts_evaluated += out.luts_evaluated;
+        result.kernel_tier = out.kernel_tier;
+        result.kernel_seconds += out.kernel_seconds;
+      },
+      options.jobs);
+  return result;
+}
+
+}  // namespace rcarb::fault

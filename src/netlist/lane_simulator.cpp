@@ -153,10 +153,15 @@ void LaneSimulator::clock() {
 void LaneSimulator::poke_register(NetId net, std::uint64_t word) {
   RCARB_CHECK(netlist_.driver_kind(net) == DriverKind::kDff,
               "poke_register on a non-register net");
-  value_[net] = word;
-  // Same rule as the scalar simulator: fault injection falls back to one
-  // proven full topo pass.
-  full_resettle_pending_ = true;
+  // A poked q net dirties exactly its fanout cone — the same discipline
+  // clock() applies when that register changes — so event-driven settling
+  // stays incremental across fault injection.  (The previous full-resettle
+  // fallback re-evaluated every LUT per poke, which dominated 64-replica
+  // SEU batches: one poke per lane per stream.)
+  if (value_[net] != word) {
+    value_[net] = word;
+    if (mode_ == SettleMode::kEventDriven) mark_fanouts_dirty(net);
+  }
   settle();
 }
 

@@ -60,7 +60,9 @@ class LaneSimulator {
   void clock();
 
   /// Fault injection: overwrites a DFF's q word / one lane's q bit (SEUs in
-  /// the register) and re-settles via one full topo pass.
+  /// the register) and re-settles.  Event-driven mode seeds the dirty heap
+  /// with the poked DFF's fanout cone (the same rule clock() applies), so
+  /// SEU batches stay on the incremental path.
   void poke_register(NetId net, std::uint64_t word);
   void poke_register(const std::string& name, std::uint64_t word);
   void poke_register_lane(NetId net, std::size_t lane, bool value);

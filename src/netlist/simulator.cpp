@@ -120,10 +120,14 @@ void Simulator::clock() {
 void Simulator::poke_register(NetId net, bool value) {
   RCARB_CHECK(netlist_.driver_kind(net) == DriverKind::kDff,
               "poke_register on a non-register net");
-  value_[net] = value ? 1 : 0;
-  // Fault injection bypasses normal update tracking; re-settle everything
-  // so SEU campaigns stay on the proven full-topo path.
-  full_resettle_pending_ = true;
+  // A poked q net dirties exactly its fanout cone — the same discipline
+  // clock() applies when that register changes — so event-driven settling
+  // stays incremental across fault injection.
+  const char poked = value ? 1 : 0;
+  if (value_[net] != poked) {
+    value_[net] = poked;
+    if (mode_ == SettleMode::kEventDriven) mark_fanouts_dirty(net);
+  }
   settle();
 }
 

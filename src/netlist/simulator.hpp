@@ -9,9 +9,8 @@
 //     order (the proven baseline; always correct).
 //   * kEventDriven — settle() only evaluates LUTs downstream of nets that
 //     actually changed (a dirty worklist drained in topological order,
-//     seeded from set_input / clock via the netlist's per-net fanout
-//     lists).  Fault-injection pokes fall back to one full topo pass, so
-//     SEU campaigns keep the proven path.
+//     seeded from set_input / clock / poke_register via the netlist's
+//     per-net fanout lists).
 // Both produce bit-identical values: a LUT is pure, and evaluating a
 // superset of the dirty LUTs in topological order reaches the same fixed
 // point.
@@ -51,7 +50,8 @@ class Simulator {
 
   /// Fault injection: overwrites a DFF's q value (an SEU in the register)
   /// and re-settles so downstream logic sees the corrupted state.  Event-
-  /// driven simulators fall back to a full topo pass here.
+  /// driven simulators seed the dirty heap with the poked DFF's fanout
+  /// cone (the same rule clock() applies to a changed register).
   void poke_register(NetId net, bool value);
   void poke_register(const std::string& name, bool value);
 

@@ -1,0 +1,72 @@
+#include "support/cpu.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+namespace rcarb {
+
+const char* to_string(SimdTier tier) {
+  switch (tier) {
+    case SimdTier::kScalar:
+      return "scalar";
+    case SimdTier::kAvx2:
+      return "avx2";
+    case SimdTier::kAvx512:
+      return "avx512";
+  }
+  return "scalar";
+}
+
+SimdTier detected_simd_tier() {
+#if defined(__x86_64__) || defined(__i386__)
+  static const SimdTier detected = [] {
+    if (__builtin_cpu_supports("avx512f")) return SimdTier::kAvx512;
+    if (__builtin_cpu_supports("avx2")) return SimdTier::kAvx2;
+    return SimdTier::kScalar;
+  }();
+  return detected;
+#else
+  return SimdTier::kScalar;
+#endif
+}
+
+std::optional<SimdTier> parse_simd_tier(const std::string& value) {
+  if (value == "scalar") return SimdTier::kScalar;
+  if (value == "avx2") return SimdTier::kAvx2;
+  if (value == "avx512") return SimdTier::kAvx512;
+  return std::nullopt;
+}
+
+SimdTier resolve_simd_tier(SimdTier detected, const char* override_value,
+                           void (*warn)(const std::string&)) {
+  if (override_value == nullptr || *override_value == '\0') return detected;
+  const std::optional<SimdTier> wanted = parse_simd_tier(override_value);
+  if (!wanted.has_value()) {
+    warn(std::string("rcarb: ignoring malformed RCARB_SIMD=\"") +
+         override_value +
+         "\" (want scalar, avx2 or avx512); using detected tier " +
+         to_string(detected));
+    return detected;
+  }
+  if (*wanted > detected) {
+    warn(std::string("rcarb: RCARB_SIMD=") + override_value +
+         " exceeds this machine; clamping to detected tier " +
+         to_string(detected));
+    return detected;
+  }
+  return *wanted;
+}
+
+SimdTier simd_tier() {
+  static const SimdTier resolved = [] {
+    return resolve_simd_tier(
+        detected_simd_tier(), std::getenv("RCARB_SIMD"),
+        [](const std::string& msg) {
+          std::fprintf(stderr, "%s\n", msg.c_str());
+        });
+  }();
+  return resolved;
+}
+
+}  // namespace rcarb

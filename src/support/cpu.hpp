@@ -1,0 +1,56 @@
+// Runtime CPU feature detection for the SIMD simulation kernels.
+//
+// The wide-lane netlist simulator ships three kernel tiers: a portable
+// std::array<uint64_t, W> baseline that any compiler auto-vectorizes, an
+// AVX2 kernel operating on 256-bit words, and an AVX-512 kernel on 512-bit
+// words.  Which tier actually runs is a *runtime* decision: the binaries
+// carry all tiers (the AVX translation units are compiled with their ISA
+// flags but only ever entered after a cpuid check), and dispatch picks the
+// widest tier the executing machine supports.
+//
+// $RCARB_SIMD overrides the choice downward — `RCARB_SIMD=scalar` forces
+// the portable kernels everywhere (the CI determinism leg runs the whole
+// suite this way and asserts bit-identical checksums), `avx2` caps at
+// 256-bit ops.  Requesting a tier the machine lacks warns once and clamps
+// to what is detected, matching the RCARB_JOBS idiom: a malformed value
+// never aborts a run, it degrades loudly.
+#pragma once
+
+#include <optional>
+#include <string>
+
+namespace rcarb {
+
+/// Kernel instruction-set tiers, ordered: a machine at tier T can run
+/// every tier <= T.
+enum class SimdTier : std::uint8_t { kScalar = 0, kAvx2 = 1, kAvx512 = 2 };
+
+[[nodiscard]] const char* to_string(SimdTier tier);
+
+/// What the executing CPU supports (cpuid probe, cached after the first
+/// call).  kAvx512 requires AVX-512F; kAvx2 requires AVX2; anything else
+/// (including non-x86 builds) reports kScalar.
+[[nodiscard]] SimdTier detected_simd_tier();
+
+/// Parses an RCARB_SIMD-style value: "scalar", "avx2" or "avx512"
+/// (case-sensitive, like RCARB_JOBS digits).  Returns nullopt for
+/// anything else, including "".  Pure — the testable core of the env
+/// handling.
+[[nodiscard]] std::optional<SimdTier> parse_simd_tier(
+    const std::string& value);
+
+/// Combines a detected tier with an optional override string: no (or
+/// malformed) override yields `detected`; a well-formed override is
+/// clamped to `detected`.  Pure.  `warn` receives a one-line diagnostic
+/// when the override is malformed or exceeds the machine (the cached
+/// wrapper below prints it once to stderr).
+[[nodiscard]] SimdTier resolve_simd_tier(SimdTier detected,
+                                         const char* override_value,
+                                         void (*warn)(const std::string&));
+
+/// The tier dispatch actually uses: detected_simd_tier() clamped by
+/// $RCARB_SIMD.  Cached after the first call; malformed or unsatisfiable
+/// overrides warn once on stderr (RCARB_JOBS idiom).
+[[nodiscard]] SimdTier simd_tier();
+
+}  // namespace rcarb

@@ -226,7 +226,13 @@ TEST(EventDriven, SkipsCleanLutsOnQuietInputs) {
   EXPECT_LT(lane_event.luts_evaluated(), lane_full.luts_evaluated());
 }
 
-TEST(EventDriven, PokeFallsBackToFullSettle) {
+TEST(EventDriven, PokeSeedsTheFanoutConeNotAFullResettle) {
+  // Regression for the SEU-batch slowdown: poke_register used to schedule
+  // a full topo resettle even in kEventDriven mode, so a 64-replica SEU
+  // batch (one poke per lane per stream) re-evaluated every LUT per poke.
+  // The poked DFF's fanout cone is all a poke can dirty — exactly what
+  // clock() marks when that register changes — so the incremental path
+  // must survive fault injection, with unchanged values.
   const auto& g = core::generate_round_robin_cached(
       4, synth::FlowKind::kExpressLike, synth::Encoding::kOneHot);
   const Netlist& nl = g.synth.netlist;
@@ -234,17 +240,38 @@ TEST(EventDriven, PokeFallsBackToFullSettle) {
   ASSERT_FALSE(p.state.empty());
 
   Simulator event(nl, SettleMode::kEventDriven);
-  const std::uint64_t full_before = event.full_settles();
+  Simulator full(nl, SettleMode::kFullTopo);
+  // Warm both engines onto the incremental path.
+  for (Simulator* sim : {&event, &full}) {
+    sim->set_input(p.req[1], true);
+    sim->settle();
+    sim->clock();
+  }
+  const std::uint64_t full_passes_before = event.full_settles();
+  const std::uint64_t evals_before = event.luts_evaluated();
   event.poke_register(p.state[0], !event.get(p.state[0]));
-  EXPECT_EQ(event.full_settles(), full_before + 1)
-      << "a fault poke must re-settle via the proven full topo pass";
+  full.poke_register(p.state[0], !full.get(p.state[0]));
+  EXPECT_EQ(event.full_settles(), full_passes_before)
+      << "an event-driven poke must not schedule a full topo resettle";
+  EXPECT_LT(event.luts_evaluated() - evals_before, nl.num_luts())
+      << "a poke should evaluate only the poked register's fanout cone";
+  // The poke produced the same fixed point as the proven full pass.
+  for (NetId net : p.grant) EXPECT_EQ(event.get(net), full.get(net));
+  for (NetId net : p.state) EXPECT_EQ(event.get(net), full.get(net));
 
   LaneSimulator lane(nl, SettleMode::kEventDriven);
   const std::uint64_t lane_full_before = lane.full_settles();
-  lane.poke_register_lane(p.state[0], 17, true);
-  EXPECT_EQ(lane.full_settles(), lane_full_before + 1);
+  const std::uint64_t lane_evals_before = lane.luts_evaluated();
+  lane.poke_register_lane(p.state[0], 17, !lane.get_lane(p.state[0], 17));
+  EXPECT_EQ(lane.full_settles(), lane_full_before);
+  EXPECT_LT(lane.luts_evaluated() - lane_evals_before, nl.num_luts());
+  LaneSimulator lane_full(nl, SettleMode::kFullTopo);
+  lane_full.poke_register_lane(p.state[0], 17,
+                               !lane_full.get_lane(p.state[0], 17));
+  for (NetId net : p.grant) EXPECT_EQ(lane.get(net), lane_full.get(net));
+  for (NetId net : p.state) EXPECT_EQ(lane.get(net), lane_full.get(net));
 
-  // After the fallback, incremental settling resumes.
+  // Incremental settling continues after the poke.
   const std::uint64_t event_before = event.event_settles();
   event.set_input(p.req[0], true);
   event.settle();
