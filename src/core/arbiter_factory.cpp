@@ -76,6 +76,9 @@ SystemArbiter make_system_arbiter(int n, const SystemArbiterSpec& spec) {
     RCARB_CHECK(spec.kind == ArbiterKind::kFlatFsm,
                 "self-checking arbiters are flat-only (the DMR/TMR netlists "
                 "replicate the Fig. 5 core)");
+    RCARB_CHECK(n <= 64,
+                "self-checking arbiters top out at 64 ports (per-copy F/C "
+                "state words); shard wider resources or drop self_check");
     auto sc = std::make_unique<SelfCheckingArbiter>(n, spec.self_check,
                                                     spec.rr);
     out.sc = sc.get();

@@ -65,7 +65,9 @@ struct SystemArbiterSpec {
   /// register to harden and no hold counter, so these are ignored there.
   RoundRobinOptions rr;
   /// Replication; flat-only (the self-checking netlists duplicate the
-  /// Fig. 5 core).  Combining it with a non-flat kind CHECK-fails.
+  /// Fig. 5 core) and capped at 64 ports (the behavioral model compares
+  /// per-copy F/C state words).  Combining it with a non-flat kind or a
+  /// wider resource CHECK-fails.
   CheckMode self_check = CheckMode::kNone;
   std::uint64_t seed = 1;  // kRandom policy only
 };

@@ -146,6 +146,17 @@ class RoundRobinArbiter final : public Arbiter {
   /// n <= 32 (2n bits must fit one word).
   [[nodiscard]] std::uint64_t state_bits() const;
 
+  /// The state register as separate words (f = Fi one-hots, c = Ci
+  /// one-hots) — the full-width form of state_bits(), valid for every
+  /// n <= 64.  The self-checking wrapper compares/votes these so its
+  /// replicas are not capped at 32 ports.
+  struct StateWords {
+    std::uint64_t f = 0;
+    std::uint64_t c = 0;
+    [[nodiscard]] bool operator==(const StateWords&) const = default;
+  };
+  [[nodiscard]] StateWords state_words() const { return {f_bits_, c_bits_}; }
+
   /// True when the register holds exactly one hot bit.
   [[nodiscard]] bool state_legal() const;
 

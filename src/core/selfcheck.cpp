@@ -22,22 +22,28 @@ SelfCheckingArbiter::SelfCheckingArbiter(int n, CheckMode mode,
     : Arbiter(n), mode_(mode) {
   RCARB_CHECK(mode != CheckMode::kNone,
               "SelfCheckingArbiter needs kDuplicate or kTmr");
-  RCARB_CHECK(n <= 32, "self-checking model requires n <= 32");
+  RCARB_CHECK(n <= 64, "self-checking model requires n <= 64");
   // The copies stay unhardened: the replication layer *is* the hardening,
   // and per-copy recovery logic would let the copies resync to different
   // legal states, pinning the comparator high forever.
   options.harden = false;
   const int copies = mode == CheckMode::kDuplicate ? 2 : 3;
   for (int c = 0; c < copies; ++c) copies_.emplace_back(n, options);
-  latched_state_.assign(copies_.size(), 0);
+  latched_state_.assign(copies_.size(), {});
   latched_.assign(copies_.size(), false);
 }
 
-void SelfCheckingArbiter::force_state(int copy, std::uint64_t want) {
+void SelfCheckingArbiter::force_state(int copy,
+                                      RoundRobinArbiter::StateWords want) {
   auto& a = copies_[static_cast<std::size_t>(copy)];
-  std::uint64_t diff = a.state_bits() ^ want;
+  std::uint64_t diff = a.state_words().f ^ want.f;
   while (diff != 0) {
     a.inject_bit_flip(std::countr_zero(diff));
+    diff &= diff - 1;
+  }
+  diff = a.state_words().c ^ want.c;
+  while (diff != 0) {
+    a.inject_bit_flip(n_ + std::countr_zero(diff));
     diff &= diff - 1;
   }
 }
@@ -49,10 +55,10 @@ int SelfCheckingArbiter::do_step(std::uint64_t requests) {
   for (std::size_t c = 0; c < copies_.size(); ++c)
     if (latched_[c]) force_state(static_cast<int>(c), latched_state_[c]);
 
-  const std::uint64_t s0 = copies_[0].state_bits();
+  const RoundRobinArbiter::StateWords s0 = copies_[0].state_words();
   error_ = false;
   for (std::size_t c = 1; c < copies_.size(); ++c)
-    error_ = error_ || copies_[c].state_bits() != s0;
+    error_ = error_ || !(copies_[c].state_words() == s0);
   if (error_) ++error_cycles_;
 
   if (mode_ == CheckMode::kDuplicate) {
@@ -60,8 +66,8 @@ int SelfCheckingArbiter::do_step(std::uint64_t requests) {
       // Fail-safe: grants gated off; both registers reload the reset code
       // at this clock edge (one-cycle grant gap, then clean resync).
       ++resyncs_;
-      force_state(0, 1);
-      force_state(1, 1);
+      force_state(0, {1, 0});
+      force_state(1, {1, 0});
       return -1;
     }
     const int g = copies_[0].step(requests);
@@ -71,17 +77,20 @@ int SelfCheckingArbiter::do_step(std::uint64_t requests) {
   }
 
   // TMR: step all copies, vote grants and next states bitwise, rewrite
-  // every copy with the voted word — the minority is outvoted in 1 clock
+  // every copy with the voted words — the minority is outvoted in 1 clock
   // and the voted grants never gap.
-  std::uint64_t next[3] = {0, 0, 0};
+  RoundRobinArbiter::StateWords next[3];
   std::uint64_t mask[3] = {0, 0, 0};
   for (std::size_t c = 0; c < copies_.size(); ++c) {
     copies_[c].step(requests);
-    next[c] = copies_[c].state_bits();
+    next[c] = copies_[c].state_words();
     mask[c] = copies_[c].last_grant_mask();
   }
-  const std::uint64_t voted =
-      (next[0] & next[1]) | (next[0] & next[2]) | (next[1] & next[2]);
+  const RoundRobinArbiter::StateWords voted = {
+      (next[0].f & next[1].f) | (next[0].f & next[2].f) |
+          (next[1].f & next[2].f),
+      (next[0].c & next[1].c) | (next[0].c & next[2].c) |
+          (next[1].c & next[2].c)};
   grant_mask_ =
       (mask[0] & mask[1]) | (mask[0] & mask[2]) | (mask[1] & mask[2]);
   bool rewrote = false;
@@ -110,6 +119,12 @@ std::uint64_t SelfCheckingArbiter::state_bits(int copy) const {
   return copies_[static_cast<std::size_t>(copy)].state_bits();
 }
 
+RoundRobinArbiter::StateWords SelfCheckingArbiter::state_words(
+    int copy) const {
+  RCARB_CHECK(copy >= 0 && copy < num_copies(), "copy out of range");
+  return copies_[static_cast<std::size_t>(copy)].state_words();
+}
+
 void SelfCheckingArbiter::inject_bit_flip(int copy, int bit) {
   RCARB_CHECK(copy >= 0 && copy < num_copies(), "copy out of range");
   copies_[static_cast<std::size_t>(copy)].inject_bit_flip(bit);
@@ -119,7 +134,7 @@ void SelfCheckingArbiter::latch_up(int copy) {
   RCARB_CHECK(copy >= 0 && copy < num_copies(), "copy out of range");
   latched_[static_cast<std::size_t>(copy)] = true;
   latched_state_[static_cast<std::size_t>(copy)] =
-      copies_[static_cast<std::size_t>(copy)].state_bits();
+      copies_[static_cast<std::size_t>(copy)].state_words();
 }
 
 void SelfCheckingArbiter::clear_latch_up() {

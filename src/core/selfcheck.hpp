@@ -48,7 +48,10 @@ enum class CheckMode : std::uint8_t {
 /// samples the *current* state registers, so a single-bit upset raises
 /// `error()` on the very next step, and the resync (DMR reset reload / TMR
 /// majority rewrite) happens at that step's clock edge.  Requires
-/// n <= 32 (per-copy state words must fit 2n bits).
+/// n <= 64: the per-copy registers are compared and voted as separate
+/// F/C words (RoundRobinArbiter::StateWords), so the model covers the
+/// full word-width service arbiters even where the replicated *netlist*
+/// (copies x 2n register bits in one bank) cannot be synthesized.
 class SelfCheckingArbiter final : public Arbiter {
  public:
   SelfCheckingArbiter(int n, CheckMode mode, RoundRobinOptions options = {});
@@ -74,8 +77,12 @@ class SelfCheckingArbiter final : public Arbiter {
   /// comparator fires; TMR: bitwise majority of the copies).
   [[nodiscard]] std::uint64_t last_grant_mask() const { return grant_mask_; }
 
-  /// One copy's state register (bit i = Fi, bit n+i = Ci).
+  /// One copy's state register (bit i = Fi, bit n+i = Ci).  Requires
+  /// n <= 32 (the packed form); state_words covers the full width.
   [[nodiscard]] std::uint64_t state_bits(int copy) const;
+
+  /// One copy's state register as separate F/C words, valid for n <= 64.
+  [[nodiscard]] RoundRobinArbiter::StateWords state_words(int copy) const;
 
   /// SEU injection into one copy's state register (0 <= bit < 2n).
   void inject_bit_flip(int copy, int bit);
@@ -92,11 +99,12 @@ class SelfCheckingArbiter final : public Arbiter {
   int do_step(std::uint64_t requests) override;
 
  private:
-  void force_state(int copy, std::uint64_t want);
+  void force_state(int copy, RoundRobinArbiter::StateWords want);
 
   CheckMode mode_;
   std::vector<RoundRobinArbiter> copies_;
-  std::vector<std::uint64_t> latched_state_;  // per copy; valid when latched
+  // Per copy; valid when latched.
+  std::vector<RoundRobinArbiter::StateWords> latched_state_;
   std::vector<bool> latched_;
   bool error_ = false;
   std::uint64_t grant_mask_ = 0;

@@ -58,6 +58,116 @@ void StrikeTracker::clear(int resource) {
   recent_[static_cast<std::size_t>(resource)].clear();
 }
 
+const char* to_string(RepairPath p) {
+  switch (p) {
+    case RepairPath::kReconfigure: return "reconfigure";
+    case RepairPath::kRetire: return "retire";
+  }
+  return "?";
+}
+
+RepairPath repair_path_for(StrikeSource source) {
+  switch (source) {
+    case StrikeSource::kSelfCheckError:
+    case StrikeSource::kWatchdogTrip:
+      return RepairPath::kReconfigure;
+    case StrikeSource::kChannelFailure:
+    case StrikeSource::kBankFailure:
+      return RepairPath::kRetire;
+  }
+  return RepairPath::kReconfigure;
+}
+
+ResourceSupervisor::ResourceSupervisor(int resources,
+                                       const DegradeOptions& options)
+    : opt_(options),
+      tracker_(static_cast<std::size_t>(resources), options.strikes,
+               options.strike_window),
+      cells_(static_cast<std::size_t>(resources)) {
+  RCARB_CHECK(resources >= 1, "supervisor needs at least one resource");
+}
+
+ResourceSupervisor::Transition ResourceSupervisor::strike(
+    int resource, std::uint64_t cycle, StrikeSource source) {
+  const bool kth = tracker_.strike(resource, cycle, source);
+  Cell& cell = cells_[static_cast<std::size_t>(resource)];
+  if (!opt_.enabled || !kth || cell.state != QuarantineState::kHealthy)
+    return Transition::kNone;
+  cell.state = QuarantineState::kDraining;
+  cell.path = repair_path_for(source);
+  cell.deadline = cycle + opt_.drain_timeout;
+  cell.record = records_.size();
+  QuarantineRecord rec;
+  rec.resource = resource;
+  rec.state = QuarantineState::kDraining;
+  rec.classified_cycle = cycle;
+  records_.push_back(rec);
+  return Transition::kQuarantined;
+}
+
+ResourceSupervisor::Transition ResourceSupervisor::advance(
+    int resource, std::uint64_t cycle, bool drained, int ports,
+    core::CheckMode mode) {
+  Cell& cell = cells_[static_cast<std::size_t>(resource)];
+  switch (cell.state) {
+    case QuarantineState::kDraining: {
+      const bool deadline = cycle >= cell.deadline;
+      if (!drained && !deadline) return Transition::kNone;
+      QuarantineRecord& rec = records_[cell.record];
+      rec.drain_aborted = !drained;
+      rec.drained_cycle = cycle;
+      rec.state = cell.state = QuarantineState::kReconfiguring;
+      cell.deadline = cycle + arbiter_reconfig_cycles(opt_, ports, mode);
+      return Transition::kDrained;
+    }
+    case QuarantineState::kReconfiguring: {
+      if (cycle < cell.deadline) return Transition::kNone;
+      QuarantineRecord& rec = records_[cell.record];
+      rec.restored_cycle = cycle;
+      if (cell.path == RepairPath::kReconfigure) {
+        // The arbiter region was rewritten; the resource re-enters service
+        // with a clean strike history.
+        rec.state = cell.state = QuarantineState::kHealthy;
+        tracker_.clear(resource);
+        return Transition::kRestored;
+      }
+      // Retire: the load stays failed over.  The record names the
+      // lowest-index healthy survivor as the representative target (the
+      // service routes uniformly over every survivor).
+      for (std::size_t i = 0; i < cells_.size(); ++i) {
+        if (static_cast<int>(i) == resource) continue;
+        if (cells_[i].state != QuarantineState::kHealthy) continue;
+        rec.remap_target = static_cast<int>(i);
+        break;
+      }
+      rec.state = cell.state = rec.remap_target >= 0
+                                   ? QuarantineState::kRemapped
+                                   : QuarantineState::kCapacityExhausted;
+      return Transition::kRetired;
+    }
+    case QuarantineState::kHealthy:
+    case QuarantineState::kRemapped:
+    case QuarantineState::kCapacityExhausted:
+      return Transition::kNone;
+  }
+  return Transition::kNone;
+}
+
+QuarantineState ResourceSupervisor::state(int resource) const {
+  return cells_[static_cast<std::size_t>(resource)].state;
+}
+
+RepairPath ResourceSupervisor::path(int resource) const {
+  return cells_[static_cast<std::size_t>(resource)].path;
+}
+
+int ResourceSupervisor::num_serving() const {
+  int n = 0;
+  for (const Cell& c : cells_)
+    if (c.state == QuarantineState::kHealthy) ++n;
+  return n;
+}
+
 BankRemapPlan plan_bank_remap(const std::vector<std::size_t>& segment_bytes,
                               const std::vector<int>& bank_of_segment,
                               const std::vector<std::size_t>& bank_free_bytes,
@@ -135,9 +245,14 @@ std::uint64_t arbiter_reconfig_cycles(const DegradeOptions& options, int n,
                                       core::CheckMode mode,
                                       synth::Encoding encoding) {
   if (n < 2) return reconfig_cycles(options, 0);
-  // The FSM generator tops out at 20 request lines; larger contention sets
-  // are priced at the widest characterized arbiter.
-  const int capped = std::min(n, 20);
+  // The FSM generator tops out at 20 request lines, and the replicated
+  // self-checking register bank must fit one 64-bit word (2 x 2n for DMR,
+  // 3 x 2n for TMR); larger contention sets are priced at the widest
+  // characterized arbiter of the mode.
+  const int cap = mode == core::CheckMode::kNone        ? 20
+                  : mode == core::CheckMode::kDuplicate ? 16
+                                                        : 10;
+  const int capped = std::min(n, cap);
   const std::size_t clbs =
       mode == core::CheckMode::kNone
           ? core::generate_round_robin_cached(capped,

@@ -124,10 +124,98 @@ struct QuarantineRecord {
   bool drain_aborted = false;          // drain_timeout force-abort used
   int remap_target = -1;  // live resource now serving the load (-1 = none)
 
-  /// Mean-time-to-repair contribution: classification -> restored.
+  /// Mean-time-to-repair contribution: classification -> restored.  A
+  /// record queried mid-quarantine (still draining/reconfiguring, so
+  /// restored_cycle is not stamped yet) used to wrap the subtraction to a
+  /// huge u64 and poison MTTR averages; unset stages contribute 0.
   [[nodiscard]] std::uint64_t repair_cycles() const {
+    if (restored_cycle < classified_cycle) return 0;
     return restored_cycle - classified_cycle;
   }
+};
+
+/// Which repair a classified permanent fault needs, decided from the
+/// evidence class of the classifying strike.
+enum class RepairPath : std::uint8_t {
+  kReconfigure,  // fault is inside the arbiter region: rewrite it and the
+                 // resource returns to service (latch-up, SEU storms)
+  kRetire,       // the resource itself is dead: fail its load over to the
+                 // survivors for good (channel / bank failures)
+};
+
+[[nodiscard]] const char* to_string(RepairPath p);
+
+/// Maps strike evidence to the repair it implies: arbiter-side sources
+/// (self-check comparator, watchdog) reconfigure the arbiter region;
+/// resource-side sources (channel, bank) retire the resource.
+[[nodiscard]] RepairPath repair_path_for(StrikeSource source);
+
+/// Per-resource quarantine FSM driver for system layers outside rcsim
+/// (the service engine uses it; rcsim's inline supervisor predates it and
+/// carries bank/channel remap planning this one does not need).  Owns the
+/// strike tracker plus the per-resource state/deadline/record
+/// bookkeeping; the caller supplies the cycle loop, reports drain
+/// progress, and acts on the returned transitions (mask routing, abort
+/// in-flight slots, reset arbiters).
+class ResourceSupervisor {
+ public:
+  enum class Transition : std::uint8_t {
+    kNone,         // no state change this call
+    kQuarantined,  // K-in-W classification: resource entered kDraining
+    kDrained,      // in-flight work gone (or deadline): kReconfiguring
+    kRestored,     // arbiter region rewritten: back to kHealthy
+    kRetired,      // unrepairable: kRemapped (load stays failed over), or
+                   // kCapacityExhausted when no healthy survivor remains
+  };
+
+  ResourceSupervisor() = default;
+  ResourceSupervisor(int resources, const DegradeOptions& options);
+
+  /// Records one strike.  Returns kQuarantined when it is the K-th within
+  /// W against a healthy resource — the classification point: the caller
+  /// must stop routing new work here and start draining.  Evidence
+  /// against an already-quarantined resource still counts in the tracker
+  /// totals but never re-classifies; a disabled supervisor
+  /// (DegradeOptions::enabled == false) records evidence and nothing
+  /// else (the stall-only / unprotected baseline).
+  Transition strike(int resource, std::uint64_t cycle, StrikeSource source);
+
+  /// Advances a draining/reconfiguring resource one cycle.  `drained` is
+  /// the caller's "no in-flight work left" signal; the drain_timeout
+  /// deadline force-completes a drain that never ends (drain_aborted is
+  /// recorded and the caller must abort the leftovers).  The
+  /// reconfiguration stall is priced at the drain->reconfigure edge via
+  /// arbiter_reconfig_cycles for the resource's `ports` and `mode`.
+  Transition advance(int resource, std::uint64_t cycle, bool drained,
+                     int ports, core::CheckMode mode);
+
+  [[nodiscard]] QuarantineState state(int resource) const;
+  /// Healthy = routable: new work may be sent here.
+  [[nodiscard]] bool serving(int resource) const {
+    return state(resource) == QuarantineState::kHealthy;
+  }
+  [[nodiscard]] RepairPath path(int resource) const;
+  [[nodiscard]] int num_serving() const;
+  [[nodiscard]] const StrikeTracker& strikes() const { return tracker_; }
+  /// Every quarantine's lifecycle record, in classification order.  Open
+  /// records (still draining/reconfiguring) have unset later stages —
+  /// repair_cycles() reads 0 for them.
+  [[nodiscard]] const std::vector<QuarantineRecord>& records() const {
+    return records_;
+  }
+
+ private:
+  struct Cell {
+    QuarantineState state = QuarantineState::kHealthy;
+    RepairPath path = RepairPath::kReconfigure;
+    std::uint64_t deadline = 0;
+    std::size_t record = 0;  // index into records_; valid when quarantined
+  };
+
+  DegradeOptions opt_;
+  StrikeTracker tracker_;
+  std::vector<Cell> cells_;
+  std::vector<QuarantineRecord> records_;
 };
 
 /// Group-move plan for a dead bank: every segment it held moves to ONE

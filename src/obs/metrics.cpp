@@ -150,13 +150,15 @@ std::string ArbiterMetrics::summarize() const {
   std::snprintf(
       buf, sizeof buf,
       "%s[%d]: latency{%s} hold{%s} jain=%.3f turns<=%llu%s wd=%llu "
-      "backoff=%llu",
+      "backoff=%llu err=%llu resync=%llu",
       label.c_str(), ports, grant_latency.summarize().c_str(),
       hold_length.summarize().c_str(), fairness_jain(),
       static_cast<unsigned long long>(worst_turns_waited()),
       within_n_minus_1_bound() ? "" : "(!)",
       static_cast<unsigned long long>(watchdog_fires),
-      static_cast<unsigned long long>(backoffs));
+      static_cast<unsigned long long>(backoffs),
+      static_cast<unsigned long long>(error_net_trips),
+      static_cast<unsigned long long>(resyncs));
   return buf;
 }
 

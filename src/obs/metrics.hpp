@@ -99,6 +99,14 @@ struct ArbiterMetrics {
   std::uint64_t backoffs = 0;           // retry-timeout Req drops
   std::uint64_t retries = 0;            // Req re-assertions after backoff
 
+  // Concurrent error detection (filled by the host of a self-checking
+  // arbiter, core/selfcheck.hpp): steps on which the comparator fired,
+  // and the resyncs that cleared them (DMR reset reloads / TMR minority
+  // rewrites).  A trip count far above the resync count is the latch-up
+  // signature — the error net is pinned high by a copy refusing resync.
+  std::uint64_t error_net_trips = 0;
+  std::uint64_t resyncs = 0;
+
   /// Jain fairness index over the per-port granted-cycle shares:
   /// 1.0 = perfectly even, 1/ports = one port monopolizes.  Ports that
   /// never requested are excluded; 1.0 when nothing was granted.

@@ -34,6 +34,22 @@
 // goodput.  Every random draw comes from rcarb::Rng streams seeded via
 // derive_seed, so a run is a pure function of (options, seed) — the
 // load-sweep bench relies on this for byte-identical parallel sweeps.
+//
+// The service is fault-tolerant end to end.  A seeded fault plan
+// (ServiceOptions::faults, fault::plan_service_faults) injects transient
+// SEUs into the live arbiters and permanent faults (arbiter latch-up,
+// resource failure) into the cycle loop.  Each resource's arbiter can be
+// replicated as a self-checking DMR/TMR pair/triple (ServiceOptions::
+// self_check) so corrupted grants raise the error net instead of
+// double-granting, and a per-resource supervisor
+// (degrade::ResourceSupervisor) classifies K-in-W strikes, drains the
+// in-flight slots, prices the reconfiguration stall, and fails traffic
+// over to the survivors — queued and retrying clients only ever see the
+// typed kRejected/kShed diagnostics through the existing backoff loop,
+// and the conservation invariant
+//   in_flight_at_start + offered ==
+//       completed + timed_out + budget_exhausted + in_flight_at_end
+// holds under every fault mix (no lost or duplicated completions).
 #pragma once
 
 #include <cstdint>
@@ -41,6 +57,8 @@
 #include <vector>
 
 #include "core/arbiter_factory.hpp"
+#include "degrade/degrade.hpp"
+#include "fault/fault.hpp"
 #include "obs/metrics.hpp"
 #include "rcsim/system_sim.hpp"
 #include "service/arrivals.hpp"
@@ -132,6 +150,27 @@ struct ServiceOptions {
   /// Typed diagnostics recorded in ServiceStats (counters keep counting
   /// past the cap; the records just stop growing).
   int max_diagnostics = 64;
+
+  // ---- Fault tolerance. ----
+  /// Replicate each resource's arbiter as a self-checking DMR pair
+  /// (kDuplicate: fail-stop, the error net gates grants until resync) or
+  /// TMR triple (kTriplicate: the vote masks a faulty copy and the error
+  /// net reports it).  Requires the flat structure and ports <= 64 (the
+  /// behavioral model compares per-copy F/C state words) — combining it
+  /// with another kind or a wider resource CHECK-fails in the factory.
+  core::CheckMode self_check = core::CheckMode::kNone;
+  /// Strike classification + quarantine/repair supervision
+  /// (degrade::ResourceSupervisor).  Disabled (`enabled = false`) the
+  /// supervisor still records strike evidence but never quarantines — the
+  /// unprotected baseline for the fault benches.
+  degrade::DegradeOptions degrade;
+  /// Cycle-sorted fault events injected live into the engine, normally
+  /// from fault::plan_service_faults.  Only the service-injectable kinds
+  /// are accepted (kFsmBitFlip, kArbiterLatchup, kBankFailure; `arbiter`
+  /// / `bank` name the target resource).  Non-empty plans require the
+  /// flat arbiter structure with ports <= 64 — the SEU/latch-up surface
+  /// is its one-hot register pair.
+  std::vector<fault::FaultEvent> faults;
 };
 
 /// Per-resource measurement (one arbiter + one bounded queue).
@@ -162,15 +201,55 @@ struct ServiceStats {
   obs::Histogram latency;
   obs::Histogram queue_depth;
   std::vector<ResourceStats> per_resource;
-  /// Typed records (kRejected / kShed / kTimedOut), capped at
+  /// Typed records (kRejected / kShed / kTimedOut, plus kQuarantine /
+  /// kRemap / kCapacityExhausted under faults), capped at
   /// ServiceOptions::max_diagnostics.
   std::vector<rcsim::SimDiagnostic> diagnostics;
+
+  // ---- Fault tolerance (live injection + supervision). ----
+  std::uint64_t faults_injected = 0;  // plan events applied in the window
+  std::uint64_t error_net_trips = 0;  // self-check comparator-high steps
+  std::uint64_t resyncs = 0;          // DMR reloads / TMR minority rewrites
+  std::uint64_t multi_grants = 0;     // unprotected mutual-exclusion breaks
+  std::uint64_t corrupted = 0;        // completions poisoned by multi-grants
+  std::uint64_t failed_service = 0;   // completions lost to a dead resource
+  std::uint64_t strikes = 0;          // evidence fed to the supervisor
+  std::uint64_t quarantines = 0;      // K-in-W classifications
+  std::uint64_t drain_aborts = 0;     // drains force-cut at drain_timeout
+  std::uint64_t restored = 0;         // arbiters rewritten, resource back
+  std::uint64_t retired = 0;          // resources failed over for good
+  std::uint64_t requeued = 0;         // queued/in-flight work failed over
+  /// Resource-cycles in service *and* actually functioning (a frozen or
+  /// dead arbiter the supervisor has not caught does not count — the
+  /// unprotected baseline's availability collapse is the measurement).
+  std::uint64_t serving_resource_cycles = 0;
+  /// Request conservation across the measured window: work parked in
+  /// queues, dispatch slots and the retry wheel at reset and at the end.
+  /// Under every fault mix,
+  ///   in_flight_at_start + offered ==
+  ///       completed + timed_out + budget_exhausted + in_flight_at_end —
+  /// corrupted / failed / requeued work is non-terminal (it re-enters the
+  /// retry loop), so nothing is lost or double-counted.
+  std::uint64_t in_flight_at_start = 0;
+  std::uint64_t in_flight_at_end = 0;
+  /// Quarantine lifecycle records for the whole run (a repair can span
+  /// the warmup reset, so these are not clipped to the window).
+  std::vector<degrade::QuarantineRecord> quarantine_events;
 
   /// Completions-within-timeout per cycle — the robustness headline.
   [[nodiscard]] double goodput() const;
   /// First-attempt arrivals per cycle.
   [[nodiscard]] double offered_rate() const;
+  /// serving_resource_cycles / (cycles * resources): the fraction of
+  /// resource-time that was genuinely able to serve.  1.0 when idle.
+  [[nodiscard]] double availability() const;
+  /// Mean repair_cycles over closed quarantine records (classification to
+  /// restore/retire), 0 when nothing was repaired.
+  [[nodiscard]] double mttr_cycles() const;
   [[nodiscard]] std::string summarize() const;
+  /// One-line fault-tolerance summary (errors, strikes, quarantines,
+  /// availability, MTTR); complements summarize().
+  [[nodiscard]] std::string summarize_faults() const;
 };
 
 /// Runs one open-loop session to completion.  Pure function of `options`.

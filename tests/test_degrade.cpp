@@ -329,6 +329,56 @@ TEST(SelfCheckPrechar, RedundancyIsPricedAlongsideThePlainVariant) {
 
 // ======================================================== strike classifier
 
+TEST(QuarantineRecord, RepairCyclesReadsZeroForOpenRecords) {
+  // A record queried mid-quarantine has no restored_cycle yet; the
+  // subtraction used to wrap to a huge u64 and poison MTTR averages.
+  degrade::QuarantineRecord rec;
+  rec.classified_cycle = 100;
+  EXPECT_EQ(rec.repair_cycles(), 0u) << "open record: restored unset";
+  rec.restored_cycle = 100;
+  EXPECT_EQ(rec.repair_cycles(), 0u) << "zero-length repair";
+  rec.restored_cycle = 150;
+  EXPECT_EQ(rec.repair_cycles(), 50u);
+}
+
+TEST(ResourceSupervisor, LifecycleDrainsPricesAndRestores) {
+  degrade::DegradeOptions opt;
+  opt.enabled = true;
+  degrade::ResourceSupervisor sup(2, opt);
+  using T = degrade::ResourceSupervisor::Transition;
+
+  // K-1 strikes classify nothing; the K-th quarantines.
+  EXPECT_EQ(sup.strike(0, 10, degrade::StrikeSource::kSelfCheckError),
+            T::kNone);
+  EXPECT_EQ(sup.strike(0, 11, degrade::StrikeSource::kSelfCheckError),
+            T::kNone);
+  EXPECT_EQ(sup.strike(0, 12, degrade::StrikeSource::kSelfCheckError),
+            T::kQuarantined);
+  EXPECT_FALSE(sup.serving(0));
+  EXPECT_TRUE(sup.serving(1));
+  EXPECT_EQ(sup.num_serving(), 1);
+  // Further evidence against the quarantined resource never re-classifies.
+  EXPECT_EQ(sup.strike(0, 13, degrade::StrikeSource::kSelfCheckError),
+            T::kNone);
+
+  // Not drained: the supervisor waits (until the drain_timeout deadline).
+  EXPECT_EQ(sup.advance(0, 14, /*drained=*/false, 4, CheckMode::kNone),
+            T::kNone);
+  EXPECT_EQ(sup.advance(0, 15, /*drained=*/true, 4, CheckMode::kNone),
+            T::kDrained);
+  // The reconfiguration stall is priced, not instant.
+  std::uint64_t cycle = 16;
+  while (sup.advance(0, cycle, true, 4, CheckMode::kNone) != T::kRestored) {
+    ++cycle;
+    ASSERT_LT(cycle, 10'000u) << "restore never happened";
+  }
+  EXPECT_TRUE(sup.serving(0));
+  ASSERT_EQ(sup.records().size(), 1u);
+  const auto& rec = sup.records().front();
+  EXPECT_FALSE(rec.drain_aborted);
+  EXPECT_GT(rec.repair_cycles(), 0u);
+}
+
 TEST(StrikeTracker, KthStrikeWithinTheWindowClassifies) {
   degrade::StrikeTracker t(4, /*strikes=*/3, /*window=*/10);
   EXPECT_FALSE(t.strike(2, 5, degrade::StrikeSource::kBankFailure));

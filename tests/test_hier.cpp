@@ -723,18 +723,22 @@ TEST(ArbiterFactory, BuildsTheMatchingSubclassWithTypedViews) {
   EXPECT_EQ(flat.rr, flat.arbiter.get());
   EXPECT_EQ(flat.kind, ArbiterKind::kFlatFsm);
 
-  auto wide = core::make_system_arbiter(
-      128, SystemArbiterSpec{.kind = ArbiterKind::kFlatFsm});
+  SystemArbiterSpec wide_spec;
+  wide_spec.kind = ArbiterKind::kFlatFsm;
+  auto wide = core::make_system_arbiter(128, wide_spec);
   ASSERT_NE(wide.flat_wide, nullptr);
   EXPECT_EQ(wide.rr, nullptr);
 
-  auto hier = core::make_system_arbiter(
-      96, SystemArbiterSpec{.kind = ArbiterKind::kHierarchical, .arity = 2});
+  SystemArbiterSpec hier_spec;
+  hier_spec.kind = ArbiterKind::kHierarchical;
+  hier_spec.arity = 2;
+  auto hier = core::make_system_arbiter(96, hier_spec);
   ASSERT_NE(hier.hier, nullptr);
   EXPECT_EQ(hier.kind, ArbiterKind::kHierarchical);
 
-  auto prefix = core::make_system_arbiter(
-      96, SystemArbiterSpec{.kind = ArbiterKind::kPrefix});
+  SystemArbiterSpec prefix_spec;
+  prefix_spec.kind = ArbiterKind::kPrefix;
+  auto prefix = core::make_system_arbiter(96, prefix_spec);
   ASSERT_NE(prefix.prefix, nullptr);
 
   core::SystemArbiterSpec dmr;
@@ -743,6 +747,44 @@ TEST(ArbiterFactory, BuildsTheMatchingSubclassWithTypedViews) {
   dmr.kind = ArbiterKind::kPrefix;
   EXPECT_THROW((void)core::make_system_arbiter(8, dmr), CheckError)
       << "self-checking is flat-only";
+
+  // The self-checking service path covers the full word width: one F/C
+  // state *word* pair per copy past 32 ports, same factory entry point the
+  // fault-tolerant service uses.
+  for (const auto& [mode, copies] :
+       {std::pair{core::CheckMode::kDuplicate, 2},
+        std::pair{core::CheckMode::kTmr, 3}}) {
+    for (const int n : {48, 64}) {
+      core::SystemArbiterSpec spec;
+      spec.self_check = mode;
+      auto sys = core::make_system_arbiter(n, spec);
+      ASSERT_NE(sys.sc, nullptr) << core::to_string(mode) << " n=" << n;
+      EXPECT_EQ(sys.sc, sys.arbiter.get());
+      EXPECT_EQ(sys.rr, nullptr) << "typed views are exclusive";
+      EXPECT_EQ(sys.sc->num_copies(), copies);
+      // Error-net side view: a single corrupted copy trips the comparator
+      // on the next step and the resync clears it.
+      EXPECT_FALSE(sys.sc->error());
+      sys.sc->inject_bit_flip(copies - 1, 3);  // second F-word token bit
+      (void)sys.sc->step(0b101ull);
+      EXPECT_TRUE(sys.sc->error()) << core::to_string(mode) << " n=" << n;
+      EXPECT_GE(sys.sc->error_cycles(), 1u);
+      if (mode == core::CheckMode::kDuplicate) {
+        EXPECT_EQ(sys.sc->resyncs(), 1u) << "DMR reloads the reset code";
+      }
+      (void)sys.sc->step(0b101ull);
+      EXPECT_FALSE(sys.sc->error()) << "copies reconverge within one step";
+    }
+  }
+  // Past the word width there is no per-copy state-word model: refuse.
+  core::SystemArbiterSpec sc65;
+  sc65.self_check = core::CheckMode::kTmr;
+  EXPECT_THROW((void)core::make_system_arbiter(65, sc65), CheckError);
+  // ... and the other scalable structures stay un-replicable too.
+  core::SystemArbiterSpec sc_hier;
+  sc_hier.self_check = core::CheckMode::kDuplicate;
+  sc_hier.kind = ArbiterKind::kHierarchical;
+  EXPECT_THROW((void)core::make_system_arbiter(16, sc_hier), CheckError);
 
   // rr preemption/hardening have no wide-chain model: refuse, don't drop.
   core::SystemArbiterSpec held;

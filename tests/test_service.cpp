@@ -79,6 +79,52 @@ TEST(Arrivals, BurstyAndDiurnalActuallyModulate) {
   EXPECT_GT(rates[500], rates[999]);
 }
 
+TEST(Arrivals, ModulatedKindsHoldTheMeanAcrossRatesAndSeeds) {
+  // The normalization that keeps bursty/diurnal at the configured mean
+  // must not depend on a lucky (rate, seed) pair: the fault benches sweep
+  // both and take the mean at face value.
+  for (const ArrivalKind kind : {ArrivalKind::kBursty, ArrivalKind::kDiurnal}) {
+    for (const double rate : {0.05, 0.2, 0.8}) {
+      for (const std::uint64_t seed : {1ull, 42ull, 9001ull}) {
+        ArrivalOptions ao;
+        ao.kind = kind;
+        ao.rate = rate;
+        ArrivalProcess p(ao, seed);
+        // >= 100 bursty dwells and >= 29 diurnal periods: enough that the
+        // modulation averages out and only the mean remains.
+        const int n = 120'000;
+        std::int64_t total = 0;
+        for (int i = 0; i < n; ++i) total += p.step();
+        const double mean = static_cast<double>(total) / n;
+        EXPECT_NEAR(mean, rate, std::max(0.012, 0.10 * rate))
+            << to_string(kind) << " rate=" << rate << " seed=" << seed;
+      }
+    }
+  }
+}
+
+TEST(Arrivals, StreamIsAPureFunctionOfOptionsAndSeed) {
+  // No hidden global state: an arrival stream must not shift when other
+  // processes or RNG streams are stepped between its draws (the service
+  // engine interleaves three streams per run and the sweeps run many
+  // engines in one process).
+  ArrivalOptions ao;
+  ao.kind = ArrivalKind::kBursty;
+  ao.rate = 0.4;
+  std::vector<int> ref;
+  ArrivalProcess alone(ao, 5);
+  for (int i = 0; i < 4'096; ++i) ref.push_back(alone.step());
+
+  ArrivalProcess interleaved(ao, 5);
+  ArrivalProcess noise(ao, 6);
+  Rng unrelated(99);
+  for (int i = 0; i < 4'096; ++i) {
+    (void)noise.step();
+    (void)unrelated.next_below(10);
+    EXPECT_EQ(interleaved.step(), ref[static_cast<std::size_t>(i)]);
+  }
+}
+
 // ----------------------------------------------------------------- engine
 
 /// Small, fast configuration: 2 resources x 4 ports, 4-cycle service, so
@@ -292,6 +338,24 @@ TEST(ServiceEngine, RejectsNonsenseOptions) {
   o.arbiter_kind = core::ArbiterChoice::kAuto;
   o.arbiter_fmax_budget_mhz = 0.0;
   EXPECT_THROW((void)run_service(o), CheckError);
+}
+
+TEST(ServiceEngine, RejectsRetryTimeoutInsideTheFirstBackoff) {
+  // A client whose timeout expires before its first retry even fires can
+  // never be served by a retry — every re-attempt is dead on arrival and
+  // the retry counters measure nothing.  The engine refuses the combo
+  // instead of silently burning the budget.
+  ServiceOptions o = small_options();
+  o.retry.timeout = 8;
+  o.retry.backoff_base = 8;  // first retry lands at +8, at the deadline
+  EXPECT_THROW((void)run_service(o), CheckError);
+  o.retry.timeout = 9;  // strictly past the first backoff: legal
+  EXPECT_NO_THROW((void)run_service(o));
+  // With retries disabled the timeout only bounds service, so any
+  // positive value is fine.
+  o.retry.timeout = 8;
+  o.retry.max_retries = 0;
+  EXPECT_NO_THROW((void)run_service(o));
 }
 
 // ------------------------------------------------- arbiter kind threading
